@@ -1,0 +1,370 @@
+// Package geckoftl's module-level benchmarks regenerate every table and
+// figure of the paper's evaluation section (run with
+// `go test -bench=. -benchmem`), plus ablation benchmarks for the design
+// choices DESIGN.md calls out. Each benchmark reports the figure's key
+// numbers as custom metrics so that `bench_output.txt` doubles as the
+// reproduced results.
+package geckoftl_test
+
+import (
+	"fmt"
+	"testing"
+
+	"geckoftl/internal/ftl"
+	"geckoftl/internal/model"
+	"geckoftl/internal/sim"
+	"geckoftl/internal/workload"
+)
+
+// benchScale sizes the simulations run by the benchmarks. It is larger than
+// the unit-test scale but small enough that the full suite finishes in a few
+// minutes.
+func benchScale() sim.ExperimentScale {
+	return sim.ExperimentScale{
+		Device:        sim.DeviceSpec{Blocks: 256, PagesPerBlock: 32, PageSize: 1024, OverProvision: 0.7},
+		MeasureWrites: 20000,
+		CacheEntries:  1024,
+		Seed:          1,
+	}
+}
+
+// BenchmarkFigure1 reproduces Figure 1: LazyFTL's integrated RAM requirement
+// and recovery time as device capacity grows (analytical, full scale).
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points := sim.Figure1()
+		if i == 0 {
+			for _, p := range points {
+				b.ReportMetric(float64(p.RAMBytes)/(1<<20), fmt.Sprintf("RAM_MB_at_%dGB", p.CapacityBytes>>30))
+				b.ReportMetric(p.Recovery.Seconds(), fmt.Sprintf("recovery_s_at_%dGB", p.CapacityBytes>>30))
+			}
+		}
+	}
+}
+
+// BenchmarkTable1 reproduces Table 1: the per-operation IO costs and RAM of
+// the three page-validity schemes (analytical, full scale).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := sim.Table1()
+		if i == 0 {
+			for _, r := range rows {
+				name := map[string]string{
+					"RAM-resident PVB":   "ramPVB",
+					"Flash-resident PVB": "flashPVB",
+					"Logarithmic Gecko":  "gecko",
+				}[r.Technique]
+				b.ReportMetric(r.UpdateWrites, name+"_update_writes")
+				b.ReportMetric(r.QueryReads, name+"_query_reads")
+				b.ReportMetric(float64(r.RAMBytes)/(1<<20), name+"_RAM_MB")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure9 reproduces Figure 9: Logarithmic Gecko under size ratios
+// T = 2..32 versus a flash-resident PVB, under uniform random updates.
+func BenchmarkFigure9(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.Figure9(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.WA, "WA_"+r.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure10 reproduces Figure 10: entry-partitioning makes
+// write-amplification independent of the block size B.
+func BenchmarkFigure10(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.Figure10(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				label := fmt.Sprintf("WA_B%d_S%d", r.BlockSize, r.PartitionFactor)
+				if r.PartitionFactor == -1 {
+					label = fmt.Sprintf("WA_B%d_Srec", r.BlockSize)
+				}
+				b.ReportMetric(r.WA, label)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure11 reproduces Figure 11: write-amplification versus the
+// number of blocks K for Logarithmic Gecko and the flash PVB.
+func BenchmarkFigure11(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.Figure11(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.GeckoWA, fmt.Sprintf("gecko_WA_K%d", r.Blocks))
+				b.ReportMetric(r.PVBWA, fmt.Sprintf("pvb_WA_K%d", r.Blocks))
+			}
+		}
+	}
+}
+
+// BenchmarkFigure12 reproduces Figure 12: the effect of over-provisioning on
+// Logarithmic Gecko's IO.
+func BenchmarkFigure12(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.Figure12(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.WA, fmt.Sprintf("WA_R%.0f", r.OverProvision*100))
+				b.ReportMetric(float64(r.GCQueries), fmt.Sprintf("gc_queries_R%.0f", r.OverProvision*100))
+			}
+		}
+	}
+}
+
+// BenchmarkFigure13RAM reproduces the top part of Figure 13: the integrated
+// RAM breakdown of every FTL (analytical, full scale).
+func BenchmarkFigure13RAM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := sim.Figure13RAM()
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.Total())/(1<<20), fmt.Sprintf("RAM_MB_%s", r.FTL))
+			}
+		}
+	}
+}
+
+// BenchmarkFigure13Recovery reproduces the middle part of Figure 13: the
+// recovery-time breakdown of every FTL (analytical, full scale).
+func BenchmarkFigure13Recovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := sim.Figure13Recovery()
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.Total().Seconds(), fmt.Sprintf("recovery_s_%s", r.FTL))
+			}
+		}
+	}
+}
+
+// BenchmarkFigure13WA reproduces the bottom part of Figure 13: the simulated
+// write-amplification breakdown of every FTL under uniform random writes.
+func BenchmarkFigure13WA(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.Figure13WA(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.WA, "WA_"+r.Name)
+				b.ReportMetric(r.ValidityWA, "validityWA_"+r.Name)
+				b.ReportMetric(r.TranslationWA, "translationWA_"+r.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure14 reproduces Figure 14: with an equal RAM budget, the RAM
+// freed by dropping the PVB is spent on a larger mapping cache.
+func BenchmarkFigure14(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.Figure14(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.WA, "WA_"+r.Name)
+				b.ReportMetric(float64(r.CacheEntries), "cache_"+r.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkRecoverySimulation complements the analytical Figure 13 middle
+// with an executable crash-recovery measurement of every FTL.
+func BenchmarkRecoverySimulation(b *testing.B) {
+	scale := benchScale()
+	scale.MeasureWrites = 10000
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.RecoverySimulation(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.Duration.Seconds()*1000, "recovery_ms_"+r.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkHeadlineSummary evaluates the paper's three headline claims.
+func BenchmarkHeadlineSummary(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		s, err := sim.Headlines(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*s.RAMReduction, "ram_reduction_pct")
+			b.ReportMetric(100*s.RecoveryReduction, "recovery_reduction_pct")
+			b.ReportMetric(100*s.ValidityWAReduction, "validity_WA_reduction_pct")
+		}
+	}
+}
+
+// runVariant measures one FTL options variant under uniform writes and
+// returns its overall write-amplification.
+func runVariant(b *testing.B, opts ftl.Options) sim.Result {
+	b.Helper()
+	scale := benchScale()
+	res, err := sim.Run(sim.RunOptions{
+		Device:        scale.Device,
+		FTLOptions:    opts,
+		Workload:      workload.NewUniform(int64(scale.Device.Config().LogicalPages()), scale.Seed),
+		MeasureWrites: scale.MeasureWrites,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkAblationGCPolicy compares GeckoFTL's metadata-aware
+// victim-selection policy (Section 4.2) against the greedy policy used by
+// existing FTLs, holding everything else fixed.
+func BenchmarkAblationGCPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		aware := ftl.GeckoFTLOptions(benchScale().CacheEntries)
+		greedy := aware
+		greedy.Name = "GeckoFTL-greedy"
+		greedy.VictimPolicy = ftl.VictimGreedy
+		ra := runVariant(b, aware)
+		rg := runVariant(b, greedy)
+		if i == 0 {
+			b.ReportMetric(ra.WA, "WA_metadata_aware")
+			b.ReportMetric(rg.WA, "WA_greedy")
+		}
+	}
+}
+
+// BenchmarkAblationMultiWayMerge compares two-way against multi-way merging
+// (Appendix A) inside GeckoFTL.
+func BenchmarkAblationMultiWayMerge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		twoWay := ftl.GeckoFTLOptions(benchScale().CacheEntries)
+		multi := twoWay
+		multi.Name = "GeckoFTL-multiway"
+		multi.GeckoMultiWayMerge = true
+		r2 := runVariant(b, twoWay)
+		rm := runVariant(b, multi)
+		if i == 0 {
+			b.ReportMetric(r2.ValidityWA, "validityWA_two_way")
+			b.ReportMetric(rm.ValidityWA, "validityWA_multi_way")
+		}
+	}
+}
+
+// BenchmarkAblationCheckpoints measures the write-amplification cost of
+// GeckoFTL's runtime checkpoints (Section 4.3): the paper argues it is
+// negligible.
+func BenchmarkAblationCheckpoints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with := ftl.GeckoFTLOptions(benchScale().CacheEntries)
+		without := with
+		without.Name = "GeckoFTL-nocheckpoint"
+		without.Checkpoints = false
+		rw := runVariant(b, with)
+		ro := runVariant(b, without)
+		if i == 0 {
+			b.ReportMetric(rw.TranslationWA, "translationWA_checkpoints")
+			b.ReportMetric(ro.TranslationWA, "translationWA_no_checkpoints")
+		}
+	}
+}
+
+// BenchmarkAblationPartitioning measures entry-partitioning (Section 3.3)
+// inside the full GeckoFTL rather than in isolation. It uses the paper's
+// 128-page blocks: with smaller blocks the recommended partitioning factor is
+// already 1 and there is nothing to ablate.
+func BenchmarkAblationPartitioning(b *testing.B) {
+	scale := benchScale()
+	scale.Device.PagesPerBlock = 128
+	scale.Device.Blocks = 128
+	run := func(opts ftl.Options) sim.Result {
+		res, err := sim.Run(sim.RunOptions{
+			Device:        scale.Device,
+			FTLOptions:    opts,
+			Workload:      workload.NewUniform(int64(scale.Device.Config().LogicalPages()), scale.Seed),
+			MeasureWrites: scale.MeasureWrites,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	for i := 0; i < b.N; i++ {
+		recommended := ftl.GeckoFTLOptions(scale.CacheEntries)
+		unpartitioned := recommended
+		unpartitioned.Name = "GeckoFTL-S1"
+		unpartitioned.GeckoPartitionFactor = 1
+		rr := run(recommended)
+		ru := run(unpartitioned)
+		if i == 0 {
+			b.ReportMetric(rr.ValidityWA, "validityWA_partitioned")
+			b.ReportMetric(ru.ValidityWA, "validityWA_unpartitioned")
+		}
+	}
+}
+
+// BenchmarkAblationDirtyBound shows the contention the paper removes: a
+// GeckoFTL variant forced to bound its dirty entries (as LazyFTL does) pays
+// more translation-metadata write-amplification.
+func BenchmarkAblationDirtyBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		unbounded := ftl.GeckoFTLOptions(benchScale().CacheEntries)
+		bounded := unbounded
+		bounded.Name = "GeckoFTL-bounded"
+		bounded.DirtyFraction = 0.1
+		ru := runVariant(b, unbounded)
+		rb := runVariant(b, bounded)
+		if i == 0 {
+			b.ReportMetric(ru.TranslationWA, "translationWA_unbounded")
+			b.ReportMetric(rb.TranslationWA, "translationWA_bounded")
+		}
+	}
+}
+
+// BenchmarkRAMModel exercises the analytical RAM model across the five FTLs;
+// it is cheap and mostly documents the model's outputs in bench_output.txt.
+func BenchmarkRAMModel(b *testing.B) {
+	p := model.Default()
+	for i := 0; i < b.N; i++ {
+		for _, k := range model.Kinds() {
+			r := model.RAM(k, p)
+			if r.Total() <= 0 {
+				b.Fatal("non-positive RAM total")
+			}
+		}
+	}
+}

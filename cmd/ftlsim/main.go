@@ -1,0 +1,165 @@
+// Command ftlsim runs one FTL configuration against one workload on the
+// simulated flash device and prints its write-amplification breakdown, RAM
+// footprint and, optionally, a crash-recovery measurement.
+//
+// Usage:
+//
+//	ftlsim -ftl gecko -workload uniform -writes 50000
+//	ftlsim -ftl lazy -workload zipfian -skew 1.3 -crash
+//	ftlsim -ftl all -blocks 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"geckoftl/internal/ftl"
+	"geckoftl/internal/sim"
+	"geckoftl/internal/workload"
+)
+
+func main() {
+	var (
+		ftlName   = flag.String("ftl", "gecko", "FTL to simulate: gecko, dftl, lazy, mu, ib, or all")
+		wlName    = flag.String("workload", "uniform", "workload: uniform, sequential, zipfian, hotcold, mixed")
+		writes    = flag.Int64("writes", 50000, "measured logical writes")
+		blocks    = flag.Int("blocks", 256, "device blocks")
+		pages     = flag.Int("pages", 32, "pages per block")
+		pageSize  = flag.Int("pagesize", 1024, "page size in bytes")
+		overProv  = flag.Float64("overprovision", 0.7, "logical/physical capacity ratio R")
+		cache     = flag.Int("cache", 1024, "LRU cache capacity in mapping entries")
+		skew      = flag.Float64("skew", 1.2, "zipfian skew")
+		readRatio = flag.Float64("reads", 0.3, "read fraction for the mixed workload")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		crash     = flag.Bool("crash", false, "power-fail after the run and measure recovery")
+	)
+	flag.Parse()
+
+	device := sim.DeviceSpec{Blocks: *blocks, PagesPerBlock: *pages, PageSize: *pageSize, OverProvision: *overProv}
+	names := []string{*ftlName}
+	if *ftlName == "all" {
+		names = []string{"gecko", "dftl", "lazy", "mu", "ib"}
+	}
+	for _, name := range names {
+		if err := runOne(name, device, *wlName, *writes, *cache, *skew, *readRatio, *seed, *crash); err != nil {
+			fmt.Fprintf(os.Stderr, "ftlsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func options(name string, cache int) (ftl.Options, error) {
+	switch strings.ToLower(name) {
+	case "gecko", "geckoftl":
+		return ftl.GeckoFTLOptions(cache), nil
+	case "dftl":
+		return ftl.DFTLOptions(cache), nil
+	case "lazy", "lazyftl":
+		return ftl.LazyFTLOptions(cache), nil
+	case "mu", "uftl", "mu-ftl":
+		return ftl.MuFTLOptions(cache), nil
+	case "ib", "ibftl", "ib-ftl":
+		return ftl.IBFTLOptions(cache), nil
+	default:
+		return ftl.Options{}, fmt.Errorf("unknown FTL %q", name)
+	}
+}
+
+func generator(name string, logicalPages int64, skew, readRatio float64, seed int64) (workload.Generator, error) {
+	switch strings.ToLower(name) {
+	case "uniform":
+		return workload.NewUniform(logicalPages, seed), nil
+	case "sequential":
+		return workload.NewSequential(logicalPages), nil
+	case "zipfian":
+		return workload.NewZipfian(logicalPages, skew, seed), nil
+	case "hotcold":
+		return workload.NewHotCold(logicalPages, 0.2, 0.8, seed), nil
+	case "mixed":
+		return workload.NewMixed(workload.NewUniform(logicalPages, seed), logicalPages, readRatio, seed+1), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func runOne(name string, device sim.DeviceSpec, wlName string, writes int64, cache int, skew, readRatio float64, seed int64, crash bool) error {
+	opts, err := options(name, cache)
+	if err != nil {
+		return err
+	}
+	logical := int64(device.Config().LogicalPages())
+	gen, err := generator(wlName, logical, skew, readRatio, seed)
+	if err != nil {
+		return err
+	}
+	result, err := sim.Run(sim.RunOptions{
+		Device:        device,
+		FTLOptions:    opts,
+		Workload:      gen,
+		MeasureWrites: writes,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s workload, %d writes:\n", result.Name, wlName, writes)
+	fmt.Printf("  write-amplification: %.3f (user %.3f, translation %.3f, page-validity %.3f)\n",
+		result.WA, result.UserWA, result.TranslationWA, result.ValidityWA)
+	fmt.Printf("  integrated RAM:      %d bytes\n", result.RAMBytes)
+	fmt.Printf("  GC operations:       %d\n", result.GCOperations)
+	fmt.Printf("  simulated time:      %s\n", result.SimulatedTime.Round(time.Millisecond))
+
+	if crash {
+		if err := runCrash(name, device, wlName, writes, cache, skew, readRatio, seed); err != nil {
+			return err
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+// runCrash repeats the workload on a fresh device, power-fails mid-stream and
+// reports the recovery cost.
+func runCrash(name string, device sim.DeviceSpec, wlName string, writes int64, cache int, skew, readRatio float64, seed int64) error {
+	opts, err := options(name, cache)
+	if err != nil {
+		return err
+	}
+	dev, err := device.NewDevice()
+	if err != nil {
+		return err
+	}
+	f, err := ftl.New(dev, opts)
+	if err != nil {
+		return err
+	}
+	gen, err := generator(wlName, f.LogicalPages(), skew, readRatio, seed)
+	if err != nil {
+		return err
+	}
+	for i := int64(0); i < writes; i++ {
+		op := gen.Next()
+		if op.Kind == workload.OpRead {
+			if err := f.Read(op.Page); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := f.Write(op.Page); err != nil {
+			return err
+		}
+	}
+	if err := f.PowerFail(); err != nil {
+		return err
+	}
+	report, err := f.Recover()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  power-failure recovery: %s (%d spare reads, %d page reads, %d page writes, %d entries recreated, battery=%v)\n",
+		report.Duration.Round(time.Microsecond), report.SpareReads, report.PageReads, report.PageWrites,
+		report.RecoveredMappingEntries, report.UsedBattery)
+	return nil
+}

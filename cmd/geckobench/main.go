@@ -1,0 +1,253 @@
+// Command geckobench regenerates every table and figure of the GeckoFTL
+// paper's evaluation section as plain-text rows.
+//
+// Usage:
+//
+//	geckobench -experiment all
+//	geckobench -experiment fig9 -writes 100000
+//	geckobench -experiment summary
+//
+// Experiments: fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec,
+// fig13wa, fig14, recovery, summary, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"geckoftl/internal/sim"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment to run (fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec, fig13wa, fig14, recovery, summary, all)")
+		writes     = flag.Int64("writes", 0, "measured logical writes per simulation (0 = default)")
+		blocks     = flag.Int("blocks", 0, "simulated device blocks (0 = default)")
+		quick      = flag.Bool("quick", false, "use the small test-sized scale")
+	)
+	flag.Parse()
+
+	scale := sim.FullScale()
+	if *quick {
+		scale = sim.QuickScale()
+	}
+	if *writes > 0 {
+		scale.MeasureWrites = *writes
+	}
+	if *blocks > 0 {
+		scale.Device.Blocks = *blocks
+	}
+
+	if err := run(strings.ToLower(*experiment), scale); err != nil {
+		fmt.Fprintf(os.Stderr, "geckobench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, scale sim.ExperimentScale) error {
+	all := experiment == "all"
+	ran := false
+	for _, e := range []struct {
+		name string
+		fn   func(sim.ExperimentScale) error
+	}{
+		{"fig1", figure1},
+		{"table1", table1},
+		{"fig9", figure9},
+		{"fig10", figure10},
+		{"fig11", figure11},
+		{"fig12", figure12},
+		{"fig13ram", figure13RAM},
+		{"fig13rec", figure13Recovery},
+		{"fig13wa", figure13WA},
+		{"fig14", figure14},
+		{"recovery", recovery},
+		{"summary", summary},
+	} {
+		if all || experiment == e.name {
+			ran = true
+			if err := e.fn(scale); err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+			fmt.Println()
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}
+
+func figure1(sim.ExperimentScale) error {
+	fmt.Println("Figure 1: LazyFTL integrated RAM and recovery time vs device capacity (analytical, full scale)")
+	fmt.Printf("%-12s %16s %16s\n", "capacity", "RAM (MB)", "recovery (s)")
+	for _, p := range sim.Figure1() {
+		fmt.Printf("%-12s %16.1f %16.1f\n",
+			formatBytes(p.CapacityBytes), float64(p.RAMBytes)/(1<<20), p.Recovery.Seconds())
+	}
+	return nil
+}
+
+func table1(sim.ExperimentScale) error {
+	fmt.Println("Table 1: per-operation IO costs and RAM of page-validity schemes (analytical, full scale)")
+	fmt.Printf("%-20s %14s %14s %12s %12s %14s\n", "technique", "update reads", "update writes", "GC reads", "GC writes", "RAM")
+	for _, r := range sim.Table1() {
+		fmt.Printf("%-20s %14.5f %14.5f %12.3f %12.5f %14s\n",
+			r.Technique, r.UpdateReads, r.UpdateWrites, r.QueryReads, r.QueryWrites, formatBytes(r.RAMBytes))
+	}
+	return nil
+}
+
+func figure9(scale sim.ExperimentScale) error {
+	fmt.Println("Figure 9: Logarithmic Gecko vs flash-resident PVB under uniform random updates (simulation)")
+	rows, err := sim.Figure9(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %12s %12s %12s %10s\n", "scheme", "flash reads", "flash writes", "WA", "GC queries")
+	for _, r := range rows {
+		fmt.Printf("%-16s %12d %12d %12.4f %10d\n", r.Name, r.FlashReads, r.FlashWrites, r.WA, r.GCQueries)
+	}
+	return nil
+}
+
+func figure10(scale sim.ExperimentScale) error {
+	fmt.Println("Figure 10: entry-partitioning makes write-amplification independent of block size (simulation)")
+	rows, err := sim.Figure10(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %22s %12s\n", "block size", "partitioning", "WA")
+	for _, r := range rows {
+		label := fmt.Sprintf("S=%d", r.PartitionFactor)
+		if r.PartitionFactor == -1 {
+			label = "recommended"
+		}
+		fmt.Printf("%-10d %22s %12.4f\n", r.BlockSize, label, r.WA)
+	}
+	return nil
+}
+
+func figure11(scale sim.ExperimentScale) error {
+	fmt.Println("Figure 11: write-amplification vs number of blocks K (simulation)")
+	rows, err := sim.Figure11(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %16s %16s\n", "blocks", "gecko WA", "flash-PVB WA")
+	for _, r := range rows {
+		fmt.Printf("%-10d %16.4f %16.4f\n", r.Blocks, r.GeckoWA, r.PVBWA)
+	}
+	return nil
+}
+
+func figure12(scale sim.ExperimentScale) error {
+	fmt.Println("Figure 12: over-provisioning vs Logarithmic Gecko IO (simulation)")
+	rows, err := sim.Figure12(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %12s %12s %12s\n", "R", "WA", "GC queries", "flash reads")
+	for _, r := range rows {
+		fmt.Printf("%-6.2f %12.4f %12d %12d\n", r.OverProvision, r.WA, r.GCQueries, r.FlashReads)
+	}
+	return nil
+}
+
+func figure13RAM(sim.ExperimentScale) error {
+	fmt.Println("Figure 13 (top): integrated RAM breakdown per FTL (analytical, full scale)")
+	fmt.Printf("%-10s %12s %12s %12s %12s %14s %12s\n", "ftl", "cache", "GMD", "PVB", "BVC", "page-validity", "total")
+	for _, b := range sim.Figure13RAM() {
+		fmt.Printf("%-10s %12s %12s %12s %12s %14s %12s\n",
+			b.FTL, formatBytes(b.Cache), formatBytes(b.GMD), formatBytes(b.PVB),
+			formatBytes(b.BVC), formatBytes(b.PageValidity), formatBytes(b.Total()))
+	}
+	return nil
+}
+
+func figure13Recovery(sim.ExperimentScale) error {
+	fmt.Println("Figure 13 (middle): recovery time breakdown per FTL (analytical, full scale)")
+	fmt.Printf("%-10s %12s %12s %12s %14s %12s %10s %10s\n", "ftl", "block scan", "GMD", "PVB", "page-validity", "LRU cache", "total", "battery")
+	for _, b := range sim.Figure13Recovery() {
+		fmt.Printf("%-10s %12s %12s %12s %14s %12s %10s %10v\n",
+			b.FTL, fmtDur(b.BlockScan), fmtDur(b.GMD), fmtDur(b.PVB),
+			fmtDur(b.PageValidity), fmtDur(b.LRUCache), fmtDur(b.Total()), b.Battery)
+	}
+	return nil
+}
+
+func figure13WA(scale sim.ExperimentScale) error {
+	fmt.Println("Figure 13 (bottom): write-amplification breakdown per FTL (simulation)")
+	results, err := sim.Figure13WA(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sim.FormatTable("", results))
+	return nil
+}
+
+func figure14(scale sim.ExperimentScale) error {
+	fmt.Println("Figure 14: equal RAM budget; freed PVB RAM used as extra cache (simulation)")
+	rows, err := sim.Figure14(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %14s %10s %10s %12s %10s\n", "ftl", "cache entries", "WA", "user", "translation", "validity")
+	for _, r := range rows {
+		fmt.Printf("%-10s %14d %10.3f %10.3f %12.3f %10.3f\n",
+			r.Name, r.CacheEntries, r.WA, r.UserWA, r.TranslationWA, r.ValidityWA)
+	}
+	return nil
+}
+
+func recovery(scale sim.ExperimentScale) error {
+	fmt.Println("Recovery simulation: crash mid-workload, measure recovery IO and time")
+	rows, err := sim.RecoverySimulation(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %14s %12s %12s %12s %10s %10s\n", "ftl", "duration", "spare reads", "page reads", "page writes", "entries", "battery")
+	for _, r := range rows {
+		fmt.Printf("%-10s %14s %12d %12d %12d %10d %10v\n",
+			r.Name, fmtDur(r.Duration), r.SpareReads, r.PageReads, r.PageWrites, r.RecoveredMappingEntries, r.UsedBattery)
+	}
+	return nil
+}
+
+func summary(scale sim.ExperimentScale) error {
+	fmt.Println("Headline claims")
+	s, err := sim.Headlines(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  page-validity RAM reduction vs RAM-resident PVB:   %5.1f%%  (paper: 95%%)\n", 100*s.RAMReduction)
+	fmt.Printf("  recovery-time reduction vs LazyFTL:                %5.1f%%  (paper: >= 51%%)\n", 100*s.RecoveryReduction)
+	fmt.Printf("  page-validity write-amplification reduction vs\n")
+	fmt.Printf("  flash-resident PVB:                                %5.1f%%  (paper: 98%%)\n", 100*s.ValidityWAReduction)
+	return nil
+}
+
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<40:
+		return fmt.Sprintf("%.1fTB", float64(n)/(1<<40))
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	if d >= time.Second {
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+	return d.Round(time.Microsecond).String()
+}

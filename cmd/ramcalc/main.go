@@ -1,0 +1,109 @@
+// Command ramcalc evaluates the analytical integrated-RAM and recovery-time
+// models at arbitrary device capacities, reproducing the numbers behind
+// Figure 1 and Figure 13 (top and middle) for any configuration.
+//
+// Usage:
+//
+//	ramcalc -capacity 2TB
+//	ramcalc -capacity 512GB -cache 1048576 -pagesize 8192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"geckoftl/internal/model"
+)
+
+func main() {
+	var (
+		capacity = flag.String("capacity", "2TB", "device capacity (e.g. 128GB, 2TB)")
+		pageSize = flag.Int64("pagesize", 4096, "page size in bytes")
+		pages    = flag.Int64("pages", 128, "pages per block")
+		cacheEnt = flag.Int64("cache", 1<<19, "LRU cache capacity in entries")
+		overProv = flag.Float64("overprovision", 0.7, "logical/physical ratio R")
+	)
+	flag.Parse()
+
+	bytes, err := parseCapacity(*capacity)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ramcalc: %v\n", err)
+		os.Exit(1)
+	}
+	p := model.Default()
+	p.PageSize = *pageSize
+	p.PagesPerBlock = *pages
+	p.CacheEntries = *cacheEnt
+	p.OverProvision = *overProv
+	p = p.WithCapacity(bytes)
+	if err := p.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "ramcalc: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("device: %s (K=%d blocks, B=%d pages/block, P=%d bytes, R=%.2f, C=%d cache entries)\n\n",
+		*capacity, p.Blocks, p.PagesPerBlock, p.PageSize, p.OverProvision, p.CacheEntries)
+
+	fmt.Println("integrated RAM requirement:")
+	fmt.Printf("  %-10s %12s %12s %12s %12s %14s %12s\n", "ftl", "cache", "GMD", "PVB", "BVC", "page-validity", "total")
+	for _, b := range model.RAMAll(p) {
+		fmt.Printf("  %-10s %12s %12s %12s %12s %14s %12s\n",
+			b.FTL, mb(b.Cache), mb(b.GMD), mb(b.PVB), mb(b.BVC), mb(b.PageValidity), mb(b.Total()))
+	}
+
+	fmt.Println("\nrecovery time after power failure:")
+	fmt.Printf("  %-10s %12s %12s %12s %14s %12s %12s %8s\n", "ftl", "block scan", "GMD", "PVB", "page-validity", "LRU cache", "total", "battery")
+	for _, b := range model.RecoveryAll(p) {
+		fmt.Printf("  %-10s %12s %12s %12s %14s %12s %12s %8v\n",
+			b.FTL, sec(b.BlockScan), sec(b.GMD), sec(b.PVB), sec(b.PageValidity), sec(b.LRUCache), sec(b.Total()), b.Battery)
+	}
+
+	fmt.Println("\nheadline reductions for GeckoFTL:")
+	fmt.Printf("  page-validity RAM vs RAM-resident PVB: %.1f%%\n", 100*model.RAMReductionVsPVB(model.GeckoFTL, p))
+	fmt.Printf("  recovery time vs LazyFTL:              %.1f%%\n", 100*model.RecoveryReductionVsLazyFTL(model.GeckoFTL, p))
+}
+
+func parseCapacity(s string) (int64, error) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "TB"):
+		mult = 1 << 40
+		s = strings.TrimSuffix(s, "TB")
+	case strings.HasSuffix(s, "GB"):
+		mult = 1 << 30
+		s = strings.TrimSuffix(s, "GB")
+	case strings.HasSuffix(s, "MB"):
+		mult = 1 << 20
+		s = strings.TrimSuffix(s, "MB")
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad capacity %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+func mb(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func sec(d time.Duration) string {
+	if d >= time.Second {
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+	return d.Round(time.Millisecond).String()
+}

@@ -1,0 +1,90 @@
+// Power-failure recovery walkthrough: run GeckoFTL and LazyFTL through the
+// same workload, pull the plug, and compare what recovery has to do
+// (Section 4.3 and Appendix C of the paper).
+//
+// Run with:
+//
+//	go run ./examples/powerfail_recovery
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"geckoftl/internal/flash"
+	"geckoftl/internal/ftl"
+	"geckoftl/internal/workload"
+)
+
+func main() {
+	for _, build := range []struct {
+		name string
+		make func(*flash.Device, int) (*ftl.FTL, error)
+	}{
+		{"GeckoFTL", ftl.NewGeckoFTL},
+		{"LazyFTL", ftl.NewLazyFTL},
+		{"DFTL (battery)", ftl.NewDFTL},
+	} {
+		if err := crashAndRecover(build.name, build.make); err != nil {
+			log.Fatalf("%s: %v", build.name, err)
+		}
+	}
+}
+
+func crashAndRecover(name string, make func(*flash.Device, int) (*ftl.FTL, error)) error {
+	cfg := flash.ScaledConfig(256)
+	cfg.PagesPerBlock = 32
+	cfg.PageSize = 1024
+	dev, err := flash.NewDevice(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := make(dev, 2048)
+	if err != nil {
+		return err
+	}
+
+	// Run a random update workload long enough to fill the device and leave
+	// plenty of dirty mapping entries in the cache.
+	gen := workload.NewUniform(f.LogicalPages(), 99)
+	const writes = 25000
+	for i := 0; i < writes; i++ {
+		if err := f.Write(gen.Next().Page); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s: %d writes issued, %d dirty mapping entries cached, %d checkpoints taken\n",
+		name, writes, f.DirtyEntries(), f.Stats().Checkpoints)
+
+	// Pull the plug. All integrated RAM is lost; flash survives.
+	if err := f.PowerFail(); err != nil {
+		return err
+	}
+	report, err := f.Recover()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  recovery took %s of simulated device time\n", report.Duration.Round(time.Microsecond))
+	fmt.Printf("    spare-area reads: %d, page reads: %d, page writes: %d\n",
+		report.SpareReads, report.PageReads, report.PageWrites)
+	if report.UsedBattery {
+		fmt.Println("    dirty mapping entries were synchronized on battery power before shutdown")
+	} else {
+		fmt.Printf("    mapping entries recreated by the backwards scan: %d\n", report.RecoveredMappingEntries)
+		if report.SynchronizedBeforeResume {
+			fmt.Println("    recovered entries were synchronized with the translation table BEFORE resuming")
+		} else {
+			fmt.Println("    synchronization deferred until after normal operation resumed (GeckoFTL's lazy recovery)")
+		}
+	}
+
+	// Normal operation continues: a few more updates after recovery.
+	for i := 0; i < 1000; i++ {
+		if err := f.Write(gen.Next().Page); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("  post-recovery writes succeeded; device write-amplification stays accounted per purpose\n\n")
+	return nil
+}

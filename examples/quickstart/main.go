@@ -1,0 +1,74 @@
+// Quickstart: create a simulated flash device, mount GeckoFTL on it, issue
+// reads and writes, and inspect the write-amplification and RAM statistics.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"geckoftl/internal/flash"
+	"geckoftl/internal/ftl"
+	"geckoftl/internal/workload"
+)
+
+func main() {
+	// A small simulated device: 256 blocks of 32 pages of 1 KB, with the
+	// paper's default 70% logical-to-physical ratio and latency model.
+	cfg := flash.ScaledConfig(256)
+	cfg.PagesPerBlock = 32
+	cfg.PageSize = 1024
+	dev, err := flash.NewDevice(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Mount GeckoFTL with a 1024-entry mapping cache.
+	f, err := ftl.NewGeckoFTL(dev, 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device: %s, %d logical pages exposed to the application\n", cfg, f.LogicalPages())
+
+	// Write every logical page once, then update random pages for a while so
+	// that garbage-collection kicks in.
+	for lpn := int64(0); lpn < f.LogicalPages(); lpn++ {
+		if err := f.Write(flash.LPN(lpn)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	gen := workload.NewUniform(f.LogicalPages(), 42)
+	dev.ResetCounters()
+	const updates = 20000
+	for i := 0; i < updates; i++ {
+		if err := f.Write(gen.Next().Page); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Read a few pages back.
+	for lpn := flash.LPN(0); lpn < 10; lpn++ {
+		if err := f.Read(lpn); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	counters := dev.Counters()
+	delta := cfg.Latency.WriteReadRatio()
+	fmt.Printf("\nafter %d random updates:\n", updates)
+	fmt.Printf("  write-amplification:        %.3f\n", counters.WriteAmplification(updates, delta))
+	fmt.Printf("    user data:                %.3f\n",
+		counters.PurposeWriteAmplification(flash.PurposeUserWrite, updates, delta)+
+			counters.PurposeWriteAmplification(flash.PurposeGCMigration, updates, delta))
+	fmt.Printf("    translation metadata:     %.3f\n",
+		counters.PurposeWriteAmplification(flash.PurposeTranslation, updates, delta))
+	fmt.Printf("    page-validity metadata:   %.3f\n",
+		counters.PurposeWriteAmplification(flash.PurposePageValidity, updates, delta))
+	fmt.Printf("  integrated RAM:             %d bytes\n", f.RAMBytes())
+	fmt.Printf("  garbage-collections:        %d\n", f.Stats().GCOperations)
+	fmt.Printf("  checkpoints:                %d\n", f.Stats().Checkpoints)
+	fmt.Printf("  simulated device time:      %s\n", dev.SimulatedTime().Round(time.Millisecond))
+}

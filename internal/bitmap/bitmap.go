@@ -1,0 +1,248 @@
+// Package bitmap provides the fixed-size bitmaps that page-validity metadata
+// is built from.
+//
+// A Gecko entry's value is "a bitmap of size B, where the bit at offset i
+// indicates if the physical page at offset i in the block is invalid"
+// (Section 3 of the GeckoFTL paper). GC queries and merge operations combine
+// such bitmaps with bitwise OR, and the Blocks Validity Counter needs their
+// population counts, so those are the operations this package optimizes.
+package bitmap
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Bitmap is a fixed-size bit array. The zero value is an empty bitmap of size
+// zero; use New to create one with a given number of bits.
+//
+// Bitmap is not safe for concurrent use.
+type Bitmap struct {
+	bits  int
+	words []uint64
+}
+
+// New returns a bitmap of the given number of bits, all cleared.
+// It panics if bits is negative.
+func New(bits int) *Bitmap {
+	if bits < 0 {
+		panic(fmt.Sprintf("bitmap: negative size %d", bits))
+	}
+	return &Bitmap{
+		bits:  bits,
+		words: make([]uint64, (bits+wordBits-1)/wordBits),
+	}
+}
+
+// FromWords builds a bitmap of the given size backed by a copy of the given
+// words. Bits beyond the size are cleared. It is used when decoding bitmaps
+// that were serialized into Gecko entries.
+func FromWords(bits int, words []uint64) *Bitmap {
+	b := New(bits)
+	copy(b.words, words)
+	b.clearTail()
+	return b
+}
+
+// clearTail zeroes any bits in the last word beyond the bitmap size so that
+// PopCount, Equal and Words stay consistent.
+func (b *Bitmap) clearTail() {
+	if b.bits%wordBits == 0 || len(b.words) == 0 {
+		return
+	}
+	last := len(b.words) - 1
+	mask := (uint64(1) << uint(b.bits%wordBits)) - 1
+	b.words[last] &= mask
+}
+
+// Len returns the number of bits in the bitmap.
+func (b *Bitmap) Len() int { return b.bits }
+
+// Words returns a copy of the underlying words. The last word has any bits
+// beyond Len cleared.
+func (b *Bitmap) Words() []uint64 {
+	out := make([]uint64, len(b.words))
+	copy(out, b.words)
+	return out
+}
+
+// SizeBytes returns the in-memory footprint of the bit storage in bytes,
+// rounded up to whole words. It is what the RAM models charge for a
+// RAM-resident PVB.
+func (b *Bitmap) SizeBytes() int { return len(b.words) * 8 }
+
+func (b *Bitmap) check(i int) {
+	if i < 0 || i >= b.bits {
+		panic(fmt.Sprintf("bitmap: index %d out of range [0,%d)", i, b.bits))
+	}
+}
+
+// Set sets bit i to 1.
+func (b *Bitmap) Set(i int) {
+	b.check(i)
+	b.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear sets bit i to 0.
+func (b *Bitmap) Clear(i int) {
+	b.check(i)
+	b.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Get reports whether bit i is set.
+func (b *Bitmap) Get(i int) bool {
+	b.check(i)
+	return b.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// SetAll sets every bit.
+func (b *Bitmap) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.clearTail()
+}
+
+// Reset clears every bit.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// PopCount returns the number of set bits.
+func (b *Bitmap) PopCount() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Any reports whether at least one bit is set.
+func (b *Bitmap) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// None reports whether no bits are set.
+func (b *Bitmap) None() bool { return !b.Any() }
+
+// Or merges other into b with bitwise OR. This is the merge operator used by
+// GC queries and run merges (Algorithm 3). It panics if the sizes differ.
+func (b *Bitmap) Or(other *Bitmap) {
+	if b.bits != other.bits {
+		panic(fmt.Sprintf("bitmap: OR of mismatched sizes %d and %d", b.bits, other.bits))
+	}
+	for i := range b.words {
+		b.words[i] |= other.words[i]
+	}
+}
+
+// OrRange merges a sub-bitmap into bits [offset, offset+other.Len()).
+// Entry-partitioning (Section 3.3) stores B/S-bit chunks that must be folded
+// back into a full B-bit bitmap at query time.
+func (b *Bitmap) OrRange(offset int, other *Bitmap) {
+	if offset < 0 || offset+other.bits > b.bits {
+		panic(fmt.Sprintf("bitmap: OrRange [%d,%d) out of range [0,%d)", offset, offset+other.bits, b.bits))
+	}
+	for i := 0; i < other.bits; i++ {
+		if other.Get(i) {
+			b.Set(offset + i)
+		}
+	}
+}
+
+// Slice returns a copy of bits [offset, offset+length) as a new bitmap.
+func (b *Bitmap) Slice(offset, length int) *Bitmap {
+	if offset < 0 || length < 0 || offset+length > b.bits {
+		panic(fmt.Sprintf("bitmap: Slice [%d,%d) out of range [0,%d)", offset, offset+length, b.bits))
+	}
+	out := New(length)
+	for i := 0; i < length; i++ {
+		if b.Get(offset + i) {
+			out.Set(i)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (b *Bitmap) Clone() *Bitmap {
+	out := New(b.bits)
+	copy(out.words, b.words)
+	return out
+}
+
+// Equal reports whether two bitmaps have the same size and contents.
+func (b *Bitmap) Equal(other *Bitmap) bool {
+	if b.bits != other.bits {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEachSet calls fn for every set bit in ascending order. It stops early if
+// fn returns false.
+func (b *Bitmap) ForEachSet(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			i := wi*wordBits + tz
+			if i >= b.bits {
+				return
+			}
+			if !fn(i) {
+				return
+			}
+			w &^= 1 << uint(tz)
+		}
+	}
+}
+
+// SetBits returns the indices of all set bits in ascending order.
+func (b *Bitmap) SetBits() []int {
+	out := make([]int, 0, b.PopCount())
+	b.ForEachSet(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// String renders the bitmap as a string of '0' and '1' characters, bit 0
+// first, e.g. "01000010". Large bitmaps are abbreviated.
+func (b *Bitmap) String() string {
+	const maxRender = 256
+	n := b.bits
+	truncated := false
+	if n > maxRender {
+		n = maxRender
+		truncated = true
+	}
+	var sb strings.Builder
+	sb.Grow(n + 16)
+	for i := 0; i < n; i++ {
+		if b.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	if truncated {
+		fmt.Fprintf(&sb, "...(%d bits)", b.bits)
+	}
+	return sb.String()
+}

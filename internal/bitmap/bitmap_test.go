@@ -1,0 +1,378 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 129, 1000} {
+		b := New(n)
+		if b.Len() != n {
+			t.Errorf("New(%d).Len() = %d", n, b.Len())
+		}
+		if b.PopCount() != 0 {
+			t.Errorf("New(%d) has %d set bits, want 0", n, b.PopCount())
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetClear(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Errorf("bit %d set before Set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.PopCount(); got != 8 {
+		t.Errorf("PopCount = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Error("bit 64 still set after Clear")
+	}
+	if got := b.PopCount(); got != 7 {
+		t.Errorf("PopCount = %d, want 7", got)
+	}
+}
+
+func TestSetIsIdempotent(t *testing.T) {
+	b := New(10)
+	b.Set(3)
+	b.Set(3)
+	if got := b.PopCount(); got != 1 {
+		t.Errorf("PopCount after double Set = %d, want 1", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := New(8)
+	for _, i := range []int{-1, 8, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) did not panic", i)
+				}
+			}()
+			b.Get(i)
+		}()
+	}
+}
+
+func TestSetAllResetAnyNone(t *testing.T) {
+	b := New(70)
+	if b.Any() {
+		t.Error("fresh bitmap reports Any")
+	}
+	if !b.None() {
+		t.Error("fresh bitmap does not report None")
+	}
+	b.SetAll()
+	if got := b.PopCount(); got != 70 {
+		t.Errorf("PopCount after SetAll = %d, want 70", got)
+	}
+	if !b.Any() || b.None() {
+		t.Error("SetAll bitmap should report Any and not None")
+	}
+	b.Reset()
+	if b.Any() {
+		t.Error("Reset bitmap reports Any")
+	}
+}
+
+func TestSetAllClearsTailBits(t *testing.T) {
+	// A 65-bit bitmap uses two words; SetAll must not count the 63 unused
+	// bits of the second word.
+	b := New(65)
+	b.SetAll()
+	if got := b.PopCount(); got != 65 {
+		t.Errorf("PopCount = %d, want 65", got)
+	}
+}
+
+func TestOr(t *testing.T) {
+	a := New(128)
+	b := New(128)
+	a.Set(1)
+	a.Set(100)
+	b.Set(2)
+	b.Set(100)
+	a.Or(b)
+	want := []int{1, 2, 100}
+	got := a.SetBits()
+	if len(got) != len(want) {
+		t.Fatalf("SetBits = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SetBits = %v, want %v", got, want)
+		}
+	}
+	// OR must not modify the argument.
+	if b.PopCount() != 2 {
+		t.Errorf("argument modified by Or: %v", b.SetBits())
+	}
+}
+
+func TestOrMismatchedSizesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Or with mismatched sizes did not panic")
+		}
+	}()
+	New(8).Or(New(16))
+}
+
+func TestOrRangeAndSlice(t *testing.T) {
+	full := New(128)
+	part := New(32)
+	part.Set(0)
+	part.Set(31)
+	full.OrRange(64, part)
+	if !full.Get(64) || !full.Get(95) {
+		t.Errorf("OrRange did not set expected bits: %v", full.SetBits())
+	}
+	if full.PopCount() != 2 {
+		t.Errorf("PopCount = %d, want 2", full.PopCount())
+	}
+	back := full.Slice(64, 32)
+	if !back.Equal(part) {
+		t.Errorf("Slice round-trip mismatch: %v vs %v", back.SetBits(), part.SetBits())
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	a := New(100)
+	a.Set(7)
+	a.Set(99)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal to original")
+	}
+	b.Set(50)
+	if a.Equal(b) {
+		t.Fatal("modifying clone affected equality")
+	}
+	if a.Get(50) {
+		t.Fatal("modifying clone affected original")
+	}
+	if a.Equal(New(101)) {
+		t.Fatal("bitmaps of different sizes reported equal")
+	}
+}
+
+func TestForEachSetEarlyStop(t *testing.T) {
+	b := New(256)
+	for i := 0; i < 256; i += 16 {
+		b.Set(i)
+	}
+	var visited []int
+	b.ForEachSet(func(i int) bool {
+		visited = append(visited, i)
+		return len(visited) < 3
+	})
+	if len(visited) != 3 {
+		t.Fatalf("visited %d bits, want 3", len(visited))
+	}
+	for i, v := range visited {
+		if v != i*16 {
+			t.Errorf("visited[%d] = %d, want %d", i, v, i*16)
+		}
+	}
+}
+
+func TestFromWordsClearsTail(t *testing.T) {
+	words := []uint64{^uint64(0), ^uint64(0)}
+	b := FromWords(70, words)
+	if got := b.PopCount(); got != 70 {
+		t.Errorf("PopCount = %d, want 70", got)
+	}
+	if b.Len() != 70 {
+		t.Errorf("Len = %d, want 70", b.Len())
+	}
+}
+
+func TestWordsRoundTrip(t *testing.T) {
+	b := New(130)
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	c := FromWords(130, b.Words())
+	if !b.Equal(c) {
+		t.Fatalf("Words/FromWords round trip mismatch")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	cases := []struct{ bits, want int }{
+		{0, 0}, {1, 8}, {64, 8}, {65, 16}, {128, 16}, {129, 24},
+	}
+	for _, c := range cases {
+		if got := New(c.bits).SizeBytes(); got != c.want {
+			t.Errorf("New(%d).SizeBytes() = %d, want %d", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	b := New(8)
+	b.Set(1)
+	b.Set(6)
+	if got := b.String(); got != "01000010" {
+		t.Errorf("String = %q, want %q", got, "01000010")
+	}
+	big := New(1024)
+	if len(big.String()) >= 1024 {
+		t.Error("String of large bitmap not abbreviated")
+	}
+}
+
+// Property: PopCount equals the number of distinct indices set.
+func TestQuickPopCountMatchesDistinctSets(t *testing.T) {
+	f := func(indices []uint16) bool {
+		b := New(1 << 16)
+		distinct := map[int]bool{}
+		for _, idx := range indices {
+			b.Set(int(idx))
+			distinct[int(idx)] = true
+		}
+		return b.PopCount() == len(distinct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OR is commutative on the set of set-bits.
+func TestQuickOrCommutative(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a1, b1 := New(256), New(256)
+		for _, x := range xs {
+			a1.Set(int(x))
+		}
+		for _, y := range ys {
+			b1.Set(int(y))
+		}
+		a2, b2 := a1.Clone(), b1.Clone()
+		a1.Or(b1) // a1 = a OR b
+		b2.Or(a2) // b2 = b OR a
+		return a1.Equal(b2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Get after Set reflects exactly the inserted set, for random
+// operations.
+func TestQuickSetClearModel(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n)%500 + 1
+		b := New(size)
+		model := make(map[int]bool)
+		for i := 0; i < 200; i++ {
+			idx := rng.Intn(size)
+			if rng.Intn(2) == 0 {
+				b.Set(idx)
+				model[idx] = true
+			} else {
+				b.Clear(idx)
+				delete(model, idx)
+			}
+		}
+		for i := 0; i < size; i++ {
+			if b.Get(i) != model[i] {
+				return false
+			}
+		}
+		return b.PopCount() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OrRange(off, b.Slice(off, len)) is idempotent with respect to the
+// bits of the slice.
+func TestQuickSliceOrRangeRoundTrip(t *testing.T) {
+	f := func(xs []uint8, offRaw uint8) bool {
+		full := New(512)
+		for _, x := range xs {
+			full.Set(int(x) * 2)
+		}
+		off := int(offRaw) % 384
+		part := full.Slice(off, 128)
+		rebuilt := New(512)
+		rebuilt.OrRange(off, part)
+		// Every bit in rebuilt must be set in full and lie in the window.
+		ok := true
+		rebuilt.ForEachSet(func(i int) bool {
+			if i < off || i >= off+128 || !full.Get(i) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		// Every bit of full inside the window must be in rebuilt.
+		full.ForEachSet(func(i int) bool {
+			if i >= off && i < off+128 && !rebuilt.Get(i) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	bm := New(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bm.Set(i & (1<<16 - 1))
+	}
+}
+
+func BenchmarkOr(b *testing.B) {
+	x := New(1 << 16)
+	y := New(1 << 16)
+	for i := 0; i < 1<<16; i += 3 {
+		y.Set(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Or(y)
+	}
+}
+
+func BenchmarkPopCount(b *testing.B) {
+	x := New(1 << 16)
+	for i := 0; i < 1<<16; i += 2 {
+		x.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if x.PopCount() != 1<<15 {
+			b.Fatal("bad popcount")
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package flash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressComposition(t *testing.T) {
+	const b = 128
+	cases := []struct {
+		block  BlockID
+		offset int
+		ppn    PPN
+	}{
+		{0, 0, 0},
+		{0, 127, 127},
+		{1, 0, 128},
+		{3, 5, 389},
+		{1000, 64, 128064},
+	}
+	for _, c := range cases {
+		if got := PPNOf(c.block, c.offset, b); got != c.ppn {
+			t.Errorf("PPNOf(%d,%d) = %d, want %d", c.block, c.offset, got, c.ppn)
+		}
+		addr := Decompose(c.ppn, b)
+		if addr.Block != c.block || addr.Offset != c.offset {
+			t.Errorf("Decompose(%d) = %v, want %d:%d", c.ppn, addr, c.block, c.offset)
+		}
+		if BlockOf(c.ppn, b) != c.block {
+			t.Errorf("BlockOf(%d) = %d, want %d", c.ppn, BlockOf(c.ppn, b), c.block)
+		}
+		if OffsetOf(c.ppn, b) != c.offset {
+			t.Errorf("OffsetOf(%d) = %d, want %d", c.ppn, OffsetOf(c.ppn, b), c.offset)
+		}
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if got := (Addr{Block: 7, Offset: 3}).String(); got != "7:3" {
+		t.Errorf("Addr.String = %q, want %q", got, "7:3")
+	}
+}
+
+// Property: Decompose is the inverse of PPNOf for every valid geometry.
+func TestQuickAddressRoundTrip(t *testing.T) {
+	f := func(blockRaw uint32, offsetRaw uint16, bRaw uint8) bool {
+		pagesPerBlock := int(bRaw)%512 + 1
+		block := BlockID(blockRaw % (1 << 22))
+		offset := int(offsetRaw) % pagesPerBlock
+		ppn := PPNOf(block, offset, pagesPerBlock)
+		addr := Decompose(ppn, pagesPerBlock)
+		return addr.Block == block && addr.Offset == offset &&
+			BlockOf(ppn, pagesPerBlock) == block && OffsetOf(ppn, pagesPerBlock) == offset
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PPNs are dense and ordered: consecutive offsets map to
+// consecutive PPNs and block boundaries advance by pagesPerBlock.
+func TestQuickPPNDensity(t *testing.T) {
+	f := func(blockRaw uint16, bRaw uint8) bool {
+		pagesPerBlock := int(bRaw)%255 + 2
+		block := BlockID(blockRaw)
+		first := PPNOf(block, 0, pagesPerBlock)
+		last := PPNOf(block, pagesPerBlock-1, pagesPerBlock)
+		nextBlock := PPNOf(block+1, 0, pagesPerBlock)
+		return int64(last)-int64(first) == int64(pagesPerBlock-1) && int64(nextBlock)-int64(last) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockTypeString(t *testing.T) {
+	cases := map[BlockType]string{
+		BlockFree:        "free",
+		BlockUser:        "user",
+		BlockTranslation: "translation",
+		BlockGecko:       "gecko",
+		BlockType(42):    "invalid",
+	}
+	for bt, want := range cases {
+		if got := bt.String(); got != want {
+			t.Errorf("BlockType(%d).String() = %q, want %q", bt, got, want)
+		}
+	}
+}

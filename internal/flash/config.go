@@ -1,0 +1,171 @@
+// Package flash implements a discrete-event NAND flash device simulator.
+//
+// The simulator models the architectural parameters and idiosyncrasies that
+// the GeckoFTL paper (Dayan, Bonnet, Idreos; SIGMOD 2016) relies on:
+//
+//   - the device consists of K blocks of B pages of P bytes each;
+//   - the minimum read/write granularity is one page;
+//   - a page cannot be rewritten before its block is erased;
+//   - writes within a block must be sequential;
+//   - every page has a spare area that can be written once per page
+//     life-cycle and read independently (and much more cheaply) than the
+//     page itself;
+//   - page reads, page writes, spare-area reads and block erases have
+//     asymmetric costs.
+//
+// The device does not store user payloads (the FTL algorithms under study
+// never inspect payload bytes); it stores per-page state and spare-area
+// metadata, and it accounts every internal IO by purpose so that the
+// simulation harness can compute the write-amplification breakdowns reported
+// in the paper's evaluation section.
+package flash
+
+import (
+	"fmt"
+	"time"
+)
+
+// Default architectural parameters used throughout the paper's evaluation
+// (Section 5, "Default Configuration"): 4 KB pages, 128 pages per block,
+// 70% logical-to-physical ratio, a 10x write/read latency asymmetry.
+const (
+	DefaultPageSize      = 4 * 1024
+	DefaultPagesPerBlock = 128
+	DefaultOverProvision = 0.70
+	// DefaultSpareDivisor is the factor by which a spare area is smaller
+	// than its page (Micron TN-29-07, cited as [1] in the paper).
+	DefaultSpareDivisor = 32
+)
+
+// Default latencies, following Grupp et al. (FAST'12) as cited by the paper:
+// a page read takes ~100us, a page write ~1ms, a spare-area read ~3us
+// (a page read divided by the spare divisor), and a block erase ~2ms.
+const (
+	DefaultPageReadLatency  = 100 * time.Microsecond
+	DefaultPageWriteLatency = 1 * time.Millisecond
+	DefaultSpareReadLatency = 3 * time.Microsecond
+	DefaultEraseLatency     = 2 * time.Millisecond
+)
+
+// Latency holds the cost model of the simulated device. All recovery-time and
+// throughput figures are derived from these constants; write-amplification is
+// derived from IO counts alone.
+type Latency struct {
+	PageRead  time.Duration
+	PageWrite time.Duration
+	SpareRead time.Duration
+	Erase     time.Duration
+}
+
+// DefaultLatency returns the latency model used by the paper's evaluation.
+func DefaultLatency() Latency {
+	return Latency{
+		PageRead:  DefaultPageReadLatency,
+		PageWrite: DefaultPageWriteLatency,
+		SpareRead: DefaultSpareReadLatency,
+		Erase:     DefaultEraseLatency,
+	}
+}
+
+// WriteReadRatio returns delta, the ratio between the cost of a page write
+// and a page read. The paper's default configuration sets delta = 10.
+func (l Latency) WriteReadRatio() float64 {
+	if l.PageRead <= 0 {
+		return 0
+	}
+	return float64(l.PageWrite) / float64(l.PageRead)
+}
+
+// Config describes the geometry and cost model of a simulated flash device.
+type Config struct {
+	// Blocks is K, the number of flash blocks in the device.
+	Blocks int
+	// PagesPerBlock is B, the number of pages per block.
+	PagesPerBlock int
+	// PageSize is P, the size of a flash page in bytes.
+	PageSize int
+	// OverProvision is R, the ratio of logical capacity to physical
+	// capacity (0 < R < 1). The logical address space exposed to the
+	// application contains floor(R*K*B) pages.
+	OverProvision float64
+	// Latency is the device cost model.
+	Latency Latency
+	// MaxEraseCount, if non-zero, is the number of erases after which a
+	// block is considered worn out. Erasing a worn-out block returns
+	// ErrWornOut. Zero means unlimited.
+	MaxEraseCount int
+	// StrictSequentialWrites enforces that pages within a block are
+	// written in strictly increasing offset order, as required by modern
+	// NAND (idiosyncrasy 4 in Section 2 of the paper).
+	StrictSequentialWrites bool
+}
+
+// DefaultConfig returns the paper's default 2 TB configuration:
+// K = 2^22 blocks, B = 2^7 pages per block, P = 2^12 bytes per page, R = 0.7.
+// Most simulations in this repository use ScaledConfig instead because the
+// full 2 TB geometry needs several hundred megabytes of simulator state.
+func DefaultConfig() Config {
+	return Config{
+		Blocks:                 1 << 22,
+		PagesPerBlock:          DefaultPagesPerBlock,
+		PageSize:               DefaultPageSize,
+		OverProvision:          DefaultOverProvision,
+		Latency:                DefaultLatency(),
+		StrictSequentialWrites: true,
+	}
+}
+
+// ScaledConfig returns a configuration with the paper's default page size,
+// block size, over-provisioning and latencies but with only the given number
+// of blocks. It is the workhorse configuration for simulation experiments.
+func ScaledConfig(blocks int) Config {
+	cfg := DefaultConfig()
+	cfg.Blocks = blocks
+	return cfg
+}
+
+// Validate checks that the configuration describes a realizable device.
+func (c Config) Validate() error {
+	switch {
+	case c.Blocks <= 0:
+		return fmt.Errorf("flash: config has %d blocks, need > 0", c.Blocks)
+	case c.PagesPerBlock <= 0:
+		return fmt.Errorf("flash: config has %d pages per block, need > 0", c.PagesPerBlock)
+	case c.PageSize <= 0:
+		return fmt.Errorf("flash: config has page size %d, need > 0", c.PageSize)
+	case c.OverProvision <= 0 || c.OverProvision >= 1:
+		return fmt.Errorf("flash: over-provision ratio %.3f out of range (0,1)", c.OverProvision)
+	case c.Latency.PageRead <= 0 || c.Latency.PageWrite <= 0 || c.Latency.SpareRead <= 0 || c.Latency.Erase <= 0:
+		return fmt.Errorf("flash: all latencies must be positive: %+v", c.Latency)
+	case c.MaxEraseCount < 0:
+		return fmt.Errorf("flash: max erase count %d must be >= 0", c.MaxEraseCount)
+	}
+	return nil
+}
+
+// PhysicalPages returns the total number of physical pages K*B.
+func (c Config) PhysicalPages() int { return c.Blocks * c.PagesPerBlock }
+
+// LogicalPages returns the number of logical pages exposed to the
+// application: floor(R * K * B).
+func (c Config) LogicalPages() int {
+	return int(c.OverProvision * float64(c.PhysicalPages()))
+}
+
+// PhysicalBytes returns the raw capacity of the device in bytes.
+func (c Config) PhysicalBytes() int64 {
+	return int64(c.Blocks) * int64(c.PagesPerBlock) * int64(c.PageSize)
+}
+
+// LogicalBytes returns the capacity exposed to the application in bytes.
+func (c Config) LogicalBytes() int64 {
+	return int64(c.LogicalPages()) * int64(c.PageSize)
+}
+
+// SpareSize returns the size of a page's spare area in bytes.
+func (c Config) SpareSize() int { return c.PageSize / DefaultSpareDivisor }
+
+// String summarizes the geometry, e.g. "flash(K=65536 B=128 P=4096 R=0.70)".
+func (c Config) String() string {
+	return fmt.Sprintf("flash(K=%d B=%d P=%d R=%.2f)", c.Blocks, c.PagesPerBlock, c.PageSize, c.OverProvision)
+}

@@ -1,0 +1,281 @@
+package flash
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// blockState is the simulator's per-block bookkeeping.
+type blockState struct {
+	// writePointer is the offset of the next free page; pages below it
+	// have been programmed since the last erase.
+	writePointer int
+	// eraseCount is the number of erases the block has endured.
+	eraseCount int
+	// eraseSeq is the global erase counter value at the block's last erase.
+	eraseSeq uint64
+	// spares holds the spare area contents of programmed pages.
+	spares []SpareArea
+}
+
+// Device is a simulated NAND flash device. All methods are safe for
+// concurrent use, although the FTLs in this repository drive it from a single
+// goroutine per simulation.
+//
+// The device accounts every operation under the caller-supplied Purpose; the
+// experiment harness uses these counters to reproduce the per-component
+// write-amplification breakdowns of the paper's evaluation.
+type Device struct {
+	mu       sync.Mutex
+	cfg      Config
+	blocks   []blockState
+	counters Counters
+	writeSeq uint64
+	eraseSeq uint64
+	powered  bool
+}
+
+// NewDevice creates a device with every block erased and empty.
+func NewDevice(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		cfg:     cfg,
+		blocks:  make([]blockState, cfg.Blocks),
+		powered: true,
+	}
+	for i := range d.blocks {
+		d.blocks[i].spares = make([]SpareArea, cfg.PagesPerBlock)
+	}
+	return d, nil
+}
+
+// MustNewDevice is NewDevice that panics on configuration errors. It is used
+// by tests and examples where the configuration is a literal.
+func MustNewDevice(cfg Config) *Device {
+	d, err := NewDevice(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// check validates power state and block range; callers hold d.mu.
+func (d *Device) check(block BlockID) error {
+	if !d.powered {
+		return ErrPowerFailed
+	}
+	if block < 0 || int(block) >= d.cfg.Blocks {
+		return fmt.Errorf("%w: block %d of %d", ErrOutOfRange, block, d.cfg.Blocks)
+	}
+	return nil
+}
+
+func (d *Device) checkPage(block BlockID, offset int) error {
+	if err := d.check(block); err != nil {
+		return err
+	}
+	if offset < 0 || offset >= d.cfg.PagesPerBlock {
+		return fmt.Errorf("%w: offset %d of %d", ErrOutOfRange, offset, d.cfg.PagesPerBlock)
+	}
+	return nil
+}
+
+// WritePage programs the page at ppn together with its spare area. It
+// enforces the NAND constraints: the page must be free and, when strict
+// sequential writes are enabled, must be the block's next free page.
+// The returned sequence number is the device-wide write timestamp recorded in
+// the spare area.
+func (d *Device) WritePage(ppn PPN, spare SpareArea, p Purpose) (uint64, error) {
+	addr := Decompose(ppn, d.cfg.PagesPerBlock)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkPage(addr.Block, addr.Offset); err != nil {
+		return 0, err
+	}
+	blk := &d.blocks[addr.Block]
+	if addr.Offset < blk.writePointer {
+		return 0, fmt.Errorf("%w: %v", ErrPageNotFree, addr)
+	}
+	if d.cfg.StrictSequentialWrites && addr.Offset != blk.writePointer {
+		return 0, fmt.Errorf("%w: %v (write pointer at %d)", ErrNonSequentialWrite, addr, blk.writePointer)
+	}
+	d.writeSeq++
+	spare.WriteSeq = d.writeSeq
+	spare.EraseCount = uint32(blk.eraseCount)
+	spare.EraseSeq = blk.eraseSeq
+	blk.spares[addr.Offset] = spare
+	if addr.Offset >= blk.writePointer {
+		blk.writePointer = addr.Offset + 1
+	}
+	d.counters.Record(OpPageWrite, p, d.cfg.Latency.PageWrite)
+	return d.writeSeq, nil
+}
+
+// ReadPage reads the page at ppn. The simulator stores no payload, so the
+// call only validates that the page has been programmed and accounts the IO.
+func (d *Device) ReadPage(ppn PPN, p Purpose) error {
+	addr := Decompose(ppn, d.cfg.PagesPerBlock)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkPage(addr.Block, addr.Offset); err != nil {
+		return err
+	}
+	blk := &d.blocks[addr.Block]
+	if addr.Offset >= blk.writePointer {
+		return fmt.Errorf("%w: %v", ErrPageNotWritten, addr)
+	}
+	d.counters.Record(OpPageRead, p, d.cfg.Latency.PageRead)
+	return nil
+}
+
+// ReadSpare reads only the spare area of the page at ppn. Unlike ReadPage it
+// succeeds on unprogrammed pages and reports whether the page was programmed,
+// because recovery scans probe spare areas of possibly-free pages.
+func (d *Device) ReadSpare(ppn PPN, p Purpose) (SpareArea, bool, error) {
+	addr := Decompose(ppn, d.cfg.PagesPerBlock)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkPage(addr.Block, addr.Offset); err != nil {
+		return SpareArea{}, false, err
+	}
+	blk := &d.blocks[addr.Block]
+	d.counters.Record(OpSpareRead, p, d.cfg.Latency.SpareRead)
+	if addr.Offset >= blk.writePointer {
+		return SpareArea{}, false, nil
+	}
+	return blk.spares[addr.Offset], true, nil
+}
+
+// EraseBlock erases a block, freeing all of its pages.
+func (d *Device) EraseBlock(block BlockID, p Purpose) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.check(block); err != nil {
+		return err
+	}
+	blk := &d.blocks[block]
+	if d.cfg.MaxEraseCount > 0 && blk.eraseCount >= d.cfg.MaxEraseCount {
+		return fmt.Errorf("%w: block %d erased %d times", ErrWornOut, block, blk.eraseCount)
+	}
+	d.eraseSeq++
+	blk.eraseCount++
+	blk.eraseSeq = d.eraseSeq
+	blk.writePointer = 0
+	for i := range blk.spares {
+		blk.spares[i] = SpareArea{}
+	}
+	d.counters.Record(OpErase, p, d.cfg.Latency.Erase)
+	return nil
+}
+
+// WritePointer returns the next free page offset of a block (equal to
+// PagesPerBlock when the block is full). It models the FTL's own in-RAM
+// knowledge of its active blocks and is not an IO.
+func (d *Device) WritePointer(block BlockID) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.check(block); err != nil {
+		return 0, err
+	}
+	return d.blocks[block].writePointer, nil
+}
+
+// EraseCount returns the number of erases a block has endured. Not an IO.
+func (d *Device) EraseCount(block BlockID) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.check(block); err != nil {
+		return 0, err
+	}
+	return d.blocks[block].eraseCount, nil
+}
+
+// GlobalEraseSeq returns the device-wide erase counter. Not an IO.
+func (d *Device) GlobalEraseSeq() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.eraseSeq
+}
+
+// GlobalWriteSeq returns the device-wide write sequence number. Not an IO.
+func (d *Device) GlobalWriteSeq() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writeSeq
+}
+
+// Counters returns a snapshot of the IO counters.
+func (d *Device) Counters() Counters {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.counters.Snapshot()
+}
+
+// ResetCounters zeroes the IO counters, typically after a warm-up phase so
+// that steady-state write-amplification can be measured.
+func (d *Device) ResetCounters() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.counters.Reset()
+}
+
+// PowerFail simulates an abrupt power failure: the device refuses all
+// operations until PowerOn is called. Flash contents survive; anything the
+// FTL kept in integrated RAM does not (that loss is the FTL's concern).
+func (d *Device) PowerFail() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.powered = false
+}
+
+// PowerOn restores power after a PowerFail.
+func (d *Device) PowerOn() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.powered = true
+}
+
+// Powered reports whether the device currently has power.
+func (d *Device) Powered() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.powered
+}
+
+// SimulatedTime returns the total device time consumed so far under the
+// latency model.
+func (d *Device) SimulatedTime() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.counters.Elapsed()
+}
+
+// BlocksEndurance returns min, max and mean erase counts across all blocks.
+// The wear-leveling tests use it to bound erase-count discrepancies.
+func (d *Device) BlocksEndurance() (min, max int, mean float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.blocks) == 0 {
+		return 0, 0, 0
+	}
+	min = d.blocks[0].eraseCount
+	max = d.blocks[0].eraseCount
+	var total int64
+	for i := range d.blocks {
+		ec := d.blocks[i].eraseCount
+		if ec < min {
+			min = ec
+		}
+		if ec > max {
+			max = ec
+		}
+		total += int64(ec)
+	}
+	return min, max, float64(total) / float64(len(d.blocks))
+}

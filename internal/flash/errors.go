@@ -1,0 +1,26 @@
+package flash
+
+import "errors"
+
+// Errors returned by the device simulator. They model the NAND constraints
+// the FTL must respect; an FTL that triggers one of these has a bug, so the
+// test suite treats them as hard failures.
+var (
+	// ErrOutOfRange is returned for addresses outside the device geometry.
+	ErrOutOfRange = errors.New("flash: address out of range")
+	// ErrPageNotFree is returned when programming a page that has already
+	// been programmed since its block was last erased.
+	ErrPageNotFree = errors.New("flash: page already programmed since last erase")
+	// ErrNonSequentialWrite is returned when a write skips ahead of the
+	// block's write pointer while strict sequential writes are enabled.
+	ErrNonSequentialWrite = errors.New("flash: non-sequential write within block")
+	// ErrPageNotWritten is returned when reading a page (or spare area)
+	// that has not been programmed since the last erase.
+	ErrPageNotWritten = errors.New("flash: page not programmed")
+	// ErrWornOut is returned when erasing a block beyond its maximum
+	// erase count.
+	ErrWornOut = errors.New("flash: block worn out")
+	// ErrPowerFailed is returned for any operation issued while the
+	// device is in the powered-off state.
+	ErrPowerFailed = errors.New("flash: device is powered off")
+)

@@ -1,0 +1,66 @@
+package flash
+
+// BlockType records what kind of data a block holds. The FTL writes the type
+// into the spare area of the first page it programs in a block so that the
+// recovery procedure can classify blocks with one spare-area read per block
+// (GeckoRec step 1, Appendix C).
+type BlockType uint8
+
+const (
+	// BlockFree is a block with no programmed pages.
+	BlockFree BlockType = iota
+	// BlockUser holds application data pages.
+	BlockUser
+	// BlockTranslation holds translation pages (the flash-resident
+	// translation table).
+	BlockTranslation
+	// BlockGecko holds Logarithmic Gecko runs or other flash-resident
+	// page-validity metadata (flash PVB pages, PVL pages).
+	BlockGecko
+)
+
+var blockTypeNames = [...]string{
+	BlockFree:        "free",
+	BlockUser:        "user",
+	BlockTranslation: "translation",
+	BlockGecko:       "gecko",
+}
+
+// String returns the block type name.
+func (t BlockType) String() string {
+	if int(t) < len(blockTypeNames) {
+		return blockTypeNames[t]
+	}
+	return "invalid"
+}
+
+// SpareArea models the out-of-band area adjacent to every flash page. It can
+// be written exactly once per page life-cycle (together with the page
+// program) and read on its own at a fraction of a page read's cost.
+//
+// The fields mirror what the paper stores there: the logical address written
+// on the page, a monotonically increasing write timestamp, the block type (on
+// the first page of a block), and wear-leveling statistics (Appendix D).
+type SpareArea struct {
+	// Logical is the logical page stored on this physical page, or
+	// InvalidLPN for metadata pages.
+	Logical LPN
+	// WriteSeq is the device-wide sequence number of the page program.
+	// It acts as the "timestamp of when the page was last written".
+	WriteSeq uint64
+	// BlockType is meaningful only on the first page programmed in a
+	// block; it records the block group the block was allocated to.
+	BlockType BlockType
+	// EraseCount is the number of times this page's block had been erased
+	// when the page was written (wear-leveling statistic, Appendix D).
+	EraseCount uint32
+	// EraseSeq is the global erase counter value when this page's block
+	// was last erased (the block's erase-timestamp, Appendix D).
+	EraseSeq uint64
+	// Tag is free-form metadata for FTL-specific bookkeeping: run IDs for
+	// Logarithmic Gecko pages, translation-page indexes for translation
+	// pages, log sequence numbers for the page validity log.
+	Tag uint64
+	// Aux is a second free-form metadata slot (e.g. run level).
+	Aux uint64
+}

@@ -1,0 +1,352 @@
+// Package ftl implements the flash translation layers studied in the
+// GeckoFTL paper: GeckoFTL itself (the paper's contribution) and the four
+// state-of-the-art page-associative FTLs it is compared against (DFTL,
+// LazyFTL, µ-FTL and IB-FTL).
+//
+// All five share the same skeleton -- a flash-resident page-associative
+// translation table with a Global Mapping Directory and an LRU cache of
+// mapping entries, a block manager that separates user, translation and
+// metadata blocks, and a garbage collector driven by a Blocks Validity
+// Counter -- and differ in how they store page-validity metadata, how they
+// bound dirty cached mapping entries, how they pick garbage-collection
+// victims and how they recover from power failure. The Options type selects
+// those policies; NewGeckoFTL, NewDFTL, NewLazyFTL, NewMuFTL and NewIBFTL
+// build the paper's five configurations.
+package ftl
+
+import (
+	"fmt"
+	"sort"
+
+	"geckoftl/internal/flash"
+)
+
+// Group identifies the three block groups of Figure 8 of the paper.
+type Group int
+
+const (
+	// GroupUser holds application data pages.
+	GroupUser Group = iota
+	// GroupTranslation holds translation pages.
+	GroupTranslation
+	// GroupMeta holds page-validity metadata: Logarithmic Gecko runs, the
+	// flash-resident PVB or the page validity log.
+	GroupMeta
+	numGroups
+)
+
+var groupNames = [...]string{
+	GroupUser:        "user",
+	GroupTranslation: "translation",
+	GroupMeta:        "meta",
+}
+
+// String returns the group name.
+func (g Group) String() string {
+	if g >= 0 && int(g) < len(groupNames) {
+		return groupNames[g]
+	}
+	return fmt.Sprintf("group(%d)", int(g))
+}
+
+// blockType maps a group to the block type recorded in spare areas.
+func (g Group) blockType() flash.BlockType {
+	switch g {
+	case GroupUser:
+		return flash.BlockUser
+	case GroupTranslation:
+		return flash.BlockTranslation
+	default:
+		return flash.BlockGecko
+	}
+}
+
+// purpose maps a group to the IO accounting purpose of its appends.
+func (g Group) purpose() flash.Purpose {
+	switch g {
+	case GroupUser:
+		return flash.PurposeUserWrite
+	case GroupTranslation:
+		return flash.PurposeTranslation
+	default:
+		return flash.PurposePageValidity
+	}
+}
+
+// blockInfo is the per-block RAM state of the block manager.
+type blockInfo struct {
+	group Group
+	// allocated reports whether the block currently belongs to a group (it
+	// is not in the free pool).
+	allocated bool
+	// writePointer is the next free page offset within the block.
+	writePointer int
+	// valid is the Blocks Validity Counter entry: the number of pages in
+	// the block holding live data.
+	valid int
+	// firstWriteSeq is the device write sequence of the block's first page
+	// since its last erase; recovery uses it to order blocks by age.
+	firstWriteSeq uint64
+}
+
+// blockManager owns the physical layout of GeckoFTL-style FTLs: it separates
+// blocks into user / translation / metadata groups, each with an active block
+// written append-only, keeps the Blocks Validity Counter, and hands out
+// garbage-collection victims.
+type blockManager struct {
+	dev    *flash.Device
+	cfg    flash.Config
+	blocks []blockInfo
+	free   []flash.BlockID
+	active [numGroups]flash.BlockID
+
+	// gcReserve is the number of free blocks below which garbage-collection
+	// must run before further allocations.
+	gcReserve int
+
+	erases int64
+}
+
+// newBlockManager creates a block manager with every block free.
+func newBlockManager(dev *flash.Device, gcReserve int) *blockManager {
+	cfg := dev.Config()
+	bm := &blockManager{
+		dev:       dev,
+		cfg:       cfg,
+		blocks:    make([]blockInfo, cfg.Blocks),
+		gcReserve: gcReserve,
+	}
+	for i := cfg.Blocks - 1; i >= 0; i-- {
+		bm.free = append(bm.free, flash.BlockID(i))
+	}
+	for g := range bm.active {
+		bm.active[g] = flash.InvalidBlock
+	}
+	return bm
+}
+
+// FreeBlocks returns the number of blocks in the free pool.
+func (bm *blockManager) FreeBlocks() int { return len(bm.free) }
+
+// NeedsGC reports whether the free pool has dropped to the reserve.
+func (bm *blockManager) NeedsGC() bool { return len(bm.free) <= bm.gcReserve }
+
+// Erases returns the number of block erases issued by the manager.
+func (bm *blockManager) Erases() int64 { return bm.erases }
+
+// GroupOf returns the group a block currently belongs to and whether it is
+// allocated at all.
+func (bm *blockManager) GroupOf(block flash.BlockID) (Group, bool) {
+	info := &bm.blocks[block]
+	return info.group, info.allocated
+}
+
+// ValidCount returns the BVC entry of a block.
+func (bm *blockManager) ValidCount(block flash.BlockID) int { return bm.blocks[block].valid }
+
+// WritePointer returns the block's write pointer as known to the FTL.
+func (bm *blockManager) WritePointer(block flash.BlockID) int { return bm.blocks[block].writePointer }
+
+// BlocksInGroup returns the blocks currently allocated to a group, including
+// its active block.
+func (bm *blockManager) BlocksInGroup(g Group) []flash.BlockID {
+	var out []flash.BlockID
+	for i := range bm.blocks {
+		if bm.blocks[i].allocated && bm.blocks[i].group == g {
+			out = append(out, flash.BlockID(i))
+		}
+	}
+	return out
+}
+
+// takeFreeBlock pops a block from the free pool.
+func (bm *blockManager) takeFreeBlock(g Group) (flash.BlockID, error) {
+	if len(bm.free) == 0 {
+		return flash.InvalidBlock, fmt.Errorf("ftl: no free blocks left for group %v", g)
+	}
+	id := bm.free[len(bm.free)-1]
+	bm.free = bm.free[:len(bm.free)-1]
+	info := &bm.blocks[id]
+	info.group = g
+	info.allocated = true
+	info.writePointer = 0
+	info.valid = 0
+	info.firstWriteSeq = 0
+	return id, nil
+}
+
+// AllocatePage programs the next free page of the group's active block
+// (allocating a new active block from the free pool when needed) and returns
+// its address. The page is counted as valid in the BVC. The caller supplies
+// the spare area; the block type of the first page is stamped automatically.
+func (bm *blockManager) AllocatePage(g Group, spare flash.SpareArea, p flash.Purpose) (flash.PPN, error) {
+	active := bm.active[g]
+	if active == flash.InvalidBlock || bm.blocks[active].writePointer >= bm.cfg.PagesPerBlock {
+		id, err := bm.takeFreeBlock(g)
+		if err != nil {
+			return flash.InvalidPPN, err
+		}
+		bm.active[g] = id
+		active = id
+	}
+	info := &bm.blocks[active]
+	if info.writePointer == 0 {
+		spare.BlockType = g.blockType()
+	}
+	ppn := flash.PPNOf(active, info.writePointer, bm.cfg.PagesPerBlock)
+	seq, err := bm.dev.WritePage(ppn, spare, p)
+	if err != nil {
+		return flash.InvalidPPN, err
+	}
+	if info.writePointer == 0 {
+		info.firstWriteSeq = seq
+	}
+	info.writePointer++
+	info.valid++
+	return ppn, nil
+}
+
+// InvalidatePage decrements the BVC entry of the page's block.
+func (bm *blockManager) InvalidatePage(ppn flash.PPN) error {
+	block := flash.BlockOf(ppn, bm.cfg.PagesPerBlock)
+	info := &bm.blocks[block]
+	if !info.allocated {
+		return fmt.Errorf("ftl: invalidating page %d of unallocated block %d", ppn, block)
+	}
+	if info.valid <= 0 {
+		return fmt.Errorf("ftl: BVC underflow on block %d", block)
+	}
+	info.valid--
+	return nil
+}
+
+// Erase erases a block, returns it to the free pool and resets its BVC entry.
+// The group's active block cannot be erased.
+func (bm *blockManager) Erase(block flash.BlockID, p flash.Purpose) error {
+	info := &bm.blocks[block]
+	if !info.allocated {
+		return fmt.Errorf("ftl: erasing unallocated block %d", block)
+	}
+	for g := range bm.active {
+		if bm.active[g] == block {
+			return fmt.Errorf("ftl: erasing active %v block %d", Group(g), block)
+		}
+	}
+	if err := bm.dev.EraseBlock(block, p); err != nil {
+		return err
+	}
+	bm.erases++
+	info.allocated = false
+	info.valid = 0
+	info.writePointer = 0
+	info.firstWriteSeq = 0
+	bm.free = append(bm.free, block)
+	return nil
+}
+
+// VictimPolicy selects garbage-collection victims.
+type VictimPolicy int
+
+const (
+	// VictimGreedy always picks the allocated, full, non-active block with
+	// the fewest valid pages, regardless of what it stores. This is the
+	// policy of existing page-associative FTLs.
+	VictimGreedy VictimPolicy = iota
+	// VictimMetadataAware never targets translation or metadata blocks: it
+	// picks the best user block and relies on metadata blocks becoming
+	// fully invalid on their own, at which point they are erased for free
+	// (Section 4.2 of the paper).
+	VictimMetadataAware
+)
+
+// String names the policy.
+func (p VictimPolicy) String() string {
+	if p == VictimMetadataAware {
+		return "metadata-aware"
+	}
+	return "greedy"
+}
+
+// PickVictim returns the next garbage-collection victim under the policy, or
+// false when no block is eligible. Only full, non-active, allocated blocks
+// are eligible: partially written active blocks still absorb writes. Blocks
+// in the excluded set (e.g. those protected because they hold previous
+// translation-page versions needed for buffer recovery, Appendix C.2.2) are
+// skipped.
+func (bm *blockManager) PickVictim(policy VictimPolicy, excluded map[flash.BlockID]bool) (flash.BlockID, bool) {
+	best := flash.InvalidBlock
+	bestValid := -1
+	for i := range bm.blocks {
+		info := &bm.blocks[i]
+		if !info.allocated || info.writePointer < bm.cfg.PagesPerBlock {
+			continue
+		}
+		id := flash.BlockID(i)
+		if bm.isActive(id) || excluded[id] {
+			continue
+		}
+		if policy == VictimMetadataAware && info.group != GroupUser {
+			continue
+		}
+		if best == flash.InvalidBlock || info.valid < bestValid {
+			best = id
+			bestValid = info.valid
+		}
+	}
+	return best, best != flash.InvalidBlock
+}
+
+// FullyInvalidBlocks returns allocated, full, non-active blocks of the given
+// group with zero valid pages. Under the metadata-aware policy these are the
+// only metadata blocks the FTL erases.
+func (bm *blockManager) FullyInvalidBlocks(g Group) []flash.BlockID {
+	var out []flash.BlockID
+	for i := range bm.blocks {
+		info := &bm.blocks[i]
+		if info.allocated && info.group == g && info.valid == 0 &&
+			info.writePointer >= bm.cfg.PagesPerBlock && !bm.isActive(flash.BlockID(i)) {
+			out = append(out, flash.BlockID(i))
+		}
+	}
+	return out
+}
+
+func (bm *blockManager) isActive(block flash.BlockID) bool {
+	for g := range bm.active {
+		if bm.active[g] == block {
+			return true
+		}
+	}
+	return false
+}
+
+// RAMBytes returns the integrated-RAM footprint of the block manager's
+// per-block state as charged by the paper's models: 2 bytes per block for the
+// BVC (Appendix B). The group tags and write pointers are charged one
+// additional byte per block.
+func (bm *blockManager) RAMBytes() int64 {
+	return int64(len(bm.blocks)) * 3
+}
+
+// CrashRAM drops all RAM state, as a power failure would. The device contents
+// are untouched.
+func (bm *blockManager) CrashRAM() {
+	for i := range bm.blocks {
+		bm.blocks[i] = blockInfo{}
+	}
+	bm.free = bm.free[:0]
+	for g := range bm.active {
+		bm.active[g] = flash.InvalidBlock
+	}
+}
+
+// userBlocksByRecency returns the allocated user blocks ordered from most
+// recently first-written to least recently, which is the order the recovery
+// backwards scan visits them (Section 4.3).
+func (bm *blockManager) userBlocksByRecency() []flash.BlockID {
+	blocks := bm.BlocksInGroup(GroupUser)
+	sort.Slice(blocks, func(i, j int) bool {
+		return bm.blocks[blocks[i]].firstWriteSeq > bm.blocks[blocks[j]].firstWriteSeq
+	})
+	return blocks
+}

@@ -1,0 +1,741 @@
+package ftl
+
+import (
+	"fmt"
+	"sort"
+
+	"geckoftl/internal/bitmap"
+	"geckoftl/internal/flash"
+	"geckoftl/internal/gecko"
+	"geckoftl/internal/mapcache"
+	"geckoftl/internal/pvb"
+	"geckoftl/internal/pvl"
+)
+
+// validityStore is the page-validity metadata abstraction every FTL variant
+// plugs into the engine: Logarithmic Gecko, the RAM- or flash-resident PVB,
+// or the IB-FTL page validity log.
+type validityStore interface {
+	Update(addr flash.Addr) error
+	RecordErase(block flash.BlockID) error
+	Query(block flash.BlockID) (*bitmap.Bitmap, error)
+	RAMBytes() int64
+}
+
+// Stats counts the FTL's logical activity. IO counts live in the device
+// counters, broken down by flash.Purpose.
+type Stats struct {
+	// LogicalWrites and LogicalReads count application operations served.
+	LogicalWrites, LogicalReads int64
+	// GCOperations counts garbage-collection victim reclaims.
+	GCOperations int64
+	// GCMigrations counts valid pages migrated out of victims.
+	GCMigrations int64
+	// UIPSkips counts victim pages identified as unidentified-invalid just
+	// before migration (Section 4.1) and therefore not migrated.
+	UIPSkips int64
+	// SyncOperations counts translation-page synchronizations.
+	SyncOperations int64
+	// Checkpoints counts runtime checkpoints taken (Section 4.3).
+	Checkpoints int64
+	// MetadataBlockErases counts translation/metadata blocks erased because
+	// they became fully invalid (the Section 4.2 policy).
+	MetadataBlockErases int64
+	// ForcedSyncs counts synchronizations forced by the dirty-entry bound of
+	// LazyFTL and IB-FTL.
+	ForcedSyncs int64
+}
+
+// FTL is a page-associative flash translation layer instance. Use one of the
+// New* constructors to build the paper's five configurations, or New with
+// explicit Options for ablations.
+//
+// FTL is not safe for concurrent use.
+type FTL struct {
+	opts  Options
+	dev   *flash.Device
+	cfg   flash.Config
+	bm    *blockManager
+	table *translationTable
+	cache *mapcache.Cache
+
+	validity validityStore
+	// lg is the Logarithmic Gecko instance when Scheme == SchemeGecko, for
+	// the operations that go beyond the validityStore interface (flush
+	// coordination and recovery).
+	lg   *gecko.Gecko
+	wear *wearLeveler
+
+	logicalPages int64
+	dirtyCount   int
+	stats        Stats
+}
+
+// New creates an FTL over the device with the given options.
+func New(dev *flash.Device, opts Options) (*FTL, error) {
+	cfg := dev.Config()
+	if err := opts.validate(cfg); err != nil {
+		return nil, err
+	}
+	bm := newBlockManager(dev, opts.GCFreeBlockReserve)
+	logicalPages := int64(cfg.LogicalPages())
+	table := newTranslationTable(bm, logicalPages, cfg.PageSize)
+	cache := mapcache.New(opts.CacheEntries, table.EntriesPerPage())
+
+	f := &FTL{
+		opts:         opts,
+		dev:          dev,
+		cfg:          cfg,
+		bm:           bm,
+		table:        table,
+		cache:        cache,
+		wear:         newWearLeveler(opts.WearLeveling, opts.WearThreshold),
+		logicalPages: logicalPages,
+	}
+
+	store := &groupStore{bm: bm}
+	switch opts.Scheme {
+	case SchemeGecko:
+		gcfg := gecko.DefaultConfig(cfg.Blocks, cfg.PagesPerBlock, cfg.PageSize)
+		gcfg.SizeRatio = opts.GeckoSizeRatio
+		if opts.GeckoPartitionFactor > 0 {
+			gcfg.PartitionFactor = opts.GeckoPartitionFactor
+		}
+		gcfg.MultiWayMerge = opts.GeckoMultiWayMerge
+		lg, err := gecko.New(gcfg, store)
+		if err != nil {
+			return nil, err
+		}
+		f.lg = lg
+		f.validity = lg
+	case SchemeRAMPVB:
+		p, err := pvb.NewRAMPVB(cfg.Blocks, cfg.PagesPerBlock)
+		if err != nil {
+			return nil, err
+		}
+		f.validity = p
+	case SchemeFlashPVB:
+		p, err := pvb.NewFlashPVB(cfg.Blocks, cfg.PagesPerBlock, cfg.PageSize, store)
+		if err != nil {
+			return nil, err
+		}
+		f.validity = p
+	case SchemePVL:
+		l, err := pvl.New(pvl.Config{
+			Blocks:        cfg.Blocks,
+			PagesPerBlock: cfg.PagesPerBlock,
+			PageSize:      cfg.PageSize,
+			MaxEntries:    opts.PVLMaxEntries,
+		}, store)
+		if err != nil {
+			return nil, err
+		}
+		f.validity = l
+	default:
+		return nil, fmt.Errorf("ftl: unknown scheme %v", opts.Scheme)
+	}
+	return f, nil
+}
+
+// NewGeckoFTL builds GeckoFTL with the given cache capacity.
+func NewGeckoFTL(dev *flash.Device, cacheEntries int) (*FTL, error) {
+	return New(dev, GeckoFTLOptions(cacheEntries))
+}
+
+// NewDFTL builds DFTL with the given cache capacity.
+func NewDFTL(dev *flash.Device, cacheEntries int) (*FTL, error) {
+	return New(dev, DFTLOptions(cacheEntries))
+}
+
+// NewLazyFTL builds LazyFTL with the given cache capacity.
+func NewLazyFTL(dev *flash.Device, cacheEntries int) (*FTL, error) {
+	return New(dev, LazyFTLOptions(cacheEntries))
+}
+
+// NewMuFTL builds µ-FTL with the given cache capacity.
+func NewMuFTL(dev *flash.Device, cacheEntries int) (*FTL, error) {
+	return New(dev, MuFTLOptions(cacheEntries))
+}
+
+// NewIBFTL builds IB-FTL with the given cache capacity.
+func NewIBFTL(dev *flash.Device, cacheEntries int) (*FTL, error) {
+	return New(dev, IBFTLOptions(cacheEntries))
+}
+
+// Name returns the FTL's display name.
+func (f *FTL) Name() string { return f.opts.Name }
+
+// Options returns the FTL's configuration.
+func (f *FTL) Options() Options { return f.opts }
+
+// Device returns the underlying simulated device.
+func (f *FTL) Device() *flash.Device { return f.dev }
+
+// Stats returns the FTL's logical operation counters.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// LogicalPages returns the number of logical pages exposed to applications.
+func (f *FTL) LogicalPages() int64 { return f.logicalPages }
+
+// DirtyEntries returns the number of dirty mapping entries currently cached.
+func (f *FTL) DirtyEntries() int { return f.dirtyCount }
+
+// RAMBytes returns the integrated-RAM footprint of the FTL's data
+// structures: the LRU cache (8 bytes per entry as in Section 5), the GMD, the
+// BVC and block-manager state, the page-validity store, and the
+// wear-leveler's global statistics.
+func (f *FTL) RAMBytes() int64 {
+	return f.cache.RAMBytes(8) + f.table.RAMBytes() + f.bm.RAMBytes() + f.validity.RAMBytes() + f.wear.RAMBytes()
+}
+
+// Write serves an application update of a logical page (Section 4, "Serving
+// Application Writes").
+func (f *FTL) Write(lpn flash.LPN) error {
+	if lpn < 0 || int64(lpn) >= f.logicalPages {
+		return fmt.Errorf("ftl: logical page %d out of range [0,%d)", lpn, f.logicalPages)
+	}
+	f.stats.LogicalWrites++
+
+	// Make room before writing so garbage-collection never runs out of
+	// destination pages mid-operation.
+	if err := f.garbageCollectIfNeeded(); err != nil {
+		return err
+	}
+
+	cached, isCached := f.cache.Peek(lpn)
+
+	// FTLs without lazy invalid-page identification must know the page's
+	// previous location before overwriting it, which costs a translation
+	// page read on a write miss (the DFTL demand-paging behaviour).
+	var flashPrev flash.PPN = flash.InvalidPPN
+	if !isCached && f.opts.Scheme != SchemeGecko {
+		prev, err := f.table.ReadEntry(lpn, flash.PurposeTranslation)
+		if err != nil {
+			return err
+		}
+		flashPrev = prev
+	}
+
+	// Write the new version of the page.
+	newPPN, err := f.bm.AllocatePage(GroupUser, flash.SpareArea{Logical: lpn}, flash.PurposeUserWrite)
+	if err != nil {
+		return err
+	}
+
+	entry := mapcache.Entry{Logical: lpn, Physical: newPPN, Dirty: true}
+	switch {
+	case isCached:
+		// The before-image is known from the cache: report it invalid
+		// immediately (Section 4.1, "Application Writes").
+		if cached.Physical != flash.InvalidPPN && cached.Physical != newPPN {
+			if err := f.reportInvalid(cached.Physical); err != nil {
+				return err
+			}
+		}
+		entry.UIP = cached.UIP
+		entry.Uncertain = cached.Uncertain
+		if !cached.Dirty {
+			f.dirtyCount++
+		}
+	case f.opts.Scheme == SchemeGecko:
+		// GeckoFTL defers identifying the flash-resident before-image: the
+		// UIP flag records that an unidentified invalid page exists
+		// (Section 4.1).
+		entry.UIP = true
+		f.dirtyCount++
+	default:
+		// The before-image was fetched from the translation table above.
+		if flashPrev != flash.InvalidPPN {
+			if err := f.reportInvalid(flashPrev); err != nil {
+				return err
+			}
+		}
+		f.dirtyCount++
+	}
+
+	if err := f.putCacheEntry(entry); err != nil {
+		return err
+	}
+	if err := f.maybeCheckpoint(); err != nil {
+		return err
+	}
+	if err := f.enforceDirtyBound(); err != nil {
+		return err
+	}
+	return f.wearLevelIfNeeded()
+}
+
+// Read serves an application read of a logical page (Section 4, "Serving
+// Application Reads").
+func (f *FTL) Read(lpn flash.LPN) error {
+	if lpn < 0 || int64(lpn) >= f.logicalPages {
+		return fmt.Errorf("ftl: logical page %d out of range [0,%d)", lpn, f.logicalPages)
+	}
+	f.stats.LogicalReads++
+
+	entry, ok := f.cache.Lookup(lpn)
+	if !ok {
+		ppn, err := f.table.ReadEntry(lpn, flash.PurposeTranslation)
+		if err != nil {
+			return err
+		}
+		entry = mapcache.Entry{Logical: lpn, Physical: ppn}
+		if err := f.putCacheEntry(entry); err != nil {
+			return err
+		}
+	}
+	if entry.Physical == flash.InvalidPPN {
+		// Reading a never-written logical page returns zeroes without IO.
+		return nil
+	}
+	return f.dev.ReadPage(entry.Physical, flash.PurposeUserRead)
+}
+
+// reportInvalid tells the page-validity store that a physical page holds
+// stale data and updates the BVC.
+func (f *FTL) reportInvalid(ppn flash.PPN) error {
+	addr := flash.Decompose(ppn, f.cfg.PagesPerBlock)
+	if err := f.validity.Update(addr); err != nil {
+		return err
+	}
+	if err := f.bm.InvalidatePage(ppn); err != nil {
+		return err
+	}
+	if f.lg != nil && f.lg.BufferLen() == 0 {
+		// The Gecko buffer just flushed: the protected previous versions of
+		// translation pages are no longer needed for buffer recovery.
+		f.table.ClearProtected()
+	}
+	return nil
+}
+
+// putCacheEntry inserts a mapping entry, running a synchronization operation
+// when a dirty entry is evicted.
+func (f *FTL) putCacheEntry(e mapcache.Entry) error {
+	evicted := f.cache.Put(e)
+	if !evicted.Valid || !evicted.Entry.Dirty {
+		return nil
+	}
+	// The evicted entry leaves the cache, so it no longer counts against the
+	// dirty bound; the synchronization below writes it back.
+	f.dirtyCount--
+	return f.synchronize(evicted.Entry)
+}
+
+// synchronize runs a synchronization operation for the translation page of
+// the given (evicted or checkpoint-selected) dirty entry: all dirty cached
+// entries on the same translation page are written back together, and their
+// before-images are reported to the page-validity store (Section 4.1).
+func (f *FTL) synchronize(seed mapcache.Entry) error {
+	tp := f.cache.TranslationPageOf(seed.Logical)
+	dirty := f.cache.DirtyEntriesOnTranslationPage(tp)
+
+	// The seed entry may already have been evicted from the cache; include
+	// it explicitly.
+	all := append([]mapcache.Entry{seed}, dirty...)
+	sort.Slice(all, func(i, j int) bool { return all[i].Logical < all[j].Logical })
+
+	var updates []dirtyUpdate
+	seen := make(map[flash.LPN]bool, len(all))
+	var uncertainChecked []flash.LPN
+	for _, e := range all {
+		if seen[e.Logical] {
+			continue
+		}
+		seen[e.Logical] = true
+		flashPPN := f.table.FlashEntry(e.Logical)
+		if e.Uncertain {
+			uncertainChecked = append(uncertainChecked, e.Logical)
+			if flashPPN == e.Physical {
+				// The entry was wrongly assumed dirty after recovery
+				// (Appendix C.3.1): clear its flags and omit it.
+				f.clearFlags(e.Logical)
+				continue
+			}
+		}
+		updates = append(updates, dirtyUpdate{Logical: e.Logical, Physical: e.Physical})
+		// Lazy invalid-page identification (Section 4.1): if the entry's UIP
+		// flag is set, its flash-resident before-image has not been reported
+		// invalid yet; the synchronization is the moment to do so.
+		needsReport := e.UIP && flashPPN != flash.InvalidPPN && flashPPN != e.Physical
+		if needsReport && e.Uncertain {
+			// Appendix C.3.2: after recovery the before-image may already
+			// have been reported and even reused; verify via its spare area
+			// that it still holds this logical page before reporting it.
+			spare, written, err := f.dev.ReadSpare(flashPPN, flash.PurposeTranslation)
+			if err != nil {
+				return err
+			}
+			needsReport = written && spare.Logical == e.Logical
+		}
+		if needsReport {
+			if err := f.reportInvalid(flashPPN); err != nil {
+				return err
+			}
+		}
+	}
+
+	oldTPLocation := f.table.GMDLocation(tp)
+	before, err := f.table.Synchronize(tp, updates)
+	if err != nil {
+		return err
+	}
+	_ = before // before-images were handled through the UIP flags above
+	if len(updates) > 0 {
+		f.stats.SyncOperations++
+		// FTLs whose garbage-collector may target translation blocks (the
+		// greedy policy of DFTL, LazyFTL, µ-FTL and IB-FTL) track the
+		// validity of translation pages in their page-validity store, so the
+		// superseded version must be reported invalid. GeckoFTL never
+		// garbage-collects metadata blocks and relies on the BVC alone.
+		if f.opts.VictimPolicy == VictimGreedy && oldTPLocation != flash.InvalidPPN {
+			if err := f.validity.Update(flash.Decompose(oldTPLocation, f.cfg.PagesPerBlock)); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Mark the synchronized entries clean.
+	for _, u := range updates {
+		f.clearFlags(u.Logical)
+	}
+	for _, lpn := range uncertainChecked {
+		f.cache.Update(lpn, func(en *mapcache.Entry) { en.Uncertain = false })
+	}
+	return nil
+}
+
+// clearFlags marks a cached entry clean (dirty, UIP and uncertainty cleared)
+// and maintains the dirty counter.
+func (f *FTL) clearFlags(lpn flash.LPN) {
+	f.cache.Update(lpn, func(en *mapcache.Entry) {
+		if en.Dirty {
+			f.dirtyCount--
+		}
+		en.Dirty = false
+		en.UIP = false
+		en.Uncertain = false
+	})
+}
+
+// maybeCheckpoint takes a runtime checkpoint when due (Section 4.3):
+// every C cache operations, dirty entries that have lingered since the
+// previous checkpoint are synchronized so that the recovery backwards scan
+// never has to look further back than 2*C page writes.
+func (f *FTL) maybeCheckpoint() error {
+	if !f.opts.Checkpoints || !f.cache.CheckpointDue() {
+		return nil
+	}
+	f.stats.Checkpoints++
+	stale := f.cache.Checkpoint()
+	// Group the lingering dirty entries by translation page and synchronize
+	// each group once.
+	byTP := make(map[int][]mapcache.Entry)
+	for _, e := range stale {
+		tp := f.cache.TranslationPageOf(e.Logical)
+		byTP[tp] = append(byTP[tp], e)
+	}
+	tps := make([]int, 0, len(byTP))
+	for tp := range byTP {
+		tps = append(tps, tp)
+	}
+	sort.Ints(tps)
+	for _, tp := range tps {
+		entries := byTP[tp]
+		// Re-check dirtiness: an earlier synchronization in this loop may
+		// have cleaned entries sharing the translation page.
+		if cur, ok := f.cache.Peek(entries[0].Logical); !ok || !cur.Dirty {
+			continue
+		}
+		if err := f.synchronize(entries[0]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// enforceDirtyBound restricts the number of dirty cached entries for FTLs
+// that bound it (LazyFTL, IB-FTL): while over the bound, the least recently
+// used dirty entry's translation page is synchronized.
+func (f *FTL) enforceDirtyBound() error {
+	if f.opts.DirtyFraction <= 0 {
+		return nil
+	}
+	limit := int(f.opts.DirtyFraction * float64(f.opts.CacheEntries))
+	if limit < 1 {
+		limit = 1
+	}
+	for f.dirtyCount > limit {
+		victim, ok := f.oldestDirty()
+		if !ok {
+			return nil
+		}
+		f.stats.ForcedSyncs++
+		if err := f.synchronize(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// oldestDirty finds the least-recently-used dirty entry.
+func (f *FTL) oldestDirty() (mapcache.Entry, bool) {
+	var found mapcache.Entry
+	ok := false
+	f.cache.ForEach(func(e mapcache.Entry) bool {
+		if e.Dirty {
+			found = e
+			ok = true
+		}
+		return true
+	})
+	return found, ok
+}
+
+// garbageCollectIfNeeded reclaims blocks until the free pool is above the
+// reserve. Under the metadata-aware policy, fully-invalid translation and
+// metadata blocks are erased first (they cost nothing but the erase, which is
+// the whole point of Section 4.2); user blocks are reclaimed by migrating
+// their live pages. Under the greedy policy a fully-invalid block is simply
+// the best possible victim, so no separate pass is needed.
+func (f *FTL) garbageCollectIfNeeded() error {
+	for f.bm.NeedsGC() {
+		if f.opts.VictimPolicy == VictimMetadataAware {
+			reclaimed, err := f.reclaimFullyInvalidMetadata()
+			if err != nil {
+				return err
+			}
+			if reclaimed && !f.bm.NeedsGC() {
+				return nil
+			}
+		}
+		victim, ok := f.bm.PickVictim(f.opts.VictimPolicy, f.table.ProtectedBlocks())
+		if !ok {
+			return fmt.Errorf("ftl: garbage-collection found no victim with %d free blocks", f.bm.FreeBlocks())
+		}
+		if err := f.collectBlock(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reclaimFullyInvalidMetadata erases translation and metadata blocks whose
+// pages are all invalid (the Section 4.2 policy: hot metadata blocks are
+// never migrated, the FTL waits for them to die of natural causes).
+func (f *FTL) reclaimFullyInvalidMetadata() (bool, error) {
+	reclaimed := false
+	protected := f.table.ProtectedBlocks()
+	for _, g := range []Group{GroupTranslation, GroupMeta} {
+		for _, block := range f.bm.FullyInvalidBlocks(g) {
+			if protected[block] {
+				continue
+			}
+			if err := f.bm.Erase(block, flash.PurposeGCErase); err != nil {
+				return reclaimed, err
+			}
+			if err := f.validity.RecordErase(block); err != nil {
+				return reclaimed, err
+			}
+			f.stats.MetadataBlockErases++
+			reclaimed = true
+		}
+	}
+	return reclaimed, nil
+}
+
+// collectBlock garbage-collects one victim block: it queries the
+// page-validity store for the victim's invalid pages, migrates the remaining
+// valid pages (skipping unidentified invalid pages per Section 4.1), then
+// erases the victim. Metadata blocks (reachable only under the greedy
+// policy) are collected through the liveness information of their owning
+// structure instead of the page-validity store.
+func (f *FTL) collectBlock(victim flash.BlockID) error {
+	f.stats.GCOperations++
+	group, allocated := f.bm.GroupOf(victim)
+	if !allocated {
+		return fmt.Errorf("ftl: victim block %d is not allocated", victim)
+	}
+	if group == GroupMeta {
+		return f.collectMetaBlock(victim)
+	}
+
+	invalid, err := f.validity.Query(victim)
+	if err != nil {
+		return err
+	}
+
+	written := f.bm.WritePointer(victim)
+	for offset := 0; offset < written; offset++ {
+		if invalid.Get(offset) {
+			continue
+		}
+		ppn := flash.PPNOf(victim, offset, f.cfg.PagesPerBlock)
+		migrated, err := f.migrateValidPage(ppn, group)
+		if err != nil {
+			return err
+		}
+		if migrated {
+			f.stats.GCMigrations++
+		} else {
+			f.stats.UIPSkips++
+		}
+	}
+
+	if err := f.bm.Erase(victim, flash.PurposeGCErase); err != nil {
+		return err
+	}
+	return f.validity.RecordErase(victim)
+}
+
+// metaRelocator is implemented by flash-resident page-validity stores whose
+// pages can be moved by the garbage-collector (the flash-resident PVB and the
+// page validity log). Logarithmic Gecko deliberately does not implement it:
+// GeckoFTL never garbage-collects metadata blocks.
+type metaRelocator interface {
+	IsLive(ppn flash.PPN) bool
+	Relocate(old, new flash.PPN) bool
+}
+
+// collectMetaBlock garbage-collects a metadata block under the greedy
+// policy: live metadata pages (as reported by the owning structure) are
+// copied to a fresh metadata page and the structure's directory is updated.
+func (f *FTL) collectMetaBlock(victim flash.BlockID) error {
+	relocator, _ := f.validity.(metaRelocator)
+	written := f.bm.WritePointer(victim)
+	for offset := 0; offset < written; offset++ {
+		ppn := flash.PPNOf(victim, offset, f.cfg.PagesPerBlock)
+		if relocator == nil || !relocator.IsLive(ppn) {
+			continue
+		}
+		if err := f.dev.ReadPage(ppn, flash.PurposeGCMigration); err != nil {
+			return err
+		}
+		spare, _, err := f.dev.ReadSpare(ppn, flash.PurposeGCMigration)
+		if err != nil {
+			return err
+		}
+		newPPN, err := f.bm.AllocatePage(GroupMeta, spare, flash.PurposeGCMigration)
+		if err != nil {
+			return err
+		}
+		relocator.Relocate(ppn, newPPN)
+		f.stats.GCMigrations++
+	}
+	if err := f.bm.Erase(victim, flash.PurposeGCErase); err != nil {
+		return err
+	}
+	return f.validity.RecordErase(victim)
+}
+
+// migrateValidPage migrates one supposedly-valid page out of a victim block.
+// It returns false when the page turned out to be an unidentified invalid
+// page and was skipped (Section 4.1, "Garbage-Collection").
+func (f *FTL) migrateValidPage(ppn flash.PPN, group Group) (bool, error) {
+	spare, written, err := f.dev.ReadSpare(ppn, flash.PurposeGCMigration)
+	if err != nil {
+		return false, err
+	}
+	if !written {
+		return false, nil
+	}
+
+	if group != GroupUser {
+		// Migrating a translation or metadata page would require updating
+		// the structures that point at it. Under the greedy policy the paper
+		// ascribes to existing FTLs, such migrations are charged as a read
+		// plus a write of the page and the directory entry is moved.
+		return true, f.migrateMetadataPage(ppn, spare, group)
+	}
+
+	lpn := spare.Logical
+	if lpn == flash.InvalidLPN {
+		return false, nil
+	}
+
+	// Section 4.1: the page may be an unidentified invalid page. If the
+	// cache maps this logical page elsewhere with the UIP flag set, page ppn
+	// is a stale before-image and is not migrated. Having now identified it,
+	// the UIP flag is cleared: the before-image disappears with the victim's
+	// erase, so reporting it later would wrongly invalidate whatever page is
+	// written at that address after the block is reused.
+	if cached, ok := f.cache.Peek(lpn); ok && cached.UIP && cached.Physical != ppn {
+		f.cache.Update(lpn, func(en *mapcache.Entry) { en.UIP = false })
+		return false, nil
+	}
+	// The flash-resident mapping may also already point elsewhere (the
+	// invalidation was identified and reported, but BVC bookkeeping lags for
+	// entries reported through a synchronization after this GC query).
+	if f.table.FlashEntry(lpn) != ppn {
+		if cached, ok := f.cache.Peek(lpn); !ok || cached.Physical != ppn {
+			return false, nil
+		}
+	}
+
+	if err := f.dev.ReadPage(ppn, flash.PurposeGCMigration); err != nil {
+		return false, err
+	}
+	newPPN, err := f.bm.AllocatePage(GroupUser, flash.SpareArea{Logical: lpn}, flash.PurposeGCMigration)
+	if err != nil {
+		return false, err
+	}
+	// Garbage-collection migrations are treated like application writes: a
+	// dirty cached mapping entry is created for every migrated page.
+	entry := mapcache.Entry{Logical: lpn, Physical: newPPN, Dirty: true}
+	if cached, ok := f.cache.Peek(lpn); ok {
+		entry.UIP = cached.UIP
+		entry.Uncertain = cached.Uncertain
+		if !cached.Dirty {
+			f.dirtyCount++
+		}
+	} else {
+		f.dirtyCount++
+	}
+	if err := f.putCacheEntry(entry); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// migrateMetadataPage relocates a live translation page during a greedy
+// garbage-collection of a translation block. (Metadata pages of the
+// page-validity store are never live under the stores' own management, so
+// only translation pages reach this path.)
+func (f *FTL) migrateMetadataPage(ppn flash.PPN, spare flash.SpareArea, group Group) error {
+	if err := f.dev.ReadPage(ppn, flash.PurposeGCMigration); err != nil {
+		return err
+	}
+	newPPN, err := f.bm.AllocatePage(group, spare, flash.PurposeGCMigration)
+	if err != nil {
+		return err
+	}
+	if group == GroupTranslation {
+		tp := int(spare.Tag)
+		if tp >= 0 && tp < f.table.Pages() && f.table.GMDLocation(tp) == ppn {
+			f.table.SetGMDLocation(tp, newPPN)
+		}
+	}
+	return nil
+}
+
+// Flush forces all dirty state to flash: every dirty mapping entry is
+// synchronized and, for GeckoFTL, the Gecko buffer is flushed. It is used by
+// examples and tests that want a clean shutdown rather than a crash.
+func (f *FTL) Flush() error {
+	for {
+		victim, ok := f.oldestDirty()
+		if !ok {
+			break
+		}
+		if err := f.synchronize(victim); err != nil {
+			return err
+		}
+	}
+	if f.lg != nil {
+		if err := f.lg.Flush(); err != nil {
+			return err
+		}
+		f.table.ClearProtected()
+	}
+	return nil
+}

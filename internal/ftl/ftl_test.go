@@ -1,0 +1,542 @@
+package ftl
+
+import (
+	"math/rand"
+	"testing"
+
+	"geckoftl/internal/flash"
+	"geckoftl/internal/workload"
+)
+
+// testDeviceConfig is a small but realistic geometry: 96 blocks of 16 pages
+// of 512 bytes, 70% over-provisioning, strict sequential writes.
+func testFTL(t *testing.T, build func(*flash.Device, int) (*FTL, error), blocks, cacheEntries int) *FTL {
+	t.Helper()
+	dev := newTestDevice(t, blocks, 16, 512)
+	f, err := build(dev, cacheEntries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// allFTLBuilders returns the five FTL constructors keyed by display name.
+func allFTLBuilders() map[string]func(*flash.Device, int) (*FTL, error) {
+	return map[string]func(*flash.Device, int) (*FTL, error){
+		"GeckoFTL": NewGeckoFTL,
+		"DFTL":     NewDFTL,
+		"LazyFTL":  NewLazyFTL,
+		"uFTL":     NewMuFTL,
+		"IB-FTL":   NewIBFTL,
+	}
+}
+
+// runWorkload drives writes (and optionally reads) through the FTL.
+func runWorkload(t *testing.T, f *FTL, gen workload.Generator, ops int) {
+	t.Helper()
+	for i := 0; i < ops; i++ {
+		op := gen.Next()
+		var err error
+		if op.Kind == workload.OpRead {
+			err = f.Read(op.Page)
+		} else {
+			err = f.Write(op.Page)
+		}
+		if err != nil {
+			t.Fatalf("%s op %d (%v %d): %v", f.Name(), i, op.Kind, op.Page, err)
+		}
+	}
+}
+
+// checkConsistency verifies the FTL's end-state invariants after a Flush:
+//
+//  1. every logical page's flash-resident mapping points to a written page
+//     whose spare area names that logical page;
+//  2. no two logical pages map to the same physical page;
+//  3. for every written page of every user block, the page-validity store
+//     marks it invalid exactly when the translation table does not reference
+//     it (no false invalidations of live data, no missed invalidations of
+//     stale data).
+//
+// strictStale controls the missed-invalidation half of (3). Invalidations
+// that were buffered in Logarithmic Gecko's RAM buffer when power failed and
+// that were reported outside synchronization operations cannot all be
+// reconstructed (Appendix C.2 recovers the synchronization-reported ones);
+// the affected pages are benign space leakage that the UIP check prevents
+// from ever being migrated, so post-recovery checks pass strictStale=false.
+func checkConsistency(t *testing.T, f *FTL, strictStale bool) {
+	t.Helper()
+	if err := f.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	referenced := make(map[flash.PPN]flash.LPN)
+	for lpn := flash.LPN(0); int64(lpn) < f.logicalPages; lpn++ {
+		ppn := f.table.FlashEntry(lpn)
+		if ppn == flash.InvalidPPN {
+			continue
+		}
+		if prev, dup := referenced[ppn]; dup {
+			t.Fatalf("physical page %d mapped by both %d and %d", ppn, prev, lpn)
+		}
+		referenced[ppn] = lpn
+		spare, written, err := f.dev.ReadSpare(ppn, flash.PurposeRecovery)
+		if err != nil || !written {
+			t.Fatalf("mapping of %d points at unwritten page %d (err=%v)", lpn, ppn, err)
+		}
+		if spare.Logical != lpn {
+			t.Fatalf("mapping of %d points at page %d holding logical %d", lpn, ppn, spare.Logical)
+		}
+	}
+
+	for _, block := range f.bm.BlocksInGroup(GroupUser) {
+		invalid, err := f.validity.Query(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		written := f.bm.WritePointer(block)
+		for offset := 0; offset < written; offset++ {
+			ppn := flash.PPNOf(block, offset, f.cfg.PagesPerBlock)
+			_, isLive := referenced[ppn]
+			if isLive && invalid.Get(offset) {
+				t.Fatalf("%s: live page %d (block %d offset %d) marked invalid", f.Name(), ppn, block, offset)
+			}
+			if strictStale && !isLive && !invalid.Get(offset) {
+				t.Fatalf("%s: stale page %d (block %d offset %d) not marked invalid", f.Name(), ppn, block, offset)
+			}
+		}
+	}
+}
+
+func TestNewValidatesOptions(t *testing.T) {
+	dev := newTestDevice(t, 32, 16, 512)
+	if _, err := New(dev, Options{Scheme: SchemeGecko, CacheEntries: 0}); err == nil {
+		t.Error("zero cache capacity accepted")
+	}
+	if _, err := New(dev, Options{Scheme: SchemeGecko, CacheEntries: 64, DirtyFraction: 1.5}); err == nil {
+		t.Error("dirty fraction > 1 accepted")
+	}
+	if _, err := New(dev, Options{Scheme: SchemeGecko, CacheEntries: 64, GCFreeBlockReserve: 1}); err == nil {
+		t.Error("tiny GC reserve accepted")
+	}
+	if _, err := New(dev, Options{Scheme: SchemeGecko, CacheEntries: 64, GCFreeBlockReserve: 31}); err == nil {
+		t.Error("oversized GC reserve accepted")
+	}
+	if _, err := New(dev, Options{Scheme: SchemeGecko, CacheEntries: 64, GeckoSizeRatio: 1}); err == nil {
+		t.Error("gecko size ratio 1 accepted")
+	}
+	if _, err := New(dev, Options{Scheme: Scheme(99), CacheEntries: 64}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	f, err := New(dev, Options{Scheme: SchemeGecko, CacheEntries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != SchemeGecko.String() {
+		t.Errorf("default name = %q", f.Name())
+	}
+	if f.Options().GCFreeBlockReserve != 4 {
+		t.Errorf("default GC reserve = %d, want 4", f.Options().GCFreeBlockReserve)
+	}
+}
+
+func TestSchemeAndConstructorNames(t *testing.T) {
+	for name, build := range allFTLBuilders() {
+		f := testFTL(t, build, 64, 128)
+		if f.Name() != name {
+			t.Errorf("constructor for %s produced name %q", name, f.Name())
+		}
+	}
+	if Scheme(42).String() == "" {
+		t.Error("unknown scheme has empty name")
+	}
+}
+
+func TestWriteReadRejectOutOfRange(t *testing.T) {
+	f := testFTL(t, NewGeckoFTL, 64, 128)
+	if err := f.Write(-1); err == nil {
+		t.Error("negative LPN write accepted")
+	}
+	if err := f.Write(flash.LPN(f.LogicalPages())); err == nil {
+		t.Error("out-of-range write accepted")
+	}
+	if err := f.Read(-1); err == nil {
+		t.Error("negative LPN read accepted")
+	}
+	if err := f.Read(flash.LPN(f.LogicalPages())); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+}
+
+func TestReadOfNeverWrittenPageIsCheap(t *testing.T) {
+	f := testFTL(t, NewGeckoFTL, 64, 128)
+	before := f.dev.Counters()
+	if err := f.Read(10); err != nil {
+		t.Fatal(err)
+	}
+	delta := f.dev.Counters().Sub(before)
+	if delta.Count(flash.OpPageRead, flash.PurposeUserRead) != 0 {
+		t.Error("reading a never-written logical page read a user page")
+	}
+}
+
+func TestWriteThenReadHitsNewVersion(t *testing.T) {
+	f := testFTL(t, NewGeckoFTL, 64, 128)
+	if err := f.Write(42); err != nil {
+		t.Fatal(err)
+	}
+	entry, ok := f.cache.Peek(42)
+	if !ok || !entry.Dirty || entry.Physical == flash.InvalidPPN {
+		t.Fatalf("cache entry after write = %+v, %v", entry, ok)
+	}
+	spare, written, err := f.dev.ReadSpare(entry.Physical, flash.PurposeRecovery)
+	if err != nil || !written || spare.Logical != 42 {
+		t.Fatalf("written page spare = %+v", spare)
+	}
+	before := f.dev.Counters()
+	if err := f.Read(42); err != nil {
+		t.Fatal(err)
+	}
+	delta := f.dev.Counters().Sub(before)
+	if delta.Count(flash.OpPageRead, flash.PurposeUserRead) != 1 {
+		t.Errorf("read IO = %v, want one user-read", delta)
+	}
+	if delta.Count(flash.OpPageRead, flash.PurposeTranslation) != 0 {
+		t.Error("cached read still read a translation page")
+	}
+	if f.Stats().LogicalWrites != 1 || f.Stats().LogicalReads != 1 {
+		t.Errorf("stats = %+v", f.Stats())
+	}
+}
+
+func TestReadMissFetchesTranslationPage(t *testing.T) {
+	f := testFTL(t, NewGeckoFTL, 64, 4) // tiny cache to force misses
+	// Write several pages so their entries evict each other and are
+	// synchronized to flash.
+	for lpn := flash.LPN(0); lpn < 32; lpn++ {
+		if err := f.Write(lpn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Read a page that is certainly not cached anymore.
+	target := flash.LPN(0)
+	if f.cache.Contains(target) {
+		f.cache.Remove(target)
+	}
+	before := f.dev.Counters()
+	if err := f.Read(target); err != nil {
+		t.Fatal(err)
+	}
+	delta := f.dev.Counters().Sub(before)
+	if delta.Count(flash.OpPageRead, flash.PurposeTranslation) != 1 {
+		t.Errorf("read miss translation reads = %d, want 1", delta.Count(flash.OpPageRead, flash.PurposeTranslation))
+	}
+}
+
+func TestUIPLazyIdentification(t *testing.T) {
+	// GeckoFTL: a write miss must not read the translation table; the
+	// before-image is identified lazily at synchronization time.
+	f := testFTL(t, NewGeckoFTL, 96, 256)
+	// Establish a flash-resident mapping for page 7, then drop it from the
+	// cache so the next write is a miss.
+	if err := f.Write(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	oldPPN := f.table.FlashEntry(7)
+	if oldPPN == flash.InvalidPPN {
+		t.Fatal("setup: page 7 has no flash mapping")
+	}
+	f.cache.Remove(7)
+
+	before := f.dev.Counters()
+	if err := f.Write(7); err != nil {
+		t.Fatal(err)
+	}
+	delta := f.dev.Counters().Sub(before)
+	if delta.Count(flash.OpPageRead, flash.PurposeTranslation) != 0 {
+		t.Error("GeckoFTL write miss read the translation table")
+	}
+	entry, _ := f.cache.Peek(7)
+	if !entry.UIP || !entry.Dirty {
+		t.Errorf("entry after write miss = %+v, want dirty+UIP", entry)
+	}
+	// The old physical page is not yet known to the validity store.
+	invalid, err := f.validity.Query(flash.BlockOf(oldPPN, f.cfg.PagesPerBlock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invalid.Get(flash.OffsetOf(oldPPN, f.cfg.PagesPerBlock)) {
+		t.Error("before-image reported before synchronization")
+	}
+	// After a flush (which synchronizes), the before-image must be known.
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	invalid, err = f.validity.Query(flash.BlockOf(oldPPN, f.cfg.PagesPerBlock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !invalid.Get(flash.OffsetOf(oldPPN, f.cfg.PagesPerBlock)) {
+		t.Error("before-image not reported invalid after synchronization")
+	}
+	entry, _ = f.cache.Peek(7)
+	if entry.UIP || entry.Dirty {
+		t.Errorf("entry after flush = %+v, want clean", entry)
+	}
+}
+
+func TestDFTLWriteMissReadsTranslationPage(t *testing.T) {
+	f := testFTL(t, NewDFTL, 96, 256)
+	if err := f.Write(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.cache.Remove(7)
+	before := f.dev.Counters()
+	if err := f.Write(7); err != nil {
+		t.Fatal(err)
+	}
+	delta := f.dev.Counters().Sub(before)
+	if delta.Count(flash.OpPageRead, flash.PurposeTranslation) != 1 {
+		t.Errorf("DFTL write miss translation reads = %d, want 1",
+			delta.Count(flash.OpPageRead, flash.PurposeTranslation))
+	}
+}
+
+func TestSustainedWorkloadAllFTLs(t *testing.T) {
+	// Enough writes to trigger garbage-collection several times over on a
+	// 96-block device, for every FTL, with full end-state verification.
+	for name, build := range allFTLBuilders() {
+		t.Run(name, func(t *testing.T) {
+			f := testFTL(t, build, 96, 256)
+			gen := workload.NewUniform(f.LogicalPages(), 1)
+			runWorkload(t, f, gen, 8000)
+			if f.Stats().GCOperations == 0 {
+				t.Error("no garbage-collection despite sustained writes")
+			}
+			checkConsistency(t, f, true)
+		})
+	}
+}
+
+func TestSequentialAndSkewedWorkloads(t *testing.T) {
+	f := testFTL(t, NewGeckoFTL, 96, 256)
+	runWorkload(t, f, workload.NewSequential(f.LogicalPages()), 5000)
+	checkConsistency(t, f, true)
+
+	f2 := testFTL(t, NewGeckoFTL, 96, 256)
+	runWorkload(t, f2, workload.NewHotCold(f2.LogicalPages(), 0.2, 0.8, 7), 5000)
+	checkConsistency(t, f2, true)
+
+	f3 := testFTL(t, NewGeckoFTL, 96, 256)
+	runWorkload(t, f3, workload.NewMixed(workload.NewUniform(f3.LogicalPages(), 3), f3.LogicalPages(), 0.3, 4), 5000)
+	checkConsistency(t, f3, true)
+}
+
+func TestGCReclaimsSpace(t *testing.T) {
+	f := testFTL(t, NewGeckoFTL, 64, 128)
+	gen := workload.NewUniform(f.LogicalPages(), 2)
+	runWorkload(t, f, gen, 6000)
+	if f.bm.FreeBlocks() == 0 {
+		t.Error("device ran out of free blocks")
+	}
+	st := f.Stats()
+	if st.GCOperations == 0 || st.GCMigrations == 0 {
+		t.Errorf("GC stats = %+v", st)
+	}
+	// The metadata-aware policy must never have migrated metadata, only
+	// reclaimed fully-invalid metadata blocks.
+	if st.MetadataBlockErases == 0 {
+		t.Error("no metadata blocks reclaimed despite sustained writes")
+	}
+}
+
+func TestDirtyBoundEnforced(t *testing.T) {
+	f := testFTL(t, NewLazyFTL, 96, 200)
+	limit := int(0.1 * 200)
+	gen := workload.NewUniform(f.LogicalPages(), 3)
+	for i := 0; i < 3000; i++ {
+		if err := f.Write(gen.Next().Page); err != nil {
+			t.Fatal(err)
+		}
+		if f.DirtyEntries() > limit {
+			t.Fatalf("dirty entries %d exceed bound %d after write %d", f.DirtyEntries(), limit, i)
+		}
+	}
+	if f.Stats().ForcedSyncs == 0 {
+		t.Error("dirty bound never forced a synchronization")
+	}
+	// GeckoFTL has no such bound: its dirty count is allowed to grow to the
+	// cache size.
+	g := testFTL(t, NewGeckoFTL, 96, 200)
+	for i := 0; i < 3000; i++ {
+		if err := g.Write(gen.Next().Page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Stats().ForcedSyncs != 0 {
+		t.Error("GeckoFTL forced synchronizations despite unbounded dirty fraction")
+	}
+}
+
+func TestCheckpointsHappenEveryCOperations(t *testing.T) {
+	f := testFTL(t, NewGeckoFTL, 96, 64)
+	gen := workload.NewUniform(f.LogicalPages(), 5)
+	runWorkload(t, f, gen, 1000)
+	st := f.Stats()
+	if st.Checkpoints == 0 {
+		t.Fatal("no checkpoints taken")
+	}
+	// Roughly one checkpoint per C cache operations (GC migrations add
+	// operations, so allow slack upward).
+	if st.Checkpoints < 1000/64/2 {
+		t.Errorf("checkpoints = %d, expected at least %d", st.Checkpoints, 1000/64/2)
+	}
+	// DFTL takes none.
+	d := testFTL(t, NewDFTL, 96, 64)
+	runWorkload(t, d, gen, 1000)
+	if d.Stats().Checkpoints != 0 {
+		t.Error("DFTL took checkpoints")
+	}
+}
+
+func TestMetadataAwareGCNeverTargetsMetadata(t *testing.T) {
+	f := testFTL(t, NewGeckoFTL, 64, 128)
+	gen := workload.NewUniform(f.LogicalPages(), 6)
+	runWorkload(t, f, gen, 6000)
+	// All GC migrations must have come from user blocks: with the
+	// metadata-aware policy, translation and metadata pages are never
+	// migrated, so the only writes with purpose gc-migration target the user
+	// group... which cannot be distinguished by purpose alone. Instead check
+	// that no metadata or translation block was ever picked as a victim by
+	// verifying the stats: every GC operation's victim was a user block iff
+	// UIPSkips+GCMigrations only ever touched user pages. The simplest
+	// observable guarantee: fully-invalid metadata reclaims happened, and the
+	// number of erases equals GC operations plus metadata reclaims.
+	st := f.Stats()
+	if got := f.bm.Erases(); got != st.GCOperations+st.MetadataBlockErases {
+		t.Errorf("erases = %d, GC ops %d + metadata reclaims %d", got, st.GCOperations, st.MetadataBlockErases)
+	}
+}
+
+func TestWriteAmplificationOrdering(t *testing.T) {
+	// The core claim of the paper's evaluation: GeckoFTL's page-validity
+	// write-amplification is far below the flash-resident PVB's (µ-FTL), and
+	// its overall write-amplification is lower as well. The RAM-resident PVB
+	// (DFTL) pays nothing for page validity.
+	const ops = 10000
+	results := map[string]struct {
+		total, validity float64
+	}{}
+	for name, build := range map[string]func(*flash.Device, int) (*FTL, error){
+		"GeckoFTL": NewGeckoFTL, "DFTL": NewDFTL, "uFTL": NewMuFTL,
+	} {
+		f := testFTL(t, build, 128, 256)
+		gen := workload.NewUniform(f.LogicalPages(), 9)
+		// Warm up so that steady-state GC is included.
+		runWorkloadB(f, gen, ops/2)
+		f.dev.ResetCounters()
+		runWorkloadB(f, gen, ops)
+		c := f.dev.Counters()
+		delta := f.cfg.Latency.WriteReadRatio()
+		results[name] = struct{ total, validity float64 }{
+			total:    c.WriteAmplification(ops, delta),
+			validity: c.PurposeWriteAmplification(flash.PurposePageValidity, ops, delta),
+		}
+	}
+	if !(results["GeckoFTL"].validity < results["uFTL"].validity/5) {
+		t.Errorf("GeckoFTL page-validity WA %v not well below uFTL %v",
+			results["GeckoFTL"].validity, results["uFTL"].validity)
+	}
+	if !(results["GeckoFTL"].total < results["uFTL"].total) {
+		t.Errorf("GeckoFTL total WA %v not below uFTL %v", results["GeckoFTL"].total, results["uFTL"].total)
+	}
+	if results["DFTL"].validity != 0 {
+		t.Errorf("DFTL page-validity WA = %v, want 0 (RAM-resident PVB)", results["DFTL"].validity)
+	}
+}
+
+// runWorkloadB is runWorkload without a *testing.T, for benchmarks and loops
+// where failures should surface as panics.
+func runWorkloadB(f *FTL, gen workload.Generator, ops int) {
+	for i := 0; i < ops; i++ {
+		op := gen.Next()
+		var err error
+		if op.Kind == workload.OpRead {
+			err = f.Read(op.Page)
+		} else {
+			err = f.Write(op.Page)
+		}
+		if err != nil {
+			panic(err)
+		}
+	}
+}
+
+func TestRAMFootprintOrdering(t *testing.T) {
+	// DFTL and LazyFTL keep the PVB in RAM and must therefore need much
+	// more integrated RAM than GeckoFTL and µ-FTL (Figure 13 top). Use the
+	// paper's block size so the PVB dominates the Gecko buffer.
+	ftls := map[string]*FTL{}
+	for name, build := range allFTLBuilders() {
+		dev := newTestDevice(t, 2048, 128, 4096)
+		f, err := build(dev, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ftls[name] = f
+	}
+	if !(ftls["GeckoFTL"].RAMBytes() < ftls["DFTL"].RAMBytes()) {
+		t.Errorf("GeckoFTL RAM %d not below DFTL %d", ftls["GeckoFTL"].RAMBytes(), ftls["DFTL"].RAMBytes())
+	}
+	if !(ftls["uFTL"].RAMBytes() < ftls["LazyFTL"].RAMBytes()) {
+		t.Errorf("uFTL RAM %d not below LazyFTL %d", ftls["uFTL"].RAMBytes(), ftls["LazyFTL"].RAMBytes())
+	}
+}
+
+func TestFlushLeavesNothingDirty(t *testing.T) {
+	f := testFTL(t, NewGeckoFTL, 96, 128)
+	gen := workload.NewUniform(f.LogicalPages(), 11)
+	runWorkload(t, f, gen, 2000)
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if f.DirtyEntries() != 0 {
+		t.Errorf("dirty entries after flush = %d", f.DirtyEntries())
+	}
+	if f.cache.DirtyCount() != 0 {
+		t.Errorf("cache reports %d dirty entries after flush", f.cache.DirtyCount())
+	}
+}
+
+func TestStressRandomOperationsAcrossSchemes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for name, build := range allFTLBuilders() {
+		t.Run(name, func(t *testing.T) {
+			f := testFTL(t, build, 96, 128)
+			rng := rand.New(rand.NewSource(99))
+			for i := 0; i < 12000; i++ {
+				lpn := flash.LPN(rng.Int63n(f.LogicalPages()))
+				var err error
+				if rng.Intn(4) == 0 {
+					err = f.Read(lpn)
+				} else {
+					err = f.Write(lpn)
+				}
+				if err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+			}
+			checkConsistency(t, f, true)
+		})
+	}
+}

@@ -1,0 +1,181 @@
+package ftl
+
+import (
+	"fmt"
+
+	"geckoftl/internal/flash"
+	"geckoftl/internal/gecko"
+)
+
+// Scheme selects how an FTL stores page-validity metadata, which is the first
+// of the two axes along which the paper's five FTLs differ (Section 5.3).
+type Scheme int
+
+const (
+	// SchemeGecko stores page-validity metadata in flash with Logarithmic
+	// Gecko (GeckoFTL).
+	SchemeGecko Scheme = iota
+	// SchemeRAMPVB keeps the Page Validity Bitmap in integrated RAM (DFTL,
+	// LazyFTL).
+	SchemeRAMPVB
+	// SchemeFlashPVB stores the Page Validity Bitmap in flash (µ-FTL).
+	SchemeFlashPVB
+	// SchemePVL logs invalidated page addresses in flash with per-block
+	// chains (IB-FTL).
+	SchemePVL
+)
+
+var schemeNames = [...]string{
+	SchemeGecko:    "logarithmic-gecko",
+	SchemeRAMPVB:   "ram-pvb",
+	SchemeFlashPVB: "flash-pvb",
+	SchemePVL:      "pvl",
+}
+
+// String names the scheme.
+func (s Scheme) String() string {
+	if s >= 0 && int(s) < len(schemeNames) {
+		return schemeNames[s]
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// Options configures an FTL instance. The New* constructors fill it in for
+// the paper's five FTLs; tests and ablation benchmarks tweak individual
+// fields.
+type Options struct {
+	// Name labels the FTL in experiment output.
+	Name string
+	// Scheme selects the page-validity store.
+	Scheme Scheme
+	// CacheEntries is C, the capacity of the LRU mapping cache.
+	CacheEntries int
+	// DirtyFraction bounds the fraction of the cache that may hold dirty
+	// mapping entries (LazyFTL and IB-FTL use 0.1); zero means unbounded.
+	DirtyFraction float64
+	// Battery marks FTLs that rely on a battery to synchronize dirty
+	// mapping entries at power failure (DFTL, µ-FTL).
+	Battery bool
+	// Checkpoints enables GeckoFTL's runtime checkpoints (Section 4.3).
+	Checkpoints bool
+	// VictimPolicy selects the garbage-collection victim policy.
+	VictimPolicy VictimPolicy
+	// GCFreeBlockReserve is the number of free blocks below which
+	// garbage-collection runs. Zero selects a default of 4.
+	GCFreeBlockReserve int
+	// GeckoSizeRatio overrides Logarithmic Gecko's size ratio T (default 2).
+	GeckoSizeRatio int
+	// GeckoPartitionFactor overrides the entry-partitioning factor S
+	// (default: the recommended factor). Set to 1 to disable partitioning.
+	GeckoPartitionFactor int
+	// GeckoMultiWayMerge enables the multi-way merge of Appendix A.
+	GeckoMultiWayMerge bool
+	// PVLMaxEntries bounds the IB-FTL page validity log (0 = the Appendix E
+	// default of twice the over-provisioned space).
+	PVLMaxEntries int
+	// WearLeveling enables the Appendix D gradual-scan wear-leveler: one
+	// spare-area read per application write and recycling of exceptionally
+	// unworn static blocks.
+	WearLeveling bool
+	// WearThreshold is the erase-count discrepancy above which a static
+	// block is recycled (0 selects the default of 8).
+	WearThreshold int
+}
+
+// validate normalizes and checks the options against a device configuration.
+func (o *Options) validate(cfg flash.Config) error {
+	if o.CacheEntries <= 0 {
+		return fmt.Errorf("ftl: cache capacity %d must be positive", o.CacheEntries)
+	}
+	if o.DirtyFraction < 0 || o.DirtyFraction > 1 {
+		return fmt.Errorf("ftl: dirty fraction %f out of range [0,1]", o.DirtyFraction)
+	}
+	if o.GCFreeBlockReserve == 0 {
+		o.GCFreeBlockReserve = 4
+	}
+	if o.GCFreeBlockReserve < 2 {
+		return fmt.Errorf("ftl: GC reserve %d must be at least 2", o.GCFreeBlockReserve)
+	}
+	if o.GCFreeBlockReserve >= cfg.Blocks/2 {
+		return fmt.Errorf("ftl: GC reserve %d too large for %d blocks", o.GCFreeBlockReserve, cfg.Blocks)
+	}
+	if o.GeckoSizeRatio == 0 {
+		o.GeckoSizeRatio = gecko.DefaultSizeRatio
+	}
+	if o.GeckoSizeRatio < 2 {
+		return fmt.Errorf("ftl: gecko size ratio %d must be at least 2", o.GeckoSizeRatio)
+	}
+	if o.WearThreshold < 0 {
+		return fmt.Errorf("ftl: wear threshold %d must be >= 0", o.WearThreshold)
+	}
+	if o.Name == "" {
+		o.Name = o.Scheme.String()
+	}
+	return nil
+}
+
+// DefaultCacheEntries is the paper's default LRU cache capacity: a 4 MB cache
+// at 8 bytes per entry holds 2^19 entries (Section 5). Simulations on scaled
+// devices use proportionally smaller caches.
+const DefaultCacheEntries = 1 << 19
+
+// GeckoFTLOptions returns the paper's GeckoFTL configuration: Logarithmic
+// Gecko for page validity, no battery, runtime checkpoints, metadata-aware
+// garbage-collection and an unbounded dirty fraction.
+func GeckoFTLOptions(cacheEntries int) Options {
+	return Options{
+		Name:         "GeckoFTL",
+		Scheme:       SchemeGecko,
+		CacheEntries: cacheEntries,
+		Checkpoints:  true,
+		VictimPolicy: VictimMetadataAware,
+	}
+}
+
+// DFTLOptions returns the DFTL configuration: RAM-resident PVB, battery
+// recovery, greedy garbage-collection.
+func DFTLOptions(cacheEntries int) Options {
+	return Options{
+		Name:         "DFTL",
+		Scheme:       SchemeRAMPVB,
+		CacheEntries: cacheEntries,
+		Battery:      true,
+		VictimPolicy: VictimGreedy,
+	}
+}
+
+// LazyFTLOptions returns the LazyFTL configuration: RAM-resident PVB, no
+// battery, dirty entries bounded to 10% of the cache, greedy GC.
+func LazyFTLOptions(cacheEntries int) Options {
+	return Options{
+		Name:          "LazyFTL",
+		Scheme:        SchemeRAMPVB,
+		CacheEntries:  cacheEntries,
+		DirtyFraction: 0.1,
+		VictimPolicy:  VictimGreedy,
+	}
+}
+
+// MuFTLOptions returns the µ-FTL configuration: flash-resident PVB, battery
+// recovery, greedy GC.
+func MuFTLOptions(cacheEntries int) Options {
+	return Options{
+		Name:         "uFTL",
+		Scheme:       SchemeFlashPVB,
+		CacheEntries: cacheEntries,
+		Battery:      true,
+		VictimPolicy: VictimGreedy,
+	}
+}
+
+// IBFTLOptions returns the IB-FTL configuration: page validity log, no
+// battery, dirty entries bounded to 10% of the cache, greedy GC.
+func IBFTLOptions(cacheEntries int) Options {
+	return Options{
+		Name:          "IB-FTL",
+		Scheme:        SchemePVL,
+		CacheEntries:  cacheEntries,
+		DirtyFraction: 0.1,
+		VictimPolicy:  VictimGreedy,
+	}
+}

@@ -1,0 +1,110 @@
+package gecko
+
+import (
+	"sort"
+
+	"geckoftl/internal/bitmap"
+	"geckoftl/internal/flash"
+)
+
+// buffer is the RAM-resident buffer of Logarithmic Gecko. Its capacity is one
+// flash page: V entries. Updates are absorbed here and flushed to a level-0
+// run when V distinct (block, sub-key) entries have accumulated.
+type buffer struct {
+	cfg     Config
+	entries map[key]*Entry
+	// inserts counts insertions (including ones absorbed by an existing
+	// entry) since the last flush; it implements the optional BufferLimit
+	// bound of Appendix C.2.
+	inserts int
+}
+
+func newBuffer(cfg Config) *buffer {
+	return &buffer{cfg: cfg, entries: make(map[key]*Entry, cfg.EntriesPerPage())}
+}
+
+// len returns the number of distinct entries currently buffered.
+func (b *buffer) len() int { return len(b.entries) }
+
+// full reports whether the buffer must be flushed: either V distinct entries
+// exist (one flash page worth) or the configured absorption limit is hit.
+func (b *buffer) full() bool {
+	if len(b.entries) >= b.cfg.EntriesPerPage() {
+		return true
+	}
+	return b.cfg.BufferLimit > 0 && b.inserts >= b.cfg.BufferLimit
+}
+
+// recordInvalid implements Algorithm 1: mark one page of a block invalid.
+func (b *buffer) recordInvalid(block flash.BlockID, pageOffset int) {
+	b.inserts++
+	bits := b.cfg.BitsPerEntry()
+	sub := 0
+	chunkOffset := pageOffset
+	if b.cfg.PartitionFactor > 1 {
+		sub = pageOffset / bits
+		chunkOffset = pageOffset % bits
+	}
+	k := key{block, sub}
+	e, ok := b.entries[k]
+	if !ok {
+		e = &Entry{Block: block, SubKey: sub, Bits: bitmap.New(bits)}
+		b.entries[k] = e
+	}
+	e.Bits.Set(chunkOffset)
+}
+
+// recordErase implements Algorithm 2: note that a block was erased. All
+// buffered invalidations for the block predate the erase and are dropped, and
+// a whole-block erase entry is inserted so that older flash-resident entries
+// are ignored by subsequent GC queries and discarded by merges.
+func (b *buffer) recordErase(block flash.BlockID) {
+	b.inserts++
+	for sub := 0; sub < b.cfg.PartitionFactor; sub++ {
+		delete(b.entries, key{block, sub})
+	}
+	b.entries[key{block, WholeBlock}] = &Entry{Block: block, SubKey: WholeBlock, EraseFlag: true}
+}
+
+// query returns the buffered entries for a block, and whether one of them is
+// an erase entry (in which case the GC query stops at the buffer).
+func (b *buffer) query(block flash.BlockID) (chunks []Entry, erased bool) {
+	if e, ok := b.entries[key{block, WholeBlock}]; ok && e.EraseFlag {
+		erased = true
+	}
+	for sub := 0; sub < b.cfg.PartitionFactor; sub++ {
+		if e, ok := b.entries[key{block, sub}]; ok {
+			chunks = append(chunks, e.Clone())
+		}
+	}
+	return chunks, erased
+}
+
+// drain removes and returns all buffered entries sorted by key, resetting the
+// absorption counter. The result is the content of a new level-0 run.
+func (b *buffer) drain() []Entry {
+	out := make([]Entry, 0, len(b.entries))
+	for _, e := range b.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key().less(out[j].key()) })
+	b.entries = make(map[key]*Entry, b.cfg.EntriesPerPage())
+	b.inserts = 0
+	return out
+}
+
+// snapshot returns a copy of the buffered entries without draining them.
+func (b *buffer) snapshot() []Entry {
+	out := make([]Entry, 0, len(b.entries))
+	for _, e := range b.entries {
+		out = append(out, e.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key().less(out[j].key()) })
+	return out
+}
+
+// clear drops the buffer contents; power failure does this.
+func (b *buffer) clear() {
+	b.entries = make(map[key]*Entry, b.cfg.EntriesPerPage())
+	b.inserts = 0
+}

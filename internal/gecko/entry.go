@@ -1,0 +1,93 @@
+package gecko
+
+import (
+	"fmt"
+
+	"geckoftl/internal/bitmap"
+	"geckoftl/internal/flash"
+)
+
+// WholeBlock is the sub-key of an entry whose erase flag covers the entire
+// block, regardless of partitioning. Erase entries always use it so that one
+// buffer insertion suffices to obsolete all older metadata for the block
+// (Section 3, "Erase Flag"). It sorts before every real sub-key.
+const WholeBlock = -1
+
+// Entry is a Gecko entry (Figure 3 of the paper): a block ID key, a bitmap of
+// page-validity bits, and an erase flag. With entry-partitioning
+// (Section 3.3) an entry carries only a chunk of the block's bitmap and a
+// sub-key identifying which chunk.
+type Entry struct {
+	// Block is the key: the flash block the entry describes.
+	Block flash.BlockID
+	// SubKey identifies the bitmap chunk [SubKey*BitsPerEntry,
+	// (SubKey+1)*BitsPerEntry) when entry-partitioning is enabled, or
+	// WholeBlock for erase entries.
+	SubKey int
+	// Bits holds one validity bit per page in the chunk; a set bit means the
+	// page is invalid. Erase entries carry a nil or empty bitmap.
+	Bits *bitmap.Bitmap
+	// EraseFlag records that the block was erased after every older entry
+	// for the block was created; GC queries stop when they meet it and
+	// merges discard older colliding entries (Algorithms 2 and 3).
+	EraseFlag bool
+}
+
+// key is the composite sort key of an entry within a run.
+type key struct {
+	block  flash.BlockID
+	subKey int
+}
+
+func (e Entry) key() key { return key{e.Block, e.SubKey} }
+
+// less orders keys by block, then sub-key; WholeBlock (-1) naturally sorts
+// before every real sub-key, so an erase entry precedes the block's chunks.
+func (a key) less(b key) bool {
+	if a.block != b.block {
+		return a.block < b.block
+	}
+	return a.subKey < b.subKey
+}
+
+// Clone deep-copies the entry.
+func (e Entry) Clone() Entry {
+	out := e
+	if e.Bits != nil {
+		out.Bits = e.Bits.Clone()
+	}
+	return out
+}
+
+// String renders the entry compactly for debugging and test failure output.
+func (e Entry) String() string {
+	erase := ""
+	if e.EraseFlag {
+		erase = " erase"
+	}
+	bits := "-"
+	if e.Bits != nil {
+		bits = fmt.Sprintf("%d set", e.Bits.PopCount())
+	}
+	return fmt.Sprintf("entry(block=%d sub=%d %s%s)", e.Block, e.SubKey, bits, erase)
+}
+
+// mergeCollision resolves a collision between an entry from a newer run and
+// one from an older run with the same key, per Algorithm 3: if the newer
+// entry's erase flag is set the older entry is discarded; otherwise the
+// bitmaps are merged with OR and the older entry's erase flag is preserved.
+func mergeCollision(newer, older Entry) Entry {
+	if newer.EraseFlag {
+		return newer.Clone()
+	}
+	out := newer.Clone()
+	if older.Bits != nil {
+		if out.Bits == nil {
+			out.Bits = older.Bits.Clone()
+		} else {
+			out.Bits.Or(older.Bits)
+		}
+	}
+	out.EraseFlag = older.EraseFlag
+	return out
+}

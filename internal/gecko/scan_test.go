@@ -1,0 +1,87 @@
+package gecko
+
+import (
+	"testing"
+
+	"geckoftl/internal/flash"
+)
+
+func TestScanValidityMatchesPerBlockQueries(t *testing.T) {
+	h := newHarness(t, 128, 16, 256, 64, nil)
+	m := newModel(16)
+	populate(t, h, m, 12000, 51)
+
+	scan, err := h.g.ScanValidity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 128; b++ {
+		want := m.query(flash.BlockID(b))
+		got, ok := scan[flash.BlockID(b)]
+		if !ok {
+			if want.Any() {
+				t.Fatalf("block %d missing from scan, model has %v", b, want.SetBits())
+			}
+			continue
+		}
+		if !got.Equal(want) {
+			t.Fatalf("block %d: scan=%v model=%v", b, got.SetBits(), want.SetBits())
+		}
+	}
+}
+
+func TestScanValidityReadsEachLivePageOnce(t *testing.T) {
+	h := newHarness(t, 128, 16, 256, 64, nil)
+	populate(t, h, nil, 8000, 52)
+	h.g.Flush()
+	live := h.g.FlashPages()
+	before := h.dev.Counters()
+	if _, err := h.g.ScanValidity(); err != nil {
+		t.Fatal(err)
+	}
+	delta := h.dev.Counters().Sub(before)
+	if got := delta.Count(flash.OpPageRead, flash.PurposePageValidity); got != int64(live) {
+		t.Errorf("scan read %d pages, want one per live page (%d)", got, live)
+	}
+	if delta.TotalOp(flash.OpPageWrite) != 0 {
+		t.Error("scan performed writes")
+	}
+}
+
+func TestScanValidityIncludesBufferedEntries(t *testing.T) {
+	h := newHarness(t, 32, 16, 512, 8, nil)
+	// Only buffered updates, no flush yet.
+	h.g.Update(flash.Addr{Block: 3, Offset: 5})
+	h.g.Update(flash.Addr{Block: 3, Offset: 9})
+	scan, err := h.g.ScanValidity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scan[3]
+	if got == nil || got.PopCount() != 2 || !got.Get(5) || !got.Get(9) {
+		t.Fatalf("scan of buffered-only state = %v", got)
+	}
+}
+
+func TestScanValidityHonorsEraseFlags(t *testing.T) {
+	h := newHarness(t, 64, 16, 256, 32, nil)
+	m := newModel(16)
+	populate(t, h, m, 5000, 53)
+	// Erase a block with flash-resident history, then add one fresh update.
+	if err := h.g.RecordErase(7); err != nil {
+		t.Fatal(err)
+	}
+	m.erase(7)
+	if err := h.g.Update(flash.Addr{Block: 7, Offset: 2}); err != nil {
+		t.Fatal(err)
+	}
+	m.update(flash.Addr{Block: 7, Offset: 2})
+	scan, err := h.g.ScanValidity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scan[7]
+	if got == nil || !got.Equal(m.query(7)) {
+		t.Fatalf("block 7 after erase: scan=%v model=%v", got, m.query(7).SetBits())
+	}
+}

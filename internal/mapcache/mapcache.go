@@ -1,0 +1,386 @@
+// Package mapcache implements the LRU cache of logical-to-physical mapping
+// entries that page-associative FTLs keep in integrated RAM.
+//
+// The cache is the component through which all of the paper's FTLs
+// (GeckoFTL, DFTL, LazyFTL, µ-FTL, IB-FTL) serve application reads and
+// writes: recently accessed mapping entries live here, entries for recently
+// updated logical pages are marked dirty until a synchronization operation
+// writes them back to the flash-resident translation table, and GeckoFTL
+// additionally tracks its Unidentified-Invalid-Page (UIP) and uncertainty
+// flags on each entry (Sections 4, 4.1 and Appendix C.3 of the paper).
+//
+// The paper notes that "the LRU cache is implemented as a tree to enable
+// efficient range queries for mapping entries on a particular translation
+// page". This implementation keeps an explicit secondary index from
+// translation-page number to the set of cached logical pages it covers, which
+// provides the same O(entries-on-page) synchronization scans without a
+// balanced tree.
+package mapcache
+
+import (
+	"container/list"
+	"fmt"
+
+	"geckoftl/internal/flash"
+)
+
+// Entry is a cached mapping entry for one logical page.
+type Entry struct {
+	// Logical is the logical page number this entry maps.
+	Logical flash.LPN
+	// Physical is the flash page currently holding the logical page.
+	Physical flash.PPN
+	// Dirty is set when the cached physical address differs from (or may
+	// differ from) the one recorded in the flash-resident translation table.
+	Dirty bool
+	// UIP (Unidentified Invalid Page) is set when some before-image of this
+	// logical page has not yet been reported to the page-validity store
+	// (Section 4.1).
+	UIP bool
+	// Uncertain is set on entries recreated during recovery whose Dirty/UIP
+	// flags are assumed true but unverified (Appendix C.3). The first
+	// synchronization operation involving the entry performs the extra
+	// checks and clears the flag.
+	Uncertain bool
+}
+
+// element is what the LRU list stores: either a real mapping entry or a
+// checkpoint symbol (Section 4.3).
+type element struct {
+	entry      Entry
+	checkpoint bool
+}
+
+// EvictionStats counts cache-management events; the FTL uses them to decide
+// when synchronization operations and checkpoints were triggered.
+type EvictionStats struct {
+	// Hits and Misses count Lookup outcomes.
+	Hits, Misses int64
+	// Evictions counts entries removed because the cache was full.
+	Evictions int64
+	// DirtyEvictions counts evictions of dirty entries, each of which forces
+	// a synchronization operation.
+	DirtyEvictions int64
+	// Checkpoints counts checkpoint scans performed.
+	Checkpoints int64
+}
+
+// Cache is an LRU cache of mapping entries with capacity C. It is not safe
+// for concurrent use; the FTL serializes access.
+type Cache struct {
+	capacity int
+
+	// order is the LRU list; front = most recently used.
+	order *list.List
+	// byLPN indexes list elements holding real entries.
+	byLPN map[flash.LPN]*list.Element
+
+	// byTP groups cached logical pages by translation page so that a
+	// synchronization operation can find "all dirty mapping entries in the
+	// LRU cache that belong to the same translation page as the evicted
+	// entry" without scanning the whole cache.
+	byTP         map[int]map[flash.LPN]struct{}
+	entriesPerTP int
+
+	// opsSinceCheckpoint counts inserts/updates since the last checkpoint;
+	// GeckoFTL takes a checkpoint every C operations (Section 4.3).
+	opsSinceCheckpoint int
+
+	stats EvictionStats
+}
+
+// New creates a cache that holds at most capacity mapping entries.
+// entriesPerTranslationPage is the number of mapping entries stored on one
+// translation page; it determines which translation page a logical page
+// belongs to. It panics if either argument is not positive.
+func New(capacity, entriesPerTranslationPage int) *Cache {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("mapcache: capacity %d must be positive", capacity))
+	}
+	if entriesPerTranslationPage <= 0 {
+		panic(fmt.Sprintf("mapcache: entries per translation page %d must be positive", entriesPerTranslationPage))
+	}
+	return &Cache{
+		capacity:     capacity,
+		order:        list.New(),
+		byLPN:        make(map[flash.LPN]*list.Element),
+		byTP:         make(map[int]map[flash.LPN]struct{}),
+		entriesPerTP: entriesPerTranslationPage,
+	}
+}
+
+// Capacity returns C, the maximum number of mapping entries.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the number of cached mapping entries (checkpoint symbols are
+// not counted).
+func (c *Cache) Len() int { return len(c.byLPN) }
+
+// Stats returns a copy of the cache-management counters.
+func (c *Cache) Stats() EvictionStats { return c.stats }
+
+// OpsSinceCheckpoint returns the number of inserts or updates since the last
+// checkpoint scan.
+func (c *Cache) OpsSinceCheckpoint() int { return c.opsSinceCheckpoint }
+
+// TranslationPageOf returns the index of the translation page that holds the
+// mapping entry for the given logical page.
+func (c *Cache) TranslationPageOf(lpn flash.LPN) int {
+	return int(int64(lpn) / int64(c.entriesPerTP))
+}
+
+func (c *Cache) indexAdd(lpn flash.LPN) {
+	tp := c.TranslationPageOf(lpn)
+	set, ok := c.byTP[tp]
+	if !ok {
+		set = make(map[flash.LPN]struct{})
+		c.byTP[tp] = set
+	}
+	set[lpn] = struct{}{}
+}
+
+func (c *Cache) indexRemove(lpn flash.LPN) {
+	tp := c.TranslationPageOf(lpn)
+	if set, ok := c.byTP[tp]; ok {
+		delete(set, lpn)
+		if len(set) == 0 {
+			delete(c.byTP, tp)
+		}
+	}
+}
+
+// Lookup returns the entry for lpn and whether it is cached. A hit promotes
+// the entry to most-recently-used.
+func (c *Cache) Lookup(lpn flash.LPN) (Entry, bool) {
+	el, ok := c.byLPN[lpn]
+	if !ok {
+		c.stats.Misses++
+		return Entry{}, false
+	}
+	c.stats.Hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*element).entry, true
+}
+
+// Peek returns the entry for lpn without affecting LRU order or hit/miss
+// statistics. Recovery and invariant checks use it.
+func (c *Cache) Peek(lpn flash.LPN) (Entry, bool) {
+	el, ok := c.byLPN[lpn]
+	if !ok {
+		return Entry{}, false
+	}
+	return el.Value.(*element).entry, true
+}
+
+// Contains reports whether lpn is cached, without touching LRU order.
+func (c *Cache) Contains(lpn flash.LPN) bool {
+	_, ok := c.byLPN[lpn]
+	return ok
+}
+
+// Evicted describes an entry that had to leave the cache to make room.
+type Evicted struct {
+	Entry Entry
+	// Valid is false when no eviction was necessary.
+	Valid bool
+}
+
+// Put inserts or updates the entry and promotes it to most-recently-used.
+// If the cache is full, the least-recently-used real entry is evicted and
+// returned so that the FTL can run a synchronization operation when the
+// victim is dirty. Checkpoint symbols are silently discarded when they reach
+// the LRU end during eviction.
+func (c *Cache) Put(e Entry) Evicted {
+	if e.Logical < 0 {
+		panic(fmt.Sprintf("mapcache: negative logical page %d", e.Logical))
+	}
+	c.opsSinceCheckpoint++
+	if el, ok := c.byLPN[e.Logical]; ok {
+		el.Value.(*element).entry = e
+		c.order.MoveToFront(el)
+		return Evicted{}
+	}
+	evicted := c.makeRoom()
+	el := c.order.PushFront(&element{entry: e})
+	c.byLPN[e.Logical] = el
+	c.indexAdd(e.Logical)
+	return evicted
+}
+
+// makeRoom evicts the least-recently-used real entry if the cache is full.
+func (c *Cache) makeRoom() Evicted {
+	if len(c.byLPN) < c.capacity {
+		return Evicted{}
+	}
+	for el := c.order.Back(); el != nil; {
+		prev := el.Prev()
+		node := el.Value.(*element)
+		if node.checkpoint {
+			// A checkpoint symbol at the LRU end is stale; drop it.
+			c.order.Remove(el)
+			el = prev
+			continue
+		}
+		c.order.Remove(el)
+		delete(c.byLPN, node.entry.Logical)
+		c.indexRemove(node.entry.Logical)
+		c.stats.Evictions++
+		if node.entry.Dirty {
+			c.stats.DirtyEvictions++
+		}
+		return Evicted{Entry: node.entry, Valid: true}
+	}
+	return Evicted{}
+}
+
+// Remove deletes the entry for lpn, reporting whether it was present.
+func (c *Cache) Remove(lpn flash.LPN) bool {
+	el, ok := c.byLPN[lpn]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.byLPN, lpn)
+	c.indexRemove(lpn)
+	return true
+}
+
+// Update applies fn to the cached entry for lpn, if present, and reports
+// whether it was. The entry is not promoted; Update models flag maintenance
+// rather than an application access.
+func (c *Cache) Update(lpn flash.LPN, fn func(*Entry)) bool {
+	el, ok := c.byLPN[lpn]
+	if !ok {
+		return false
+	}
+	fn(&el.Value.(*element).entry)
+	return true
+}
+
+// EntriesOnTranslationPage returns the cached entries whose logical pages
+// belong to the given translation page, in ascending logical order is NOT
+// guaranteed; callers that need order must sort. This is the range query used
+// by synchronization operations.
+func (c *Cache) EntriesOnTranslationPage(tp int) []Entry {
+	set, ok := c.byTP[tp]
+	if !ok {
+		return nil
+	}
+	out := make([]Entry, 0, len(set))
+	for lpn := range set {
+		if el, ok := c.byLPN[lpn]; ok {
+			out = append(out, el.Value.(*element).entry)
+		}
+	}
+	return out
+}
+
+// DirtyEntriesOnTranslationPage returns only the dirty cached entries on the
+// given translation page.
+func (c *Cache) DirtyEntriesOnTranslationPage(tp int) []Entry {
+	all := c.EntriesOnTranslationPage(tp)
+	out := all[:0]
+	for _, e := range all {
+		if e.Dirty {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// DirtyCount returns the number of dirty entries in the cache. LazyFTL and
+// IB-FTL bound this number during runtime; GeckoFTL does not.
+func (c *Cache) DirtyCount() int {
+	n := 0
+	for _, el := range c.byLPN {
+		if el.Value.(*element).entry.Dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach calls fn on every cached entry in most-recently-used-first order.
+// It stops early if fn returns false.
+func (c *Cache) ForEach(fn func(Entry) bool) {
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		node := el.Value.(*element)
+		if node.checkpoint {
+			continue
+		}
+		if !fn(node.entry) {
+			return
+		}
+	}
+}
+
+// Entries returns all cached entries in most-recently-used-first order.
+func (c *Cache) Entries() []Entry {
+	out := make([]Entry, 0, len(c.byLPN))
+	c.ForEach(func(e Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// LeastRecentlyUsed returns the entry that would be evicted next, if any.
+func (c *Cache) LeastRecentlyUsed() (Entry, bool) {
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		node := el.Value.(*element)
+		if !node.checkpoint {
+			return node.entry, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Checkpoint implements the runtime checkpoint of Section 4.3. It inserts a
+// fresh checkpoint symbol at the most-recently-used end, then scans the LRU
+// queue from the end backwards until it finds and removes the symbol inserted
+// by the previous checkpoint (or exhausts the queue on the first checkpoint).
+// Every dirty mapping entry encountered along the way is returned so that the
+// FTL can synchronize it; the entries themselves are left in place (the FTL
+// marks them clean through Update once synchronized).
+//
+// The operation counter used to schedule checkpoints is reset.
+func (c *Cache) Checkpoint() []Entry {
+	c.stats.Checkpoints++
+	c.opsSinceCheckpoint = 0
+
+	var stale []Entry
+	for el := c.order.Back(); el != nil; {
+		prev := el.Prev()
+		node := el.Value.(*element)
+		if node.checkpoint {
+			c.order.Remove(el)
+			break
+		}
+		if node.entry.Dirty {
+			stale = append(stale, node.entry)
+		}
+		el = prev
+	}
+	c.order.PushFront(&element{checkpoint: true})
+	return stale
+}
+
+// CheckpointDue reports whether C or more inserts/updates have happened since
+// the last checkpoint.
+func (c *Cache) CheckpointDue() bool { return c.opsSinceCheckpoint >= c.capacity }
+
+// Clear drops every entry and checkpoint symbol. It models the loss of
+// integrated RAM at power failure.
+func (c *Cache) Clear() {
+	c.order.Init()
+	c.byLPN = make(map[flash.LPN]*list.Element)
+	c.byTP = make(map[int]map[flash.LPN]struct{})
+	c.opsSinceCheckpoint = 0
+}
+
+// RAMBytes returns the integrated-RAM footprint the paper's models charge for
+// the cache: bytesPerEntry bytes for each of the C entries of capacity
+// (the paper assumes 8 bytes per cached entry in Section 5).
+func (c *Cache) RAMBytes(bytesPerEntry int) int64 {
+	return int64(c.capacity) * int64(bytesPerEntry)
+}

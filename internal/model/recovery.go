@@ -1,0 +1,201 @@
+package model
+
+import (
+	"time"
+
+	"geckoftl/internal/gecko"
+)
+
+// RecoveryBreakdown is the modeled recovery time of one FTL after power
+// failure, split by the data structure being recovered (Figure 13 middle;
+// Figure 1 bottom is LazyFTL's total across capacities). All values are
+// durations under the device latency model.
+type RecoveryBreakdown struct {
+	FTL FTLKind
+	// BlockScan is the initial device scan that classifies blocks (one
+	// spare-area read per block); the paper notes it as an emerging
+	// bottleneck shared by all FTLs.
+	BlockScan time.Duration
+	// GMD is the time to rebuild the Global Mapping Directory by scanning
+	// the spare areas of all translation pages.
+	GMD time.Duration
+	// PVB is the time to rebuild the RAM-resident PVB by scanning the
+	// translation table (zero for FTLs without a RAM-resident PVB, and for
+	// DFTL which copies it to flash on battery power).
+	PVB time.Duration
+	// PageValidity is the time to recover flash-resident page-validity
+	// metadata: Logarithmic Gecko's run directories and buffer, or IB-FTL's
+	// full log scan.
+	PageValidity time.Duration
+	// LRUCache is the time to recover (and, for LazyFTL and IB-FTL,
+	// synchronize) dirty cached mapping entries. Zero for battery FTLs;
+	// bounded by the checkpointed backwards scan for GeckoFTL.
+	LRUCache time.Duration
+	// Battery reports that the FTL relies on a battery (DFTL, µ-FTL); the
+	// paper draws these bars with a "battery" label instead of a time.
+	Battery bool
+}
+
+// Total returns the total recovery time.
+func (b RecoveryBreakdown) Total() time.Duration {
+	return b.BlockScan + b.GMD + b.PVB + b.PageValidity + b.LRUCache
+}
+
+// Recovery returns the recovery-time breakdown of one FTL under the given
+// parameters, following Section 5.3 and Appendix C:
+//
+//   - every FTL scans one spare area per block to classify blocks;
+//   - every FTL scans the spare areas of all O(K*B/P) translation pages to
+//     rebuild the GMD;
+//   - DFTL and LazyFTL rebuild the PVB by reading all TT/P translation
+//     pages, except that DFTL's battery lets it checkpoint the PVB instead;
+//   - GeckoFTL scans the spare areas of all Gecko pages to rebuild run
+//     directories and reads up to 2V translation pages to rebuild the
+//     buffer; µ-FTL's flash-resident PVB needs nothing;
+//   - IB-FTL reads its whole page-validity log to rebuild chain heads;
+//   - LazyFTL and IB-FTL recreate and synchronize up to DirtyFraction*C
+//     dirty entries before resuming (a spare-area scan of up to 2C pages
+//     plus min(C_dirty, TT/P) translation-page reads and writes); GeckoFTL
+//     only performs the bounded backwards scan and defers synchronization;
+//     battery FTLs skip this step entirely.
+func Recovery(kind FTLKind, p Parameters) RecoveryBreakdown {
+	lat := p.Latency
+	spare := func(n int64) time.Duration { return time.Duration(n) * lat.SpareRead }
+	read := func(n int64) time.Duration { return time.Duration(n) * lat.PageRead }
+	write := func(n int64) time.Duration { return time.Duration(n) * lat.PageWrite }
+
+	out := RecoveryBreakdown{FTL: kind}
+	out.BlockScan = spare(p.Blocks)
+	out.GMD = spare(p.TranslationPages())
+
+	switch kind {
+	case DFTL:
+		out.Battery = true
+		// The battery copies PVB and dirty entries to flash before power
+		// runs out; recovering them is a bounded read charged to PVB.
+		out.PVB = read(p.PVBBytes() / p.PageSize)
+	case LazyFTL:
+		out.PVB = read(p.TranslationPages())
+		out.LRUCache = lazyDirtyRecovery(p)
+	case MuFTL:
+		out.Battery = true
+		// The flash-resident PVB persists; nothing to rebuild beyond the
+		// directory covered by the block scan.
+	case IBFTL:
+		logPages := p.PVLLogEntries() * 22 / p.PageSize
+		out.PageValidity = read(logPages)
+		out.LRUCache = lazyDirtyRecovery(p)
+	case GeckoFTL:
+		cfg := p.GeckoConfig()
+		geckoPages := 2 * cfg.MaxEntries() / int64(cfg.EntriesPerPage())
+		out.PageValidity = spare(geckoPages) + read(2*int64(cfg.EntriesPerPage())/int64(cfg.PartitionFactor))
+		// Bounded backwards scan of at most 2C spare areas; synchronization
+		// is deferred past the end of recovery (Section 4.3).
+		out.LRUCache = spare(2 * p.CacheEntries)
+	}
+	_ = write
+	return out
+}
+
+// lazyDirtyRecovery models the LazyFTL / IB-FTL cost of recovering and
+// synchronizing dirty mapping entries before resuming: a backwards spare-area
+// scan to find them plus min(dirty, TT/P) translation-page reads and writes
+// to synchronize them.
+func lazyDirtyRecovery(p Parameters) time.Duration {
+	lat := p.Latency
+	dirty := int64(p.DirtyFraction * float64(p.CacheEntries))
+	if dirty < 1 {
+		dirty = 1
+	}
+	syncPages := dirty
+	if tp := p.TranslationPages(); syncPages > tp {
+		syncPages = tp
+	}
+	scan := time.Duration(2*dirty) * lat.SpareRead
+	sync := time.Duration(syncPages) * (lat.PageRead + lat.PageWrite)
+	return scan + sync
+}
+
+// RecoveryAll returns the breakdown for every FTL.
+func RecoveryAll(p Parameters) []RecoveryBreakdown {
+	out := make([]RecoveryBreakdown, 0, len(Kinds()))
+	for _, k := range Kinds() {
+		out = append(out, Recovery(k, p))
+	}
+	return out
+}
+
+// RecoveryReductionVsLazyFTL returns the fraction by which an FTL's total
+// recovery time is below LazyFTL's. The paper's headline claim is at least a
+// 51% reduction for GeckoFTL.
+func RecoveryReductionVsLazyFTL(kind FTLKind, p Parameters) float64 {
+	base := Recovery(LazyFTL, p).Total()
+	own := Recovery(kind, p).Total()
+	if base <= 0 {
+		return 0
+	}
+	return 1 - float64(own)/float64(base)
+}
+
+// CapacityPoint is one x-axis point of Figure 1: a device capacity with the
+// resulting RAM requirement and recovery time for LazyFTL (the
+// state-of-the-art baseline the introduction uses).
+type CapacityPoint struct {
+	CapacityBytes int64
+	RAMBytes      int64
+	Recovery      time.Duration
+}
+
+// Figure1 sweeps device capacity and returns LazyFTL's total integrated-RAM
+// requirement and recovery time at each point, reproducing Figure 1.
+func Figure1(base Parameters, capacities []int64) []CapacityPoint {
+	out := make([]CapacityPoint, 0, len(capacities))
+	for _, c := range capacities {
+		p := base.WithCapacity(c)
+		out = append(out, CapacityPoint{
+			CapacityBytes: c,
+			RAMBytes:      RAM(LazyFTL, p).Total(),
+			Recovery:      Recovery(LazyFTL, p).Total(),
+		})
+	}
+	return out
+}
+
+// Table1Row is one row of Table 1: the asymptotic per-operation costs of a
+// page-validity scheme, evaluated numerically for the given parameters.
+type Table1Row struct {
+	Technique    string
+	UpdateReads  float64
+	UpdateWrites float64
+	QueryReads   float64
+	QueryWrites  float64
+	RAMBytes     int64
+}
+
+// Table1 evaluates Table 1 for the given parameters using the cost models of
+// the gecko package.
+func Table1(p Parameters) []Table1Row {
+	cfg := p.GeckoConfig()
+	ramPVB := gecko.RAMPVBCost(int(p.Blocks), int(p.PagesPerBlock))
+	flashPVB := gecko.FlashPVBCost(int(p.Blocks), int(p.PagesPerBlock), int(p.PageSize))
+	lg := cfg.AnalyticalCost()
+	return []Table1Row{
+		{Technique: "RAM-resident PVB", RAMBytes: ramPVB.RAMBytes},
+		{
+			Technique:    "Flash-resident PVB",
+			UpdateReads:  flashPVB.UpdateReads,
+			UpdateWrites: flashPVB.UpdateWrites,
+			QueryReads:   flashPVB.QueryReads,
+			QueryWrites:  flashPVB.QueryWrites,
+			RAMBytes:     flashPVB.RAMBytes,
+		},
+		{
+			Technique:    "Logarithmic Gecko",
+			UpdateReads:  lg.UpdateReads,
+			UpdateWrites: lg.UpdateWrites,
+			QueryReads:   lg.QueryReads,
+			QueryWrites:  lg.QueryWrites,
+			RAMBytes:     lg.RAMBytes,
+		},
+	}
+}

@@ -1,0 +1,45 @@
+package model
+
+// SlowdownFactor evaluates the mixed-workload slowdown expression of
+// Section 5 ("Metrics"): given the read-amplification RA caused by fetching
+// mapping entries from translation pages, the ratio RW of application reads
+// to application writes, the overall write-amplification WA, and the
+// write/read latency ratio delta, it returns the factor by which application
+// read throughput slows down relative to a device that performed no internal
+// IO at all:
+//
+//	slowdown = 1 / (RA*RW + WA*delta)
+//
+// The value is a fraction in (0, 1]; higher is better. It lets the write-only
+// experimental results be generalized to mixed workloads without re-running
+// the simulations.
+func SlowdownFactor(readAmplification, readWriteRatio, writeAmplification, delta float64) float64 {
+	if delta <= 0 {
+		delta = 1
+	}
+	denom := readAmplification*readWriteRatio + writeAmplification*delta
+	if denom <= 0 {
+		return 1
+	}
+	return 1 / denom
+}
+
+// MixedWorkloadPoint pairs a read fraction with the resulting slowdown
+// factors of two FTLs; the comparison tables in the tuning example use it.
+type MixedWorkloadPoint struct {
+	ReadWriteRatio float64
+	Slowdown       float64
+}
+
+// SlowdownSweep evaluates the slowdown factor across a range of
+// read-to-write ratios for a fixed RA and WA.
+func SlowdownSweep(readAmplification, writeAmplification, delta float64, ratios []float64) []MixedWorkloadPoint {
+	out := make([]MixedWorkloadPoint, 0, len(ratios))
+	for _, rw := range ratios {
+		out = append(out, MixedWorkloadPoint{
+			ReadWriteRatio: rw,
+			Slowdown:       SlowdownFactor(readAmplification, rw, writeAmplification, delta),
+		})
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package model
+
+import "testing"
+
+func TestSlowdownFactorFormula(t *testing.T) {
+	// With RA = 1 read per application read, equal reads and writes, WA = 2
+	// and delta = 10, the denominator is 1*1 + 2*10 = 21.
+	got := SlowdownFactor(1, 1, 2, 10)
+	want := 1.0 / 21.0
+	if got != want {
+		t.Errorf("SlowdownFactor = %v, want %v", got, want)
+	}
+	// delta <= 0 falls back to counting reads and writes equally.
+	if got := SlowdownFactor(1, 1, 2, 0); got != 1.0/3.0 {
+		t.Errorf("SlowdownFactor with delta=0 = %v, want 1/3", got)
+	}
+	// Degenerate zero denominator returns 1 (no slowdown).
+	if got := SlowdownFactor(0, 0, 0, 10); got != 1 {
+		t.Errorf("SlowdownFactor with zero denominator = %v, want 1", got)
+	}
+}
+
+func TestSlowdownLowerWAIsAlwaysBetter(t *testing.T) {
+	// For any read/write mix, an FTL with lower write-amplification has a
+	// higher (better) slowdown factor; this is why the paper evaluates on
+	// write-only workloads and generalizes with this formula.
+	for _, rw := range []float64{0, 0.5, 1, 2, 10} {
+		gecko := SlowdownFactor(1, rw, 2.1, 10)
+		mu := SlowdownFactor(1, rw, 3.4, 10)
+		if gecko <= mu {
+			t.Errorf("RW=%v: lower WA did not give a better slowdown factor (%v vs %v)", rw, gecko, mu)
+		}
+	}
+}
+
+func TestSlowdownSweep(t *testing.T) {
+	ratios := []float64{0.1, 1, 10}
+	points := SlowdownSweep(1, 2, 10, ratios)
+	if len(points) != len(ratios) {
+		t.Fatalf("sweep returned %d points", len(points))
+	}
+	// As reads dominate (higher RW), the read-amplification term grows and
+	// the slowdown factor decreases.
+	for i := 1; i < len(points); i++ {
+		if points[i].Slowdown >= points[i-1].Slowdown {
+			t.Errorf("slowdown not decreasing with read ratio: %+v", points)
+		}
+	}
+}

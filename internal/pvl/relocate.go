@@ -1,0 +1,37 @@
+package pvl
+
+import "geckoftl/internal/flash"
+
+// IsLive reports whether the given flash page currently holds one of the
+// log's live pages. The FTL's garbage-collector uses it when a greedy
+// victim-selection policy (IB-FTL's) picks a metadata block for collection.
+func (l *Log) IsLive(ppn flash.PPN) bool {
+	for _, loc := range l.pageOf {
+		if loc == ppn {
+			return true
+		}
+	}
+	return false
+}
+
+// Relocate informs the log that the garbage-collector moved one of its live
+// pages to a new location. It reports whether the old location was live.
+func (l *Log) Relocate(old, new flash.PPN) bool {
+	for idx, loc := range l.pageOf {
+		if loc == old {
+			l.pageOf[idx] = new
+			return true
+		}
+	}
+	return false
+}
+
+// LivePages returns the physical addresses of every live log page. Recovery
+// uses it to rebuild per-block valid-page counts.
+func (l *Log) LivePages() []flash.PPN {
+	out := make([]flash.PPN, 0, len(l.pageOf))
+	for _, loc := range l.pageOf {
+		out = append(out, loc)
+	}
+	return out
+}

@@ -1,0 +1,418 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"geckoftl/internal/ftl"
+	"geckoftl/internal/model"
+	"geckoftl/internal/workload"
+)
+
+// ExperimentScale controls how much work the simulation experiments do. The
+// Quick scale is used by tests; the Full scale by the benchmark harness and
+// the geckobench tool.
+type ExperimentScale struct {
+	// Device is the simulated device geometry.
+	Device DeviceSpec
+	// MeasureWrites is the size of the measured window.
+	MeasureWrites int64
+	// CacheEntries is the LRU cache capacity used by FTL-level experiments.
+	CacheEntries int
+	// Seed seeds the workloads.
+	Seed int64
+}
+
+// QuickScale is small enough for unit tests.
+func QuickScale() ExperimentScale {
+	return ExperimentScale{
+		Device:        DeviceSpec{Blocks: 128, PagesPerBlock: 16, PageSize: 512, OverProvision: 0.7},
+		MeasureWrites: 4000,
+		CacheEntries:  256,
+		Seed:          1,
+	}
+}
+
+// FullScale is the default scale of the benchmark harness and geckobench.
+func FullScale() ExperimentScale {
+	return ExperimentScale{
+		Device:        DefaultDeviceSpec(),
+		MeasureWrites: 40000,
+		CacheEntries:  1024,
+		Seed:          1,
+	}
+}
+
+// Figure9Row is one bar group of Figure 9: a page-validity scheme with its
+// internal IO counts and write-amplification under uniformly random updates.
+type Figure9Row struct {
+	IsolatedResult
+}
+
+// Figure9 compares Logarithmic Gecko under size ratios T = 2..32 against the
+// flash-resident PVB baseline (Section 5.1). Logarithmic Gecko must beat the
+// baseline at every T, and T = 2 should be (close to) the best tuning.
+func Figure9(scale ExperimentScale) ([]Figure9Row, error) {
+	schemes := []SchemeBuilder{FlashPVBScheme()}
+	for _, t := range []int{2, 4, 8, 16, 32} {
+		schemes = append(schemes, GeckoScheme(t, 0))
+	}
+	var rows []Figure9Row
+	for _, s := range schemes {
+		res, err := RunIsolated(IsolatedOptions{
+			UserBlocks:    scale.Device.Blocks,
+			MetaBlocks:    scale.Device.Blocks / 2,
+			PagesPerBlock: scale.Device.PagesPerBlock,
+			PageSize:      scale.Device.PageSize,
+			OverProvision: scale.Device.OverProvision,
+			Scheme:        s,
+			MeasureWrites: scale.MeasureWrites,
+			Seed:          scale.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: figure 9 (%s): %w", s.Name, err)
+		}
+		rows = append(rows, Figure9Row{res})
+	}
+	return rows, nil
+}
+
+// Figure10Row is one point of Figure 10: write-amplification for a block size
+// B and an entry-partitioning factor S.
+type Figure10Row struct {
+	BlockSize       int
+	PartitionFactor int
+	WA              float64
+}
+
+// Figure10 shows that entry-partitioning makes Logarithmic Gecko's
+// write-amplification independent of the block size B (Section 5.2): without
+// partitioning (S = 1) WA grows with B, with the recommended S it stays flat,
+// and with excessive S it grows again because of key space-amplification.
+// The number of blocks K is held fixed while B grows, as in the paper.
+func Figure10(scale ExperimentScale) ([]Figure10Row, error) {
+	var rows []Figure10Row
+	blockSizes := []int{16, 32, 64, 128}
+	for _, b := range blockSizes {
+		for _, s := range []int{1, 0, b / 2} { // 0 selects the recommended factor
+			res, err := RunIsolated(IsolatedOptions{
+				UserBlocks:    scale.Device.Blocks,
+				MetaBlocks:    scale.Device.Blocks / 2,
+				PagesPerBlock: b,
+				PageSize:      scale.Device.PageSize,
+				OverProvision: scale.Device.OverProvision,
+				Scheme:        GeckoScheme(2, s),
+				MeasureWrites: scale.MeasureWrites,
+				Seed:          scale.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("sim: figure 10 (B=%d S=%d): %w", b, s, err)
+			}
+			factor := s
+			if factor == 0 {
+				factor = -1 // recommended
+			}
+			rows = append(rows, Figure10Row{BlockSize: b, PartitionFactor: factor, WA: res.WA})
+		}
+	}
+	return rows, nil
+}
+
+// Figure11Row is one point of Figure 11: write-amplification versus the
+// number of blocks K for Logarithmic Gecko and the flash-resident PVB.
+type Figure11Row struct {
+	Blocks  int
+	GeckoWA float64
+	PVBWA   float64
+}
+
+// Figure11 scales the device capacity (number of blocks K) and shows that
+// Logarithmic Gecko's write-amplification grows only logarithmically while
+// the flash PVB's stays flat but far higher (Section 5.2, "Capacity").
+func Figure11(scale ExperimentScale) ([]Figure11Row, error) {
+	var rows []Figure11Row
+	for _, k := range []int{64, 128, 256, 512} {
+		row := Figure11Row{Blocks: k}
+		for _, s := range []SchemeBuilder{GeckoScheme(2, 0), FlashPVBScheme()} {
+			res, err := RunIsolated(IsolatedOptions{
+				UserBlocks:    k,
+				MetaBlocks:    k / 2,
+				PagesPerBlock: scale.Device.PagesPerBlock,
+				PageSize:      scale.Device.PageSize,
+				OverProvision: scale.Device.OverProvision,
+				Scheme:        s,
+				MeasureWrites: scale.MeasureWrites,
+				Seed:          scale.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("sim: figure 11 (K=%d, %s): %w", k, s.Name, err)
+			}
+			if strings.HasPrefix(s.Name, "gecko") {
+				row.GeckoWA = res.WA
+			} else {
+				row.PVBWA = res.WA
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure12Row is one point of Figure 12: Logarithmic Gecko's IO under a given
+// over-provisioning ratio R.
+type Figure12Row struct {
+	OverProvision float64
+	WA            float64
+	GCQueries     int64
+	FlashReads    int64
+}
+
+// Figure12 varies over-provisioning, which controls how frequently
+// garbage-collection (and therefore GC queries) runs relative to updates
+// (Section 5.2, "Over-Provisioning"). Less over-provisioning means more GC
+// queries, but the overall increase in write-amplification stays small
+// because flash reads are cheap relative to writes.
+func Figure12(scale ExperimentScale) ([]Figure12Row, error) {
+	var rows []Figure12Row
+	for _, r := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+		res, err := RunIsolated(IsolatedOptions{
+			UserBlocks:    scale.Device.Blocks,
+			MetaBlocks:    scale.Device.Blocks / 2,
+			PagesPerBlock: scale.Device.PagesPerBlock,
+			PageSize:      scale.Device.PageSize,
+			OverProvision: r,
+			Scheme:        GeckoScheme(2, 0),
+			MeasureWrites: scale.MeasureWrites,
+			Seed:          scale.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: figure 12 (R=%.1f): %w", r, err)
+		}
+		rows = append(rows, Figure12Row{OverProvision: r, WA: res.WA, GCQueries: res.GCQueries, FlashReads: res.FlashReads})
+	}
+	return rows, nil
+}
+
+// Figure13WA runs the five FTLs under uniformly random writes and reports the
+// write-amplification breakdown of Figure 13 (bottom).
+func Figure13WA(scale ExperimentScale) ([]Result, error) {
+	builders := []struct {
+		name string
+		opts ftl.Options
+	}{
+		{"DFTL", ftl.DFTLOptions(scale.CacheEntries)},
+		{"LazyFTL", ftl.LazyFTLOptions(scale.CacheEntries)},
+		{"uFTL", ftl.MuFTLOptions(scale.CacheEntries)},
+		{"IB-FTL", ftl.IBFTLOptions(scale.CacheEntries)},
+		{"GeckoFTL", ftl.GeckoFTLOptions(scale.CacheEntries)},
+	}
+	var out []Result
+	for _, b := range builders {
+		res, err := Run(RunOptions{
+			Device:        scale.Device,
+			FTLOptions:    b.opts,
+			Workload:      nil,
+			MeasureWrites: scale.MeasureWrites,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: figure 13 WA (%s): %w", b.name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Figure13RAM returns the analytical integrated-RAM breakdown (Figure 13 top)
+// at the paper's full 2 TB scale.
+func Figure13RAM() []model.RAMBreakdown { return model.RAMAll(model.Default()) }
+
+// Figure13Recovery returns the analytical recovery-time breakdown (Figure 13
+// middle) at the paper's full 2 TB scale.
+func Figure13Recovery() []model.RecoveryBreakdown { return model.RecoveryAll(model.Default()) }
+
+// Figure1 returns the capacity sweep of Figure 1 (LazyFTL RAM requirement and
+// recovery time versus device capacity).
+func Figure1() []model.CapacityPoint {
+	capacities := []int64{64 << 30, 128 << 30, 256 << 30, 512 << 30, 1 << 40, 2 << 40, 4 << 40}
+	return model.Figure1(model.Default(), capacities)
+}
+
+// Table1 returns the evaluated Table 1 at the paper's full 2 TB scale.
+func Table1() []model.Table1Row { return model.Table1(model.Default()) }
+
+// Figure14Row is one bar group of Figure 14: an FTL given the same total RAM
+// budget, with its cache size and write-amplification breakdown.
+type Figure14Row struct {
+	Result
+	CacheEntries int
+}
+
+// Figure14 reproduces the better-RAM-utilization experiment of Section 5.4:
+// all three FTLs receive the same RAM budget; DFTL spends most of it on the
+// RAM-resident PVB, while µ-FTL and GeckoFTL give it to the LRU cache. All
+// three use GeckoFTL's garbage-collection scheme, as in the paper. The
+// experiment uses a device with enough blocks that the PVB dwarfs the
+// baseline cache, which is what makes the trade-off interesting at full
+// scale (64 MB of PVB versus a 4 MB cache).
+func Figure14(scale ExperimentScale) ([]Figure14Row, error) {
+	device := DeviceSpec{
+		Blocks:        scale.Device.Blocks * 2,
+		PagesPerBlock: 32,
+		PageSize:      scale.Device.PageSize,
+		OverProvision: scale.Device.OverProvision,
+	}
+	cfg := device.Config()
+	pvbBytes := int64(cfg.Blocks) * int64((cfg.PagesPerBlock+7)/8)
+	pvbEntries := int(pvbBytes / 8)
+	baseCache := pvbEntries / 4
+	if baseCache < 32 {
+		baseCache = 32
+	}
+	bigCache := baseCache + pvbEntries
+
+	mk := func(name string, opts ftl.Options, cache int) (Figure14Row, error) {
+		opts.CacheEntries = cache
+		// Same garbage-collection scheme for all three (Section 5.4).
+		opts.VictimPolicy = ftl.VictimMetadataAware
+		res, err := Run(RunOptions{
+			Device:        device,
+			FTLOptions:    opts,
+			MeasureWrites: scale.MeasureWrites,
+		})
+		if err != nil {
+			return Figure14Row{}, fmt.Errorf("sim: figure 14 (%s): %w", name, err)
+		}
+		res.Name = name
+		return Figure14Row{Result: res, CacheEntries: cache}, nil
+	}
+
+	var rows []Figure14Row
+	dftl, err := mk("DFTL", ftl.DFTLOptions(baseCache), baseCache)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, dftl)
+	mu, err := mk("uFTL", ftl.MuFTLOptions(bigCache), bigCache)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, mu)
+	gecko, err := mk("GeckoFTL", ftl.GeckoFTLOptions(bigCache), bigCache)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, gecko)
+	return rows, nil
+}
+
+// RecoveryResult is the measured (simulated) recovery cost of one FTL,
+// complementing the analytical Figure 13 middle with an executable check.
+type RecoveryResult struct {
+	Name                    string
+	Duration                time.Duration
+	SpareReads              int64
+	PageReads               int64
+	PageWrites              int64
+	RecoveredMappingEntries int
+	UsedBattery             bool
+}
+
+// RecoverySimulation crashes each FTL mid-workload and measures its recovery.
+func RecoverySimulation(scale ExperimentScale) ([]RecoveryResult, error) {
+	builders := []struct {
+		name string
+		opts ftl.Options
+	}{
+		{"DFTL", ftl.DFTLOptions(scale.CacheEntries)},
+		{"LazyFTL", ftl.LazyFTLOptions(scale.CacheEntries)},
+		{"uFTL", ftl.MuFTLOptions(scale.CacheEntries)},
+		{"IB-FTL", ftl.IBFTLOptions(scale.CacheEntries)},
+		{"GeckoFTL", ftl.GeckoFTLOptions(scale.CacheEntries)},
+	}
+	var out []RecoveryResult
+	for _, b := range builders {
+		dev, err := scale.Device.NewDevice()
+		if err != nil {
+			return nil, err
+		}
+		f, err := ftl.New(dev, b.opts)
+		if err != nil {
+			return nil, err
+		}
+		gen := workload.NewUniform(f.LogicalPages(), scale.Seed)
+		for i := int64(0); i < scale.MeasureWrites; i++ {
+			if err := f.Write(gen.Next().Page); err != nil {
+				return nil, fmt.Errorf("sim: recovery workload (%s): %w", b.name, err)
+			}
+		}
+		if err := f.PowerFail(); err != nil {
+			return nil, err
+		}
+		report, err := f.Recover()
+		if err != nil {
+			return nil, fmt.Errorf("sim: recovery (%s): %w", b.name, err)
+		}
+		out = append(out, RecoveryResult{
+			Name:                    b.name,
+			Duration:                report.Duration,
+			SpareReads:              report.SpareReads,
+			PageReads:               report.PageReads,
+			PageWrites:              report.PageWrites,
+			RecoveredMappingEntries: report.RecoveredMappingEntries,
+			UsedBattery:             report.UsedBattery,
+		})
+	}
+	return out, nil
+}
+
+// HeadlineSummary evaluates the paper's three headline claims: the reduction
+// in page-validity RAM, the reduction in recovery time, and the reduction in
+// the write-amplification contributed by page-validity metadata relative to a
+// flash-resident PVB.
+type HeadlineSummary struct {
+	RAMReduction        float64
+	RecoveryReduction   float64
+	ValidityWAReduction float64
+}
+
+// Headlines computes the summary: the RAM and recovery reductions come from
+// the analytical models at full 2 TB scale, the write-amplification reduction
+// from the isolated simulation at the given scale.
+func Headlines(scale ExperimentScale) (HeadlineSummary, error) {
+	p := model.Default()
+	out := HeadlineSummary{
+		RAMReduction:      model.RAMReductionVsPVB(model.GeckoFTL, p),
+		RecoveryReduction: model.RecoveryReductionVsLazyFTL(model.GeckoFTL, p),
+	}
+	gecko, err := RunIsolated(IsolatedOptions{
+		UserBlocks:    scale.Device.Blocks,
+		MetaBlocks:    scale.Device.Blocks / 2,
+		PagesPerBlock: scale.Device.PagesPerBlock,
+		PageSize:      scale.Device.PageSize,
+		OverProvision: scale.Device.OverProvision,
+		Scheme:        GeckoScheme(2, 0),
+		MeasureWrites: scale.MeasureWrites,
+		Seed:          scale.Seed,
+	})
+	if err != nil {
+		return out, err
+	}
+	pvbRes, err := RunIsolated(IsolatedOptions{
+		UserBlocks:    scale.Device.Blocks,
+		MetaBlocks:    scale.Device.Blocks / 2,
+		PagesPerBlock: scale.Device.PagesPerBlock,
+		PageSize:      scale.Device.PageSize,
+		OverProvision: scale.Device.OverProvision,
+		Scheme:        FlashPVBScheme(),
+		MeasureWrites: scale.MeasureWrites,
+		Seed:          scale.Seed,
+	})
+	if err != nil {
+		return out, err
+	}
+	if pvbRes.WA > 0 {
+		out.ValidityWAReduction = 1 - gecko.WA/pvbRes.WA
+	}
+	return out, nil
+}

@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"geckoftl/internal/flash"
+)
+
+func TestUniformStaysInRangeAndCoversSpace(t *testing.T) {
+	const pages = 1000
+	u := NewUniform(pages, 1)
+	if u.Name() != "uniform" {
+		t.Errorf("Name = %q", u.Name())
+	}
+	seen := make(map[flash.LPN]bool)
+	for i := 0; i < 20000; i++ {
+		op := u.Next()
+		if op.Kind != OpWrite {
+			t.Fatalf("uniform produced a %v", op.Kind)
+		}
+		if op.Page < 0 || op.Page >= pages {
+			t.Fatalf("page %d out of range", op.Page)
+		}
+		seen[op.Page] = true
+	}
+	// With 20000 draws over 1000 pages, essentially every page is touched.
+	if len(seen) < pages*9/10 {
+		t.Errorf("uniform touched only %d of %d pages", len(seen), pages)
+	}
+}
+
+func TestUniformDeterministicPerSeed(t *testing.T) {
+	a, b := NewUniform(100, 42), NewUniform(100, 42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewUniform(100, 43)
+	same := true
+	a = NewUniform(100, 42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != c.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestPanicsOnBadParameters(t *testing.T) {
+	cases := []func(){
+		func() { NewUniform(0, 1) },
+		func() { NewSequential(-1) },
+		func() { NewZipfian(0, 1.2, 1) },
+		func() { NewZipfian(100, 1.0, 1) },
+		func() { NewHotCold(0, 0.2, 0.8, 1) },
+		func() { NewHotCold(100, 0, 0.8, 1) },
+		func() { NewHotCold(100, 0.2, 1.0, 1) },
+		func() { NewMixed(NewUniform(10, 1), 0, 0.5, 1) },
+		func() { NewMixed(NewUniform(10, 1), 10, 1.0, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSequentialWrapsAround(t *testing.T) {
+	s := NewSequential(3)
+	want := []flash.LPN{0, 1, 2, 0, 1}
+	for i, w := range want {
+		op := s.Next()
+		if op.Page != w || op.Kind != OpWrite {
+			t.Errorf("op %d = %+v, want write of %d", i, op, w)
+		}
+	}
+	if s.Name() != "sequential" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestZipfianIsSkewedAndInRange(t *testing.T) {
+	const pages = 10000
+	z := NewZipfian(pages, 1.3, 7)
+	counts := make(map[flash.LPN]int)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		op := z.Next()
+		if op.Page < 0 || op.Page >= pages {
+			t.Fatalf("page %d out of range", op.Page)
+		}
+		counts[op.Page]++
+	}
+	// Skew: the most popular page must receive far more than the uniform
+	// share of draws.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	uniformShare := draws / pages
+	if max < 20*uniformShare {
+		t.Errorf("most popular page got %d draws, uniform share is %d; not skewed enough", max, uniformShare)
+	}
+	if z.Name() != "zipfian" {
+		t.Errorf("Name = %q", z.Name())
+	}
+}
+
+func TestHotColdSkew(t *testing.T) {
+	const pages = 1000
+	h := NewHotCold(pages, 0.2, 0.8, 3)
+	hot := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		op := h.Next()
+		if op.Page < 0 || op.Page >= pages {
+			t.Fatalf("page %d out of range", op.Page)
+		}
+		if op.Page < pages/5 {
+			hot++
+		}
+	}
+	frac := float64(hot) / draws
+	if frac < 0.75 || frac > 0.9 {
+		t.Errorf("hot fraction = %.3f, want about 0.8", frac)
+	}
+	if h.Name() != "hot-cold" {
+		t.Errorf("Name = %q", h.Name())
+	}
+}
+
+func TestMixedReadRatio(t *testing.T) {
+	m := NewMixed(NewUniform(500, 1), 500, 0.3, 2)
+	reads := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		op := m.Next()
+		if op.Page < 0 || op.Page >= 500 {
+			t.Fatalf("page %d out of range", op.Page)
+		}
+		if op.Kind == OpRead {
+			reads++
+		}
+	}
+	frac := float64(reads) / draws
+	if frac < 0.27 || frac > 0.33 {
+		t.Errorf("read fraction = %.3f, want about 0.3", frac)
+	}
+	if !strings.Contains(m.Name(), "uniform") {
+		t.Errorf("Name = %q, want to mention wrapped generator", m.Name())
+	}
+}
+
+func TestTraceReplayAndCycle(t *testing.T) {
+	tr, err := NewTrace("t", []Op{{OpWrite, 1}, {OpRead, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	got := []Op{tr.Next(), tr.Next(), tr.Next()}
+	if got[0] != (Op{OpWrite, 1}) || got[1] != (Op{OpRead, 2}) || got[2] != (Op{OpWrite, 1}) {
+		t.Errorf("trace replay = %+v", got)
+	}
+	if _, err := NewTrace("empty", nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestParseTrace(t *testing.T) {
+	input := `# comment
+W 10
+R 20
+
+w 30
+`
+	tr, err := ParseTrace("test", strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	ops := []Op{tr.Next(), tr.Next(), tr.Next()}
+	want := []Op{{OpWrite, 10}, {OpRead, 20}, {OpWrite, 30}}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %+v, want %+v", i, ops[i], want[i])
+		}
+	}
+	if tr.Name() != "test" {
+		t.Errorf("Name = %q", tr.Name())
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []string{
+		"X 10",
+		"W",
+		"W abc",
+		"W -5",
+		"W 1 2",
+	}
+	for _, c := range cases {
+		if _, err := ParseTrace("bad", strings.NewReader(c)); err == nil {
+			t.Errorf("ParseTrace accepted %q", c)
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpWrite.String() != "write" || OpRead.String() != "read" {
+		t.Error("OpKind strings wrong")
+	}
+}
+
+// Property: every generator keeps its pages within the configured logical
+// address space.
+func TestQuickGeneratorsStayInRange(t *testing.T) {
+	f := func(seed int64, pagesRaw uint16) bool {
+		pages := int64(pagesRaw)%5000 + 10
+		gens := []Generator{
+			NewUniform(pages, seed),
+			NewSequential(pages),
+			NewZipfian(pages, 1.2, seed),
+			NewHotCold(pages, 0.25, 0.75, seed),
+			NewMixed(NewUniform(pages, seed), pages, 0.5, seed),
+		}
+		for _, g := range gens {
+			for i := 0; i < 200; i++ {
+				op := g.Next()
+				if op.Page < 0 || op.Page >= flash.LPN(pages) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
