@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"testing"
 
+	"geckoftl/internal/flash"
 	"geckoftl/internal/ftl"
 	"geckoftl/internal/model"
 	"geckoftl/internal/sim"
@@ -351,6 +352,45 @@ func BenchmarkAblationDirtyBound(b *testing.B) {
 		if i == 0 {
 			b.ReportMetric(ru.TranslationWA, "translationWA_unbounded")
 			b.ReportMetric(rb.TranslationWA, "translationWA_bounded")
+		}
+	}
+}
+
+// BenchmarkChannelSweep measures how the sharded engine's write throughput
+// scales with the device's channel count (the multi-channel extension beyond
+// the paper; see docs/benchmarks.md). It reports simulated logical writes
+// per second and the speedup over one channel.
+func BenchmarkChannelSweep(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		points, err := sim.ChannelSweep(sim.ChannelSweepOptions{Scale: scale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range points {
+				b.ReportMetric(p.Throughput, fmt.Sprintf("writes_per_s_C%d", p.Channels))
+				b.ReportMetric(p.Speedup, fmt.Sprintf("speedup_C%d", p.Channels))
+				b.ReportMetric(p.LoadImbalance, fmt.Sprintf("imbalance_C%d", p.Channels))
+			}
+		}
+	}
+}
+
+// BenchmarkParallelModel documents the parallelism-aware latency model's
+// predictions at the paper's full-scale latencies.
+func BenchmarkParallelModel(b *testing.B) {
+	lat := flash.DefaultLatency()
+	for i := 0; i < b.N; i++ {
+		for _, c := range []int{1, 8, 16} {
+			p := model.ParallelParams{Channels: c, DiesPerChannel: 2}
+			tp := p.WriteThroughput(lat, 2.0)
+			if tp <= 0 {
+				b.Fatal("non-positive modeled throughput")
+			}
+			if i == 0 {
+				b.ReportMetric(tp, fmt.Sprintf("model_writes_per_s_C%d", c))
+			}
 		}
 	}
 }

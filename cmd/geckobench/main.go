@@ -5,16 +5,22 @@
 //
 //	geckobench -experiment all
 //	geckobench -experiment fig9 -writes 100000
+//	geckobench -experiment channels -sweep 1,2,4,8,16
 //	geckobench -experiment summary
 //
 // Experiments: fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec,
-// fig13wa, fig14, recovery, summary, all.
+// fig13wa, fig14, recovery, channels, summary, all.
+//
+// The channels experiment goes beyond the paper: it sweeps the device's
+// channel count and reports how the sharded engine's write throughput scales
+// (see docs/benchmarks.md for how to read its output).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -23,12 +29,22 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec, fig13wa, fig14, recovery, summary, all)")
+		experiment = flag.String("experiment", "all", "experiment to run (fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec, fig13wa, fig14, recovery, channels, summary, all)")
 		writes     = flag.Int64("writes", 0, "measured logical writes per simulation (0 = default)")
 		blocks     = flag.Int("blocks", 0, "simulated device blocks (0 = default)")
 		quick      = flag.Bool("quick", false, "use the small test-sized scale")
+		sweepList  = flag.String("sweep", "1,2,4,8", "channel counts for the channels experiment")
+		dies       = flag.Int("dies", 1, "dies per channel for the channels experiment (adds capacity, not engine overlap; see docs/benchmarks.md)")
+		sweepWL    = flag.String("sweep-workload", "uniform", "workload for the channels experiment: uniform, sequential, zipfian, hotcold")
 	)
 	flag.Parse()
+	sweep, err := parseSweep(*sweepList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "geckobench: %v\n", err)
+		os.Exit(1)
+	}
+	sweepOpts = sim.ChannelSweepOptions{Channels: sweep, Workload: *sweepWL}
+	sweepDies = *dies
 
 	scale := sim.FullScale()
 	if *quick {
@@ -65,6 +81,7 @@ func run(experiment string, scale sim.ExperimentScale) error {
 		{"fig13wa", figure13WA},
 		{"fig14", figure14},
 		{"recovery", recovery},
+		{"channels", channelSweep},
 		{"summary", summary},
 	} {
 		if all || experiment == e.name {
@@ -227,6 +244,55 @@ func summary(scale sim.ExperimentScale) error {
 	fmt.Printf("  recovery-time reduction vs LazyFTL:                %5.1f%%  (paper: >= 51%%)\n", 100*s.RecoveryReduction)
 	fmt.Printf("  page-validity write-amplification reduction vs\n")
 	fmt.Printf("  flash-resident PVB:                                %5.1f%%  (paper: 98%%)\n", 100*s.ValidityWAReduction)
+	return nil
+}
+
+// sweepOpts and sweepDies carry the channels-experiment flags to its driver.
+var (
+	sweepOpts sim.ChannelSweepOptions
+	sweepDies int
+)
+
+// parseSweep parses a comma-separated channel-count list, e.g. "1,2,4,8".
+func parseSweep(s string) ([]int, error) {
+	var out []int
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		n, err := strconv.Atoi(field)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad channel count %q in -sweep", field)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-sweep %q lists no channel counts", s)
+	}
+	return out, nil
+}
+
+func channelSweep(scale sim.ExperimentScale) error {
+	opts := sweepOpts
+	opts.Scale = scale
+	opts.Scale.Device.DiesPerChannel = sweepDies
+	wl := opts.Workload
+	if wl == "" {
+		wl = "uniform"
+	}
+	fmt.Printf("Channel scaling: sharded GeckoFTL engine write throughput vs channel count (%s workload, %d dies/channel)\n",
+		wl, sweepDies)
+	points, err := sim.ChannelSweep(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-9s %6s %12s %10s %10s %8s %12s %10s\n",
+		"channels", "dies", "writes/s", "speedup", "WA", "wall", "model-w/s", "imbalance")
+	for _, p := range points {
+		fmt.Printf("%-9d %6d %12.0f %9.2fx %10.3f %8s %12.0f %10.3f\n",
+			p.Channels, p.Dies, p.Throughput, p.Speedup, p.WA, fmtDur(p.WallTime), p.ModelThroughput, p.LoadImbalance)
+	}
 	return nil
 }
 

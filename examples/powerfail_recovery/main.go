@@ -20,7 +20,7 @@ import (
 func main() {
 	for _, build := range []struct {
 		name string
-		make func(*flash.Device, int) (*ftl.FTL, error)
+		make func(flash.Plane, int) (*ftl.FTL, error)
 	}{
 		{"GeckoFTL", ftl.NewGeckoFTL},
 		{"LazyFTL", ftl.NewLazyFTL},
@@ -32,7 +32,7 @@ func main() {
 	}
 }
 
-func crashAndRecover(name string, make func(*flash.Device, int) (*ftl.FTL, error)) error {
+func crashAndRecover(name string, make func(flash.Plane, int) (*ftl.FTL, error)) error {
 	cfg := flash.ScaledConfig(256)
 	cfg.PagesPerBlock = 32
 	cfg.PageSize = 1024

@@ -1,0 +1,3 @@
+module geckoftl
+
+go 1.24

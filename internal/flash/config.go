@@ -1,23 +1,3 @@
-// Package flash implements a discrete-event NAND flash device simulator.
-//
-// The simulator models the architectural parameters and idiosyncrasies that
-// the GeckoFTL paper (Dayan, Bonnet, Idreos; SIGMOD 2016) relies on:
-//
-//   - the device consists of K blocks of B pages of P bytes each;
-//   - the minimum read/write granularity is one page;
-//   - a page cannot be rewritten before its block is erased;
-//   - writes within a block must be sequential;
-//   - every page has a spare area that can be written once per page
-//     life-cycle and read independently (and much more cheaply) than the
-//     page itself;
-//   - page reads, page writes, spare-area reads and block erases have
-//     asymmetric costs.
-//
-// The device does not store user payloads (the FTL algorithms under study
-// never inspect payload bytes); it stores per-page state and spare-area
-// metadata, and it accounts every internal IO by purpose so that the
-// simulation harness can compute the write-amplification breakdowns reported
-// in the paper's evaluation section.
 package flash
 
 import (
@@ -98,6 +78,13 @@ type Config struct {
 	// written in strictly increasing offset order, as required by modern
 	// NAND (idiosyncrasy 4 in Section 2 of the paper).
 	StrictSequentialWrites bool
+	// Channels is the number of independent flash channels. Zero means one:
+	// the paper's single serialized plane.
+	Channels int
+	// DiesPerChannel is the number of dies ganged on each channel. Zero
+	// means one. Operations on distinct dies proceed in parallel;
+	// operations on the same die serialize (per-die busy latching).
+	DiesPerChannel int
 }
 
 // DefaultConfig returns the paper's default 2 TB configuration:
@@ -139,6 +126,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("flash: all latencies must be positive: %+v", c.Latency)
 	case c.MaxEraseCount < 0:
 		return fmt.Errorf("flash: max erase count %d must be >= 0", c.MaxEraseCount)
+	case c.Channels < 0 || c.DiesPerChannel < 0:
+		return fmt.Errorf("flash: channels %d and dies per channel %d must be >= 0", c.Channels, c.DiesPerChannel)
+	case c.Dies() > c.Blocks:
+		return fmt.Errorf("flash: %d dies need at least as many blocks, have %d", c.Dies(), c.Blocks)
 	}
 	return nil
 }
@@ -165,7 +156,12 @@ func (c Config) LogicalBytes() int64 {
 // SpareSize returns the size of a page's spare area in bytes.
 func (c Config) SpareSize() int { return c.PageSize / DefaultSpareDivisor }
 
-// String summarizes the geometry, e.g. "flash(K=65536 B=128 P=4096 R=0.70)".
+// String summarizes the geometry, e.g. "flash(K=65536 B=128 P=4096 R=0.70)";
+// multi-die devices append the topology as "CxD" (channels x dies each).
 func (c Config) String() string {
-	return fmt.Sprintf("flash(K=%d B=%d P=%d R=%.2f)", c.Blocks, c.PagesPerBlock, c.PageSize, c.OverProvision)
+	s := fmt.Sprintf("flash(K=%d B=%d P=%d R=%.2f", c.Blocks, c.PagesPerBlock, c.PageSize, c.OverProvision)
+	if c.Dies() > 1 {
+		s += fmt.Sprintf(" T=%dx%d", c.channels(), c.diesPerChannel())
+	}
+	return s + ")"
 }

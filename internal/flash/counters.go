@@ -143,6 +143,17 @@ func (c *Counters) Elapsed() time.Duration { return c.elapsed }
 // Snapshot returns a copy of the counters.
 func (c *Counters) Snapshot() Counters { return *c }
 
+// Add accumulates other into c; the device uses it to aggregate per-die
+// counters into a device-wide snapshot.
+func (c *Counters) Add(other Counters) {
+	for op := Op(0); op < numOps; op++ {
+		for p := Purpose(0); p < numPurposes; p++ {
+			c.counts[op][p] += other.counts[op][p]
+		}
+	}
+	c.elapsed += other.elapsed
+}
+
 // Sub returns the difference c - prev, useful for measuring an interval.
 func (c Counters) Sub(prev Counters) Counters {
 	var out Counters

@@ -3,10 +3,12 @@ package flash
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// blockState is the simulator's per-block bookkeeping.
+// blockState is the simulator's per-block bookkeeping. It is guarded by the
+// lock of the die the block resides on.
 type blockState struct {
 	// writePointer is the offset of the next free page; pages below it
 	// have been programmed since the last erase.
@@ -19,21 +21,35 @@ type blockState struct {
 	spares []SpareArea
 }
 
-// Device is a simulated NAND flash device. All methods are safe for
-// concurrent use, although the FTLs in this repository drive it from a single
-// goroutine per simulation.
+// dieState is the per-die latch and accounting. Locking the mutex models the
+// die's ready/busy line: two operations on the same die serialize, while
+// operations on different dies proceed in parallel.
+type dieState struct {
+	mu sync.Mutex
+	// counters accounts the IO executed by this die; the device aggregates
+	// them on demand. The counters' elapsed time is the die's busy time.
+	counters Counters
+}
+
+// Device is a simulated NAND flash device organized as Config.Channels
+// channels of Config.DiesPerChannel dies each. All methods are safe for
+// concurrent use: per-die locks latch each die independently, so callers
+// (such as the sharded ftl.Engine) can dispatch page reads, writes and
+// erases to independent dies in parallel.
 //
 // The device accounts every operation under the caller-supplied Purpose; the
 // experiment harness uses these counters to reproduce the per-component
-// write-amplification breakdowns of the paper's evaluation.
+// write-amplification breakdowns of the paper's evaluation. Counters are kept
+// per die: SimulatedTime sums all die-busy time (the serial, single-plane
+// cost), ParallelSimulatedTime takes the busiest die (the wall-clock of a
+// perfectly overlapped controller).
 type Device struct {
-	mu       sync.Mutex
 	cfg      Config
+	dies     []dieState
 	blocks   []blockState
-	counters Counters
-	writeSeq uint64
-	eraseSeq uint64
-	powered  bool
+	writeSeq atomic.Uint64
+	eraseSeq atomic.Uint64
+	powered  atomic.Bool
 }
 
 // NewDevice creates a device with every block erased and empty.
@@ -42,13 +58,14 @@ func NewDevice(cfg Config) (*Device, error) {
 		return nil, err
 	}
 	d := &Device{
-		cfg:     cfg,
-		blocks:  make([]blockState, cfg.Blocks),
-		powered: true,
+		cfg:    cfg,
+		dies:   make([]dieState, cfg.Dies()),
+		blocks: make([]blockState, cfg.Blocks),
 	}
 	for i := range d.blocks {
 		d.blocks[i].spares = make([]SpareArea, cfg.PagesPerBlock)
 	}
+	d.powered.Store(true)
 	return d, nil
 }
 
@@ -65,9 +82,14 @@ func MustNewDevice(cfg Config) *Device {
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
 
-// check validates power state and block range; callers hold d.mu.
+// die returns the die state that latches the given block.
+func (d *Device) die(block BlockID) *dieState {
+	return &d.dies[d.cfg.DieOfBlock(block)]
+}
+
+// check validates power state and block range.
 func (d *Device) check(block BlockID) error {
-	if !d.powered {
+	if !d.powered.Load() {
 		return ErrPowerFailed
 	}
 	if block < 0 || int(block) >= d.cfg.Blocks {
@@ -93,11 +115,12 @@ func (d *Device) checkPage(block BlockID, offset int) error {
 // the spare area.
 func (d *Device) WritePage(ppn PPN, spare SpareArea, p Purpose) (uint64, error) {
 	addr := Decompose(ppn, d.cfg.PagesPerBlock)
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if err := d.checkPage(addr.Block, addr.Offset); err != nil {
 		return 0, err
 	}
+	die := d.die(addr.Block)
+	die.mu.Lock()
+	defer die.mu.Unlock()
 	blk := &d.blocks[addr.Block]
 	if addr.Offset < blk.writePointer {
 		return 0, fmt.Errorf("%w: %v", ErrPageNotFree, addr)
@@ -105,32 +128,33 @@ func (d *Device) WritePage(ppn PPN, spare SpareArea, p Purpose) (uint64, error) 
 	if d.cfg.StrictSequentialWrites && addr.Offset != blk.writePointer {
 		return 0, fmt.Errorf("%w: %v (write pointer at %d)", ErrNonSequentialWrite, addr, blk.writePointer)
 	}
-	d.writeSeq++
-	spare.WriteSeq = d.writeSeq
+	seq := d.writeSeq.Add(1)
+	spare.WriteSeq = seq
 	spare.EraseCount = uint32(blk.eraseCount)
 	spare.EraseSeq = blk.eraseSeq
 	blk.spares[addr.Offset] = spare
 	if addr.Offset >= blk.writePointer {
 		blk.writePointer = addr.Offset + 1
 	}
-	d.counters.Record(OpPageWrite, p, d.cfg.Latency.PageWrite)
-	return d.writeSeq, nil
+	die.counters.Record(OpPageWrite, p, d.cfg.Latency.PageWrite)
+	return seq, nil
 }
 
 // ReadPage reads the page at ppn. The simulator stores no payload, so the
 // call only validates that the page has been programmed and accounts the IO.
 func (d *Device) ReadPage(ppn PPN, p Purpose) error {
 	addr := Decompose(ppn, d.cfg.PagesPerBlock)
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if err := d.checkPage(addr.Block, addr.Offset); err != nil {
 		return err
 	}
+	die := d.die(addr.Block)
+	die.mu.Lock()
+	defer die.mu.Unlock()
 	blk := &d.blocks[addr.Block]
 	if addr.Offset >= blk.writePointer {
 		return fmt.Errorf("%w: %v", ErrPageNotWritten, addr)
 	}
-	d.counters.Record(OpPageRead, p, d.cfg.Latency.PageRead)
+	die.counters.Record(OpPageRead, p, d.cfg.Latency.PageRead)
 	return nil
 }
 
@@ -139,13 +163,14 @@ func (d *Device) ReadPage(ppn PPN, p Purpose) error {
 // because recovery scans probe spare areas of possibly-free pages.
 func (d *Device) ReadSpare(ppn PPN, p Purpose) (SpareArea, bool, error) {
 	addr := Decompose(ppn, d.cfg.PagesPerBlock)
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if err := d.checkPage(addr.Block, addr.Offset); err != nil {
 		return SpareArea{}, false, err
 	}
+	die := d.die(addr.Block)
+	die.mu.Lock()
+	defer die.mu.Unlock()
 	blk := &d.blocks[addr.Block]
-	d.counters.Record(OpSpareRead, p, d.cfg.Latency.SpareRead)
+	die.counters.Record(OpSpareRead, p, d.cfg.Latency.SpareRead)
 	if addr.Offset >= blk.writePointer {
 		return SpareArea{}, false, nil
 	}
@@ -154,23 +179,23 @@ func (d *Device) ReadSpare(ppn PPN, p Purpose) (SpareArea, bool, error) {
 
 // EraseBlock erases a block, freeing all of its pages.
 func (d *Device) EraseBlock(block BlockID, p Purpose) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if err := d.check(block); err != nil {
 		return err
 	}
+	die := d.die(block)
+	die.mu.Lock()
+	defer die.mu.Unlock()
 	blk := &d.blocks[block]
 	if d.cfg.MaxEraseCount > 0 && blk.eraseCount >= d.cfg.MaxEraseCount {
 		return fmt.Errorf("%w: block %d erased %d times", ErrWornOut, block, blk.eraseCount)
 	}
-	d.eraseSeq++
 	blk.eraseCount++
-	blk.eraseSeq = d.eraseSeq
+	blk.eraseSeq = d.eraseSeq.Add(1)
 	blk.writePointer = 0
 	for i := range blk.spares {
 		blk.spares[i] = SpareArea{}
 	}
-	d.counters.Record(OpErase, p, d.cfg.Latency.Erase)
+	die.counters.Record(OpErase, p, d.cfg.Latency.Erase)
 	return nil
 }
 
@@ -178,104 +203,148 @@ func (d *Device) EraseBlock(block BlockID, p Purpose) error {
 // PagesPerBlock when the block is full). It models the FTL's own in-RAM
 // knowledge of its active blocks and is not an IO.
 func (d *Device) WritePointer(block BlockID) (int, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if err := d.check(block); err != nil {
 		return 0, err
 	}
+	die := d.die(block)
+	die.mu.Lock()
+	defer die.mu.Unlock()
 	return d.blocks[block].writePointer, nil
 }
 
 // EraseCount returns the number of erases a block has endured. Not an IO.
 func (d *Device) EraseCount(block BlockID) (int, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if err := d.check(block); err != nil {
 		return 0, err
 	}
+	die := d.die(block)
+	die.mu.Lock()
+	defer die.mu.Unlock()
 	return d.blocks[block].eraseCount, nil
 }
 
 // GlobalEraseSeq returns the device-wide erase counter. Not an IO.
-func (d *Device) GlobalEraseSeq() uint64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.eraseSeq
-}
+func (d *Device) GlobalEraseSeq() uint64 { return d.eraseSeq.Load() }
 
 // GlobalWriteSeq returns the device-wide write sequence number. Not an IO.
-func (d *Device) GlobalWriteSeq() uint64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.writeSeq
-}
+func (d *Device) GlobalWriteSeq() uint64 { return d.writeSeq.Load() }
 
-// Counters returns a snapshot of the IO counters.
+// Counters returns a snapshot of the IO counters aggregated over all dies.
+// With concurrent callers in flight the snapshot is per-die consistent but
+// not a single global instant; quiesce the device for an exact total.
 func (d *Device) Counters() Counters {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.counters.Snapshot()
+	var total Counters
+	for i := range d.dies {
+		die := &d.dies[i]
+		die.mu.Lock()
+		total.Add(die.counters)
+		die.mu.Unlock()
+	}
+	return total
 }
 
-// ResetCounters zeroes the IO counters, typically after a warm-up phase so
-// that steady-state write-amplification can be measured.
+// ResetCounters zeroes the IO counters of every die, typically after a
+// warm-up phase so that steady-state write-amplification can be measured.
 func (d *Device) ResetCounters() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.counters.Reset()
+	for i := range d.dies {
+		die := &d.dies[i]
+		die.mu.Lock()
+		die.counters.Reset()
+		die.mu.Unlock()
+	}
 }
 
 // PowerFail simulates an abrupt power failure: the device refuses all
 // operations until PowerOn is called. Flash contents survive; anything the
 // FTL kept in integrated RAM does not (that loss is the FTL's concern).
-func (d *Device) PowerFail() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.powered = false
-}
+func (d *Device) PowerFail() { d.powered.Store(false) }
 
 // PowerOn restores power after a PowerFail.
-func (d *Device) PowerOn() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.powered = true
-}
+func (d *Device) PowerOn() { d.powered.Store(true) }
 
 // Powered reports whether the device currently has power.
-func (d *Device) Powered() bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.powered
-}
+func (d *Device) Powered() bool { return d.powered.Load() }
 
 // SimulatedTime returns the total device time consumed so far under the
-// latency model.
+// latency model: the sum of every die's busy time, i.e. the cost of
+// executing all IO on a single serialized plane.
 func (d *Device) SimulatedTime() time.Duration {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.counters.Elapsed()
+	var total time.Duration
+	for i := range d.dies {
+		die := &d.dies[i]
+		die.mu.Lock()
+		total += die.counters.Elapsed()
+		die.mu.Unlock()
+	}
+	return total
+}
+
+// ParallelSimulatedTime returns the busy time of the busiest die: the
+// wall-clock lower bound for a controller that overlaps independent dies
+// perfectly. On a 1x1 topology it equals SimulatedTime.
+func (d *Device) ParallelSimulatedTime() time.Duration {
+	var max time.Duration
+	for i := range d.dies {
+		die := &d.dies[i]
+		die.mu.Lock()
+		if t := die.counters.Elapsed(); t > max {
+			max = t
+		}
+		die.mu.Unlock()
+	}
+	return max
+}
+
+// DieTimes returns each die's accumulated busy time, indexed by die. The
+// channel-sweep experiments use it to report load balance.
+func (d *Device) DieTimes() []time.Duration {
+	out := make([]time.Duration, len(d.dies))
+	for i := range d.dies {
+		die := &d.dies[i]
+		die.mu.Lock()
+		out[i] = die.counters.Elapsed()
+		die.mu.Unlock()
+	}
+	return out
 }
 
 // BlocksEndurance returns min, max and mean erase counts across all blocks.
 // The wear-leveling tests use it to bound erase-count discrepancies.
 func (d *Device) BlocksEndurance() (min, max int, mean float64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if len(d.blocks) == 0 {
+	return d.enduranceRange(0, d.cfg.Blocks)
+}
+
+// enduranceRange computes erase-count statistics over the block range
+// [base, base+n), locking each die once.
+func (d *Device) enduranceRange(base BlockID, n int) (min, max int, mean float64) {
+	if n <= 0 {
 		return 0, 0, 0
 	}
-	min = d.blocks[0].eraseCount
-	max = d.blocks[0].eraseCount
+	first := true
 	var total int64
-	for i := range d.blocks {
-		ec := d.blocks[i].eraseCount
-		if ec < min {
-			min = ec
+	lastDie := d.cfg.DieOfBlock(base + BlockID(n) - 1)
+	for dieID := d.cfg.DieOfBlock(base); dieID <= lastDie; dieID++ {
+		lo, hi := d.cfg.DieBlockRange(dieID)
+		if lo < base {
+			lo = base
 		}
-		if ec > max {
-			max = ec
+		if limit := base + BlockID(n); hi > limit {
+			hi = limit
 		}
-		total += int64(ec)
+		die := &d.dies[dieID]
+		die.mu.Lock()
+		for b := lo; b < hi; b++ {
+			ec := d.blocks[b].eraseCount
+			if first || ec < min {
+				min = ec
+			}
+			if first || ec > max {
+				max = ec
+			}
+			first = false
+			total += int64(ec)
+		}
+		die.mu.Unlock()
 	}
-	return min, max, float64(total) / float64(len(d.blocks))
+	return min, max, float64(total) / float64(n)
 }

@@ -1,0 +1,224 @@
+package flash
+
+import (
+	"fmt"
+	"time"
+)
+
+// channels returns the configured channel count, treating zero as one.
+func (c Config) channels() int {
+	if c.Channels <= 0 {
+		return 1
+	}
+	return c.Channels
+}
+
+// diesPerChannel returns the configured dies per channel, treating zero as one.
+func (c Config) diesPerChannel() int {
+	if c.DiesPerChannel <= 0 {
+		return 1
+	}
+	return c.DiesPerChannel
+}
+
+// Dies returns the total number of independently operating dies,
+// Channels * DiesPerChannel (each defaulting to one when zero).
+func (c Config) Dies() int { return c.channels() * c.diesPerChannel() }
+
+// NumChannels returns the channel count, treating zero as one. (A method
+// because the Channels field keeps zero as "unset" for backward
+// compatibility with single-plane configurations.)
+func (c Config) NumChannels() int { return c.channels() }
+
+// DieOfBlock returns the die a block resides on. Blocks are laid out across
+// dies in contiguous ranges, so a contiguous block range [lo,hi) aligned to
+// die boundaries touches only its own dies — the property the ftl.Engine uses
+// to give each shard a contention-free set of dies.
+func (c Config) DieOfBlock(block BlockID) int {
+	return int(int64(block) * int64(c.Dies()) / int64(c.Blocks))
+}
+
+// ChannelOfBlock returns the channel whose bus serves the block's die.
+func (c Config) ChannelOfBlock(block BlockID) int {
+	return c.DieOfBlock(block) / c.diesPerChannel()
+}
+
+// DieBlockRange returns the half-open block range [lo,hi) owned by a die.
+func (c Config) DieBlockRange(die int) (lo, hi BlockID) {
+	d, k := int64(c.Dies()), int64(c.Blocks)
+	lo = BlockID((int64(die)*k + d - 1) / d)
+	hi = BlockID((int64(die+1)*k + d - 1) / d)
+	return lo, hi
+}
+
+// ChannelBlockRange returns the half-open block range [lo,hi) served by a
+// channel: the union of its dies' ranges.
+func (c Config) ChannelBlockRange(channel int) (lo, hi BlockID) {
+	lo, _ = c.DieBlockRange(channel * c.diesPerChannel())
+	_, hi = c.DieBlockRange((channel+1)*c.diesPerChannel() - 1)
+	return lo, hi
+}
+
+// Plane is the device interface the FTLs program against. Both the whole
+// *Device and a *Partition (a contiguous block range of a device) implement
+// it, which is how the sharded ftl.Engine runs an unmodified FTL per channel.
+type Plane interface {
+	// Config describes the plane's geometry: for a partition, Blocks is the
+	// partition's block count and addresses are partition-relative.
+	Config() Config
+	WritePage(ppn PPN, spare SpareArea, p Purpose) (uint64, error)
+	ReadPage(ppn PPN, p Purpose) error
+	ReadSpare(ppn PPN, p Purpose) (SpareArea, bool, error)
+	EraseBlock(block BlockID, p Purpose) error
+	WritePointer(block BlockID) (int, error)
+	EraseCount(block BlockID) (int, error)
+	BlocksEndurance() (min, max int, mean float64)
+	// Counters, SimulatedTime and ResetCounters report and reset the IO
+	// accounting of the underlying device (device-wide for partitions).
+	Counters() Counters
+	SimulatedTime() time.Duration
+	ResetCounters()
+	PowerFail()
+	PowerOn()
+	Powered() bool
+}
+
+var (
+	_ Plane = (*Device)(nil)
+	_ Plane = (*Partition)(nil)
+)
+
+// Partition is a view over a contiguous block range of a Device. Block IDs
+// and physical page numbers are partition-relative: block 0 of the partition
+// is block base of the device. IO issued through a partition is executed,
+// latched and accounted by the parent device, so partitions on different dies
+// run in parallel while partitions sharing a die serialize.
+type Partition struct {
+	dev  *Device
+	base BlockID
+	cfg  Config
+}
+
+// Partition carves the block range [base, base+blocks) out of the device.
+// The returned view has the parent's geometry and cost model but only the
+// given blocks (and proportionally fewer logical pages). The range is not
+// reserved: nothing stops other partitions or direct device access from
+// overlapping it; callers that shard a device are responsible for using
+// disjoint ranges.
+func (d *Device) Partition(base BlockID, blocks int) (*Partition, error) {
+	if base < 0 || blocks <= 0 || int(base)+blocks > d.cfg.Blocks {
+		return nil, fmt.Errorf("%w: partition [%d,%d) of %d blocks", ErrOutOfRange, base, int(base)+blocks, d.cfg.Blocks)
+	}
+	cfg := d.cfg
+	cfg.Blocks = blocks
+	// The partition spans a subset of the device's dies; its own view is a
+	// single plane, so the topology fields are cleared.
+	cfg.Channels = 0
+	cfg.DiesPerChannel = 0
+	return &Partition{dev: d, base: base, cfg: cfg}, nil
+}
+
+// Config returns the partition-relative configuration.
+func (p *Partition) Config() Config { return p.cfg }
+
+// Base returns the first device block of the partition.
+func (p *Partition) Base() BlockID { return p.base }
+
+// Device returns the parent device.
+func (p *Partition) Device() *Device { return p.dev }
+
+// checkBlock bounds-checks a partition-relative block ID before translation,
+// so a buggy caller cannot reach a neighboring partition's blocks.
+func (p *Partition) checkBlock(block BlockID) error {
+	if block < 0 || int(block) >= p.cfg.Blocks {
+		return fmt.Errorf("%w: block %d of partition with %d blocks", ErrOutOfRange, block, p.cfg.Blocks)
+	}
+	return nil
+}
+
+// checkPPN bounds-checks a partition-relative page number before translation.
+func (p *Partition) checkPPN(ppn PPN) error {
+	if ppn < 0 || int64(ppn) >= int64(p.cfg.Blocks)*int64(p.cfg.PagesPerBlock) {
+		return fmt.Errorf("%w: page %d of partition with %d pages", ErrOutOfRange, ppn, int64(p.cfg.Blocks)*int64(p.cfg.PagesPerBlock))
+	}
+	return nil
+}
+
+// ppnOffset is the device page number of the partition's page 0.
+func (p *Partition) ppnOffset() PPN {
+	return PPN(int64(p.base) * int64(p.cfg.PagesPerBlock))
+}
+
+// WritePage programs the partition-relative page ppn on the parent device.
+func (p *Partition) WritePage(ppn PPN, spare SpareArea, pu Purpose) (uint64, error) {
+	if err := p.checkPPN(ppn); err != nil {
+		return 0, err
+	}
+	return p.dev.WritePage(ppn+p.ppnOffset(), spare, pu)
+}
+
+// ReadPage reads the partition-relative page ppn.
+func (p *Partition) ReadPage(ppn PPN, pu Purpose) error {
+	if err := p.checkPPN(ppn); err != nil {
+		return err
+	}
+	return p.dev.ReadPage(ppn+p.ppnOffset(), pu)
+}
+
+// ReadSpare reads the spare area of the partition-relative page ppn.
+func (p *Partition) ReadSpare(ppn PPN, pu Purpose) (SpareArea, bool, error) {
+	if err := p.checkPPN(ppn); err != nil {
+		return SpareArea{}, false, err
+	}
+	return p.dev.ReadSpare(ppn+p.ppnOffset(), pu)
+}
+
+// EraseBlock erases the partition-relative block.
+func (p *Partition) EraseBlock(block BlockID, pu Purpose) error {
+	if err := p.checkBlock(block); err != nil {
+		return err
+	}
+	return p.dev.EraseBlock(block+p.base, pu)
+}
+
+// WritePointer returns the write pointer of the partition-relative block.
+func (p *Partition) WritePointer(block BlockID) (int, error) {
+	if err := p.checkBlock(block); err != nil {
+		return 0, err
+	}
+	return p.dev.WritePointer(block + p.base)
+}
+
+// EraseCount returns the erase count of the partition-relative block.
+func (p *Partition) EraseCount(block BlockID) (int, error) {
+	if err := p.checkBlock(block); err != nil {
+		return 0, err
+	}
+	return p.dev.EraseCount(block + p.base)
+}
+
+// BlocksEndurance returns min, max and mean erase counts over the
+// partition's blocks only.
+func (p *Partition) BlocksEndurance() (min, max int, mean float64) {
+	return p.dev.enduranceRange(p.base, p.cfg.Blocks)
+}
+
+// Counters returns the parent device's IO counters. Partitions sharing a
+// device share its accounting; per-shard activity is visible through the
+// owning FTL's stats instead.
+func (p *Partition) Counters() Counters { return p.dev.Counters() }
+
+// SimulatedTime returns the parent device's total busy time.
+func (p *Partition) SimulatedTime() time.Duration { return p.dev.SimulatedTime() }
+
+// ResetCounters resets the parent device's counters.
+func (p *Partition) ResetCounters() { p.dev.ResetCounters() }
+
+// PowerFail fails power on the whole parent device.
+func (p *Partition) PowerFail() { p.dev.PowerFail() }
+
+// PowerOn restores power on the whole parent device.
+func (p *Partition) PowerOn() { p.dev.PowerOn() }
+
+// Powered reports the parent device's power state.
+func (p *Partition) Powered() bool { return p.dev.Powered() }

@@ -1,17 +1,3 @@
-// Package ftl implements the flash translation layers studied in the
-// GeckoFTL paper: GeckoFTL itself (the paper's contribution) and the four
-// state-of-the-art page-associative FTLs it is compared against (DFTL,
-// LazyFTL, µ-FTL and IB-FTL).
-//
-// All five share the same skeleton -- a flash-resident page-associative
-// translation table with a Global Mapping Directory and an LRU cache of
-// mapping entries, a block manager that separates user, translation and
-// metadata blocks, and a garbage collector driven by a Blocks Validity
-// Counter -- and differ in how they store page-validity metadata, how they
-// bound dirty cached mapping entries, how they pick garbage-collection
-// victims and how they recover from power failure. The Options type selects
-// those policies; NewGeckoFTL, NewDFTL, NewLazyFTL, NewMuFTL and NewIBFTL
-// build the paper's five configurations.
 package ftl
 
 import (
@@ -94,7 +80,7 @@ type blockInfo struct {
 // written append-only, keeps the Blocks Validity Counter, and hands out
 // garbage-collection victims.
 type blockManager struct {
-	dev    *flash.Device
+	dev    flash.Plane
 	cfg    flash.Config
 	blocks []blockInfo
 	free   []flash.BlockID
@@ -108,7 +94,7 @@ type blockManager struct {
 }
 
 // newBlockManager creates a block manager with every block free.
-func newBlockManager(dev *flash.Device, gcReserve int) *blockManager {
+func newBlockManager(dev flash.Plane, gcReserve int) *blockManager {
 	cfg := dev.Config()
 	bm := &blockManager{
 		dev:       dev,

@@ -1,0 +1,46 @@
+// Package ftl implements the flash translation layers studied in the
+// GeckoFTL paper: GeckoFTL itself (the paper's contribution) and the four
+// state-of-the-art page-associative FTLs it is compared against (DFTL,
+// LazyFTL, µ-FTL and IB-FTL).
+//
+// All five share the same skeleton -- a flash-resident page-associative
+// translation table with a Global Mapping Directory and an LRU cache of
+// mapping entries, a block manager that separates user, translation and
+// metadata blocks, and a garbage collector driven by a Blocks Validity
+// Counter -- and differ in how they store page-validity metadata, how they
+// bound dirty cached mapping entries, how they pick garbage-collection
+// victims and how they recover from power failure. The Options type selects
+// those policies; NewGeckoFTL, NewDFTL, NewLazyFTL, NewMuFTL and NewIBFTL
+// build the paper's five configurations.
+//
+// # Mapping to the paper
+//
+//   - FTL.Write / FTL.Read: "Serving Application Writes/Reads" (Section 4),
+//     including GeckoFTL's lazy identification of invalid pages through the
+//     UIP flag (Section 4.1).
+//   - blockManager: the user/translation/metadata block groups of Figure 8
+//     and the Blocks Validity Counter (Appendix B); its victim policies are
+//     the greedy baseline and GeckoFTL's metadata-aware policy that never
+//     migrates metadata blocks (Section 4.2).
+//   - translationTable: the flash-resident page-associative mapping with its
+//     Global Mapping Directory and synchronization operations.
+//   - FTL.Recover: the power-failure recovery protocols, including
+//     GeckoFTL's runtime checkpoints that bound the backwards scan
+//     (Section 4.3, Appendix C).
+//   - The validity store behind the Scheme option is the axis of the
+//     paper's comparison: Logarithmic Gecko (package gecko), the RAM- or
+//     flash-resident PVB (package pvb), or IB-FTL's page validity log
+//     (package pvl).
+//
+// # Beyond the paper: the sharded Engine
+//
+// The paper's algorithms are single-threaded. Engine scales them to
+// multi-channel devices (see the flash package's topology support): it
+// partitions the device into one contiguous block range per channel, runs an
+// independent FTL per partition, stripes logical pages across the shards,
+// and serves batched IO (ReadBatch/WriteBatch) by fanning requests out to
+// the shards in parallel. Because every shard owns its translation map,
+// block manager and validity store outright, the only shared state is the
+// device itself, which latches per die; the whole engine is safe for
+// concurrent use and -race clean.
+package ftl

@@ -1,0 +1,288 @@
+package ftl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"geckoftl/internal/flash"
+)
+
+// Engine is a concurrency-safe, sharded FTL frontend for multi-channel
+// devices. It partitions the device's blocks into one contiguous range per
+// shard (aligned with the channel/die layout when the block count divides
+// evenly) and runs an independent FTL instance on each partition. Logical
+// pages are striped across shards (shard = lpn mod shards), so each shard
+// owns its own translation map, block manager, garbage collector and
+// page-validity store — there is no shared mutable FTL state between shards,
+// only the device underneath, which latches per die.
+//
+// Single-page Read/Write and the batched ReadBatch/WriteBatch are safe for
+// concurrent use from any number of goroutines. Batches fan out across
+// shards in parallel, which is what exploits the device's channel
+// parallelism: with S shards on S channels, the busiest die sees roughly 1/S
+// of the IO.
+type Engine struct {
+	dev           *flash.Device
+	opts          Options
+	shards        []*engineShard
+	perShardPages int64
+	logicalPages  int64
+}
+
+// engineShard pairs one FTL instance with the lock that serializes it. The
+// FTL itself (like the paper's algorithms) is single-threaded; the shard
+// lock is the concurrency boundary.
+type engineShard struct {
+	mu  sync.Mutex
+	ftl *FTL
+}
+
+// NewEngine creates an engine with the given number of shards over the
+// device. shards <= 0 selects one shard per channel. Each shard receives
+// Blocks/shards blocks; when the division is uneven the trailing remainder
+// blocks are left unused so that every shard exposes the same number of
+// logical pages (required for LPN striping).
+func NewEngine(dev *flash.Device, opts Options, shards int) (*Engine, error) {
+	cfg := dev.Config()
+	if shards <= 0 {
+		shards = cfg.NumChannels()
+	}
+	blocksPerShard := cfg.Blocks / shards
+	if blocksPerShard < 1 {
+		return nil, fmt.Errorf("ftl: %d shards over %d blocks leaves empty shards", shards, cfg.Blocks)
+	}
+	e := &Engine{dev: dev, opts: opts}
+	for i := 0; i < shards; i++ {
+		part, err := dev.Partition(flash.BlockID(i*blocksPerShard), blocksPerShard)
+		if err != nil {
+			return nil, err
+		}
+		f, err := New(part, opts)
+		if err != nil {
+			return nil, fmt.Errorf("ftl: shard %d: %w", i, err)
+		}
+		e.shards = append(e.shards, &engineShard{ftl: f})
+	}
+	e.perShardPages = e.shards[0].ftl.LogicalPages()
+	e.logicalPages = e.perShardPages * int64(shards)
+	return e, nil
+}
+
+// Name returns the display name of the sharded configuration.
+func (e *Engine) Name() string {
+	if len(e.shards) == 1 {
+		return e.opts.Name
+	}
+	return fmt.Sprintf("%s/%d", e.opts.Name, len(e.shards))
+}
+
+// Device returns the shared device under all shards.
+func (e *Engine) Device() *flash.Device { return e.dev }
+
+// Shards returns the number of shards.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Shard returns the FTL instance of shard i, for inspection by tests and
+// experiments. Callers must not drive it while batches are in flight.
+func (e *Engine) Shard(i int) *FTL { return e.shards[i].ftl }
+
+// LogicalPages returns the number of logical pages the engine exposes: the
+// sum over shards (slightly below the whole-device figure when the block
+// count does not divide evenly by the shard count).
+func (e *Engine) LogicalPages() int64 { return e.logicalPages }
+
+// shardOf routes a logical page to its shard: LPNs are striped so that
+// consecutive pages land on different shards (and therefore different
+// channels), which spreads both sequential and uniform workloads.
+func (e *Engine) shardOf(lpn flash.LPN) (int, flash.LPN, error) {
+	if lpn < 0 || int64(lpn) >= e.logicalPages {
+		return 0, 0, fmt.Errorf("ftl: logical page %d out of range [0,%d)", lpn, e.logicalPages)
+	}
+	n := int64(len(e.shards))
+	return int(int64(lpn) % n), flash.LPN(int64(lpn) / n), nil
+}
+
+// Write serves one application write. Safe for concurrent use.
+func (e *Engine) Write(lpn flash.LPN) error {
+	s, local, err := e.shardOf(lpn)
+	if err != nil {
+		return err
+	}
+	sh := e.shards[s]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.ftl.Write(local)
+}
+
+// Read serves one application read. Safe for concurrent use.
+func (e *Engine) Read(lpn flash.LPN) error {
+	s, local, err := e.shardOf(lpn)
+	if err != nil {
+		return err
+	}
+	sh := e.shards[s]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.ftl.Read(local)
+}
+
+// WriteBatch writes every logical page in lpns, fanning the requests out
+// across shards in parallel and joining the results. Pages of the same shard
+// are written in slice order; ordering across shards is unspecified, as on a
+// real multi-channel controller.
+func (e *Engine) WriteBatch(lpns []flash.LPN) error {
+	buckets, err := e.bucket(lpns)
+	if err != nil {
+		return err
+	}
+	return e.fanOut(buckets, (*FTL).Write)
+}
+
+// ReadBatch reads every logical page in lpns, fanning the requests out
+// across shards in parallel.
+func (e *Engine) ReadBatch(lpns []flash.LPN) error {
+	buckets, err := e.bucket(lpns)
+	if err != nil {
+		return err
+	}
+	return e.fanOut(buckets, (*FTL).Read)
+}
+
+// bucket groups a batch into per-shard slices of shard-local LPNs. Routing
+// errors are reported up front, before any IO is issued.
+func (e *Engine) bucket(lpns []flash.LPN) ([][]flash.LPN, error) {
+	buckets := make([][]flash.LPN, len(e.shards))
+	for _, lpn := range lpns {
+		s, local, err := e.shardOf(lpn)
+		if err != nil {
+			return nil, err
+		}
+		buckets[s] = append(buckets[s], local)
+	}
+	return buckets, nil
+}
+
+// fanOut runs one goroutine per non-empty bucket, each holding its shard's
+// lock while draining the bucket sequentially. A shard that fails stops
+// early; the joined errors of all failed shards are returned.
+func (e *Engine) fanOut(buckets [][]flash.LPN, op func(*FTL, flash.LPN) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(buckets))
+	for i, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, bucket []flash.LPN) {
+			defer wg.Done()
+			sh := e.shards[i]
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			for _, lpn := range bucket {
+				if err := op(sh.ftl, lpn); err != nil {
+					errs[i] = fmt.Errorf("shard %d: %w", i, err)
+					return
+				}
+			}
+		}(i, bucket)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Flush forces all dirty state of every shard to flash.
+func (e *Engine) Flush() error {
+	for i, sh := range e.shards {
+		sh.mu.Lock()
+		err := sh.ftl.Flush()
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Stats returns the shards' logical operation counters summed.
+func (e *Engine) Stats() Stats {
+	var total Stats
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		total.add(sh.ftl.Stats())
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// RAMBytes returns the integrated-RAM footprint summed over shards.
+func (e *Engine) RAMBytes() int64 {
+	var total int64
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		total += sh.ftl.RAMBytes()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// CheckConsistency audits every shard's translation map against the flash
+// contents (see FTL.CheckConsistency). The engine must be quiesced.
+func (e *Engine) CheckConsistency() error {
+	for i, sh := range e.shards {
+		sh.mu.Lock()
+		err := sh.ftl.CheckConsistency()
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// add accumulates other into s.
+func (s *Stats) add(other Stats) {
+	s.LogicalWrites += other.LogicalWrites
+	s.LogicalReads += other.LogicalReads
+	s.GCOperations += other.GCOperations
+	s.GCMigrations += other.GCMigrations
+	s.UIPSkips += other.UIPSkips
+	s.SyncOperations += other.SyncOperations
+	s.Checkpoints += other.Checkpoints
+	s.MetadataBlockErases += other.MetadataBlockErases
+	s.ForcedSyncs += other.ForcedSyncs
+}
+
+// CheckConsistency verifies the FTL's translation invariants against the
+// flash contents: every mapped logical page must point at a programmed
+// physical page whose spare area records that logical page, and no two
+// logical pages may share a physical page. The concurrency tests run it
+// after quiescing a hammered engine; it issues spare-area reads accounted
+// under flash.PurposeRecovery.
+func (f *FTL) CheckConsistency() error {
+	owners := make(map[flash.PPN]flash.LPN)
+	for lpn := flash.LPN(0); int64(lpn) < f.logicalPages; lpn++ {
+		ppn := f.table.FlashEntry(lpn)
+		if e, ok := f.cache.Peek(lpn); ok {
+			ppn = e.Physical
+		}
+		if ppn == flash.InvalidPPN {
+			continue
+		}
+		if prev, dup := owners[ppn]; dup {
+			return fmt.Errorf("ftl: logical pages %d and %d both map to physical page %d", prev, lpn, ppn)
+		}
+		owners[ppn] = lpn
+		spare, written, err := f.dev.ReadSpare(ppn, flash.PurposeRecovery)
+		if err != nil {
+			return fmt.Errorf("ftl: auditing logical page %d: %w", lpn, err)
+		}
+		if !written {
+			return fmt.Errorf("ftl: logical page %d maps to unprogrammed physical page %d", lpn, ppn)
+		}
+		if spare.Logical != lpn {
+			return fmt.Errorf("ftl: physical page %d holds logical page %d, but the map says %d", ppn, spare.Logical, lpn)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+package ftl
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"geckoftl/internal/flash"
+)
+
+// engineTestDevice builds a multi-channel device small enough for tests but
+// large enough that garbage collection runs in every shard.
+func engineTestDevice(t *testing.T, blocks, channels int) *flash.Device {
+	t.Helper()
+	cfg := flash.ScaledConfig(blocks)
+	cfg.PagesPerBlock = 16
+	cfg.PageSize = 512
+	cfg.Channels = channels
+	dev, err := flash.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func TestEngineRouting(t *testing.T) {
+	dev := engineTestDevice(t, 128, 4)
+	e, err := NewEngine(dev, GeckoFTLOptions(128), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4 (one per channel)", e.Shards())
+	}
+	wantLP := 4 * e.Shard(0).LogicalPages()
+	if e.LogicalPages() != wantLP {
+		t.Fatalf("LogicalPages() = %d, want %d", e.LogicalPages(), wantLP)
+	}
+	// Consecutive LPNs stripe across shards.
+	for lpn := flash.LPN(0); lpn < 8; lpn++ {
+		s, local, err := e.shardOf(lpn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != int(lpn)%4 || local != lpn/4 {
+			t.Fatalf("shardOf(%d) = (%d,%d), want (%d,%d)", lpn, s, local, int(lpn)%4, lpn/4)
+		}
+	}
+	if err := e.Write(flash.LPN(e.LogicalPages())); err == nil {
+		t.Fatal("expected out-of-range write to fail")
+	}
+	if err := e.WriteBatch([]flash.LPN{0, -1}); err == nil {
+		t.Fatal("expected out-of-range batch to fail")
+	}
+	if err := e.WriteBatch([]flash.LPN{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ReadBatch([]flash.LPN{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().LogicalWrites; got != 4 {
+		t.Fatalf("aggregated LogicalWrites = %d, want 4", got)
+	}
+	if got := e.Stats().LogicalReads; got != 4 {
+		t.Fatalf("aggregated LogicalReads = %d, want 4", got)
+	}
+}
+
+// TestEngineSingleShardMatchesFTL pins the engine's sharding to be a pure
+// routing layer: with one shard it must behave exactly like a plain FTL over
+// the same device, operation for operation.
+func TestEngineSingleShardMatchesFTL(t *testing.T) {
+	const writes = 3000
+	run := func(drive func(lpn flash.LPN) error, logicalPages int64) {
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < writes; i++ {
+			if err := drive(flash.LPN(rng.Int63n(logicalPages))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	engDev := engineTestDevice(t, 128, 1)
+	e, err := NewEngine(engDev, GeckoFTLOptions(128), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(e.Write, e.LogicalPages())
+
+	ftlDev := engineTestDevice(t, 128, 1)
+	f, err := NewGeckoFTL(ftlDev, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(f.Write, f.LogicalPages())
+
+	if e.Stats() != f.Stats() {
+		t.Errorf("engine stats %+v != ftl stats %+v", e.Stats(), f.Stats())
+	}
+	if got, want := engDev.SimulatedTime(), ftlDev.SimulatedTime(); got != want {
+		t.Errorf("engine device time %v != ftl device time %v", got, want)
+	}
+}
+
+// TestEngineBatchHammer is the concurrency test the engine exists for:
+// multiple goroutines issue overlapping ReadBatch/WriteBatch calls (enough
+// writes that every shard's garbage collector runs repeatedly), and after
+// quiescing, every shard's translation map must still be consistent with the
+// flash contents. Run with -race.
+func TestEngineBatchHammer(t *testing.T) {
+	for _, scheme := range []struct {
+		name string
+		opts Options
+	}{
+		{"gecko", GeckoFTLOptions(256)},
+		{"dftl", DFTLOptions(256)},
+	} {
+		t.Run(scheme.name, func(t *testing.T) {
+			dev := engineTestDevice(t, 256, 4)
+			e, err := NewEngine(dev, scheme.opts, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lp := e.LogicalPages()
+
+			// Fill the device past capacity single-threaded so that the
+			// hammer phase below runs against steady-state GC.
+			warm := rand.New(rand.NewSource(7))
+			batch := make([]flash.LPN, 64)
+			var warmWrites int64
+			for done := int64(0); done < 2*lp; done += int64(len(batch)) {
+				warmWrites += int64(len(batch))
+				for i := range batch {
+					batch[i] = flash.LPN(warm.Int63n(lp))
+				}
+				if err := e.WriteBatch(batch); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			const (
+				goroutines = 8
+				rounds     = 24
+				batchSize  = 48
+			)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					lpns := make([]flash.LPN, batchSize)
+					for r := 0; r < rounds; r++ {
+						for i := range lpns {
+							lpns[i] = flash.LPN(rng.Int63n(lp))
+						}
+						if r%3 == 2 {
+							if err := e.ReadBatch(lpns); err != nil {
+								t.Error(err)
+								return
+							}
+							continue
+						}
+						if err := e.WriteBatch(lpns); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(int64(g + 1))
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+
+			stats := e.Stats()
+			wantWrites := warmWrites + int64(goroutines*rounds/3*2*batchSize)
+			if stats.LogicalWrites != wantWrites {
+				t.Errorf("LogicalWrites = %d, want %d", stats.LogicalWrites, wantWrites)
+			}
+			if stats.GCOperations == 0 {
+				t.Error("expected garbage collection to run during the hammer")
+			}
+
+			// Quiesced: the translation maps must agree with flash.
+			if err := e.CheckConsistency(); err != nil {
+				t.Fatal(err)
+			}
+			// And stay consistent after flushing all dirty state.
+			if err := e.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.CheckConsistency(); err != nil {
+				t.Fatalf("after flush: %v", err)
+			}
+			// Every page remains readable.
+			all := make([]flash.LPN, lp)
+			for i := range all {
+				all[i] = flash.LPN(i)
+			}
+			if err := e.ReadBatch(all); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestEngineParallelTimeScales verifies the performance property the
+// topology exists for: the same workload on 8 channels finishes in well
+// under half the wall-clock (busiest-die) time of a single channel.
+func TestEngineParallelTimeScales(t *testing.T) {
+	wallTime := func(channels int) (wall, serial float64) {
+		dev := engineTestDevice(t, 256, channels)
+		e, err := NewEngine(dev, GeckoFTLOptions(256), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		lp := e.LogicalPages()
+		batch := make([]flash.LPN, 128)
+		for done := int64(0); done < 3*lp; done += int64(len(batch)) {
+			for i := range batch {
+				batch[i] = flash.LPN(rng.Int63n(lp))
+			}
+			if err := e.WriteBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dev.ParallelSimulatedTime().Seconds(), dev.SimulatedTime().Seconds()
+	}
+	wall1, serial1 := wallTime(1)
+	wall8, _ := wallTime(8)
+	if wall1 != serial1 {
+		t.Errorf("1-channel wall %v != serial %v", wall1, serial1)
+	}
+	if speedup := wall1 / wall8; speedup < 2 {
+		t.Errorf("8-channel speedup %.2fx, want >= 2x", speedup)
+	}
+}

@@ -53,7 +53,7 @@ type Stats struct {
 // FTL is not safe for concurrent use.
 type FTL struct {
 	opts  Options
-	dev   *flash.Device
+	dev   flash.Plane
 	cfg   flash.Config
 	bm    *blockManager
 	table *translationTable
@@ -72,7 +72,7 @@ type FTL struct {
 }
 
 // New creates an FTL over the device with the given options.
-func New(dev *flash.Device, opts Options) (*FTL, error) {
+func New(dev flash.Plane, opts Options) (*FTL, error) {
 	cfg := dev.Config()
 	if err := opts.validate(cfg); err != nil {
 		return nil, err
@@ -138,27 +138,27 @@ func New(dev *flash.Device, opts Options) (*FTL, error) {
 }
 
 // NewGeckoFTL builds GeckoFTL with the given cache capacity.
-func NewGeckoFTL(dev *flash.Device, cacheEntries int) (*FTL, error) {
+func NewGeckoFTL(dev flash.Plane, cacheEntries int) (*FTL, error) {
 	return New(dev, GeckoFTLOptions(cacheEntries))
 }
 
 // NewDFTL builds DFTL with the given cache capacity.
-func NewDFTL(dev *flash.Device, cacheEntries int) (*FTL, error) {
+func NewDFTL(dev flash.Plane, cacheEntries int) (*FTL, error) {
 	return New(dev, DFTLOptions(cacheEntries))
 }
 
 // NewLazyFTL builds LazyFTL with the given cache capacity.
-func NewLazyFTL(dev *flash.Device, cacheEntries int) (*FTL, error) {
+func NewLazyFTL(dev flash.Plane, cacheEntries int) (*FTL, error) {
 	return New(dev, LazyFTLOptions(cacheEntries))
 }
 
 // NewMuFTL builds µ-FTL with the given cache capacity.
-func NewMuFTL(dev *flash.Device, cacheEntries int) (*FTL, error) {
+func NewMuFTL(dev flash.Plane, cacheEntries int) (*FTL, error) {
 	return New(dev, MuFTLOptions(cacheEntries))
 }
 
 // NewIBFTL builds IB-FTL with the given cache capacity.
-func NewIBFTL(dev *flash.Device, cacheEntries int) (*FTL, error) {
+func NewIBFTL(dev flash.Plane, cacheEntries int) (*FTL, error) {
 	return New(dev, IBFTLOptions(cacheEntries))
 }
 
@@ -168,8 +168,9 @@ func (f *FTL) Name() string { return f.opts.Name }
 // Options returns the FTL's configuration.
 func (f *FTL) Options() Options { return f.opts }
 
-// Device returns the underlying simulated device.
-func (f *FTL) Device() *flash.Device { return f.dev }
+// Device returns the flash plane the FTL programs against: the whole device,
+// or one partition of it when the FTL is a shard of an Engine.
+func (f *FTL) Device() flash.Plane { return f.dev }
 
 // Stats returns the FTL's logical operation counters.
 func (f *FTL) Stats() Stats { return f.stats }
@@ -499,7 +500,17 @@ func (f *FTL) oldestDirty() (mapcache.Entry, bool) {
 // their live pages. Under the greedy policy a fully-invalid block is simply
 // the best possible victim, so no separate pass is needed.
 func (f *FTL) garbageCollectIfNeeded() error {
+	iterations := 0
 	for f.bm.NeedsGC() {
+		// Live-lock guard: on a device too small (or too full of metadata)
+		// for its over-provisioning, every victim is nearly fully valid and
+		// collecting it frees no space. A healthy call reclaims within a few
+		// iterations; 4K reclaims without reaching the reserve means churn
+		// that will never converge, so fail instead of spinning forever.
+		if iterations++; iterations > 4*f.cfg.Blocks {
+			return fmt.Errorf("ftl: garbage collection stalled after %d reclaims with %d free blocks (device or shard too small for its live data and metadata)",
+				iterations-1, f.bm.FreeBlocks())
+		}
 		if f.opts.VictimPolicy == VictimMetadataAware {
 			reclaimed, err := f.reclaimFullyInvalidMetadata()
 			if err != nil {

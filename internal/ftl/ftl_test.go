@@ -10,7 +10,7 @@ import (
 
 // testDeviceConfig is a small but realistic geometry: 96 blocks of 16 pages
 // of 512 bytes, 70% over-provisioning, strict sequential writes.
-func testFTL(t *testing.T, build func(*flash.Device, int) (*FTL, error), blocks, cacheEntries int) *FTL {
+func testFTL(t *testing.T, build func(flash.Plane, int) (*FTL, error), blocks, cacheEntries int) *FTL {
 	t.Helper()
 	dev := newTestDevice(t, blocks, 16, 512)
 	f, err := build(dev, cacheEntries)
@@ -21,8 +21,8 @@ func testFTL(t *testing.T, build func(*flash.Device, int) (*FTL, error), blocks,
 }
 
 // allFTLBuilders returns the five FTL constructors keyed by display name.
-func allFTLBuilders() map[string]func(*flash.Device, int) (*FTL, error) {
-	return map[string]func(*flash.Device, int) (*FTL, error){
+func allFTLBuilders() map[string]func(flash.Plane, int) (*FTL, error) {
+	return map[string]func(flash.Plane, int) (*FTL, error){
 		"GeckoFTL": NewGeckoFTL,
 		"DFTL":     NewDFTL,
 		"LazyFTL":  NewLazyFTL,
@@ -435,7 +435,7 @@ func TestWriteAmplificationOrdering(t *testing.T) {
 	results := map[string]struct {
 		total, validity float64
 	}{}
-	for name, build := range map[string]func(*flash.Device, int) (*FTL, error){
+	for name, build := range map[string]func(flash.Plane, int) (*FTL, error){
 		"GeckoFTL": NewGeckoFTL, "DFTL": NewDFTL, "uFTL": NewMuFTL,
 	} {
 		f := testFTL(t, build, 128, 256)

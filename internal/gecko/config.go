@@ -1,14 +1,3 @@
-// Package gecko implements Logarithmic Gecko, the write-optimized
-// flash-resident index of page-validity metadata that is the central
-// contribution of the GeckoFTL paper (Section 3).
-//
-// Logarithmic Gecko replaces the Page Validity Bitmap (PVB). It supports two
-// operations: updates, issued whenever a flash page becomes invalid, and
-// garbage-collection (GC) queries, issued by the garbage-collector to learn
-// which pages of a victim block are invalid. Updates are buffered in
-// integrated RAM and flushed to flash as sorted runs that are merged in the
-// background, LSM-tree style, so that a GC query costs one flash read per
-// level while an update costs only a small fraction of a flash write.
 package gecko
 
 import (

@@ -1,14 +1,3 @@
-// Package pvb implements the Page Validity Bitmap baselines that GeckoFTL's
-// Logarithmic Gecko is compared against in the paper.
-//
-// Two variants exist. The RAM-resident PVB (used by DFTL and LazyFTL) keeps
-// one validity bit per physical page in integrated RAM: updates and GC
-// queries cost no flash IO, but the RAM footprint is B*K/8 bytes and the
-// bitmap must be rebuilt from the translation table after a power failure.
-// The flash-resident PVB (used by µ-FTL) stores the bitmap in flash pages:
-// the RAM footprint shrinks to a small page directory, but every update
-// costs one flash read plus one flash write and every GC query one flash
-// read (Table 1 of the paper).
 package pvb
 
 import (

@@ -1,0 +1,19 @@
+// Package pvl implements the Page Validity Log of IB-FTL (Huang et al.,
+// cited as [18] in the GeckoFTL paper), extended with the cleaning mechanism
+// described in Appendix E of the paper so that it can be compared fairly
+// against Logarithmic Gecko.
+//
+// IB-FTL logs the addresses of invalidated flash pages in flash. For every
+// flash block, the log entries describing its invalid pages form a linked
+// list: each log entry points to the previous log entry for the same block,
+// and the head of each chain is kept in integrated RAM. A GC query follows
+// the chain, reading one log page per link that resides in a distinct flash
+// page. The cleaning mechanism bounds the log's size by recycling its oldest
+// page: entries that predate their block's last erase are discarded, the
+// rest are reinserted at the tail.
+//
+// In the paper's taxonomy the PVL trades the PVB's fixed RAM cost for
+// chain-head pointers plus per-query chain walks; Table 1 and Figure 13
+// place it between the two PVB variants on RAM while paying the highest
+// GC-query cost, which is the comparison this package reproduces.
+package pvl

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"geckoftl/internal/ftl"
+	"geckoftl/internal/model"
+	"geckoftl/internal/workload"
+)
+
+// ChannelPoint is one row of a channel-scaling sweep: the same workload run
+// through the sharded engine on an increasing number of channels.
+type ChannelPoint struct {
+	// Channels and Dies describe the topology of this point.
+	Channels, Dies int
+	// Writes is the number of logical writes in the measured window.
+	Writes int64
+	// WallTime is the slowest shard's busy time during the window: each
+	// shard issues its IO synchronously, so its critical path is the sum
+	// of its dies' busy time, and the engine finishes with its slowest
+	// shard.
+	WallTime time.Duration
+	// SerialTime is the total die-busy time: what the same IO would cost on
+	// a single serialized plane.
+	SerialTime time.Duration
+	// Throughput is logical writes per second of wall-clock.
+	Throughput float64
+	// Speedup is this point's throughput relative to the sweep's 1-channel
+	// (or first) point.
+	Speedup float64
+	// WA is the measured write-amplification of the window.
+	WA float64
+	// ModelThroughput is the parallelism-aware model's prediction given the
+	// measured WA and an ideal, perfectly balanced controller that also
+	// overlaps dies within a channel (which the synchronous shards do not);
+	// with DiesPerChannel > 1 it is an upper bound a future asynchronous
+	// shard dispatcher could approach.
+	ModelThroughput float64
+	// LoadImbalance is max/mean die busy time over the window (1.0 is a
+	// perfectly balanced sweep).
+	LoadImbalance float64
+}
+
+// MinSweepShardBlocks is the fewest blocks ChannelSweep allows per shard.
+// Below roughly this size a GeckoFTL shard's fixed overheads (active blocks,
+// GC reserve, Gecko runs) eat the over-provisioned space and garbage
+// collection cannot converge.
+const MinSweepShardBlocks = 32
+
+// minSweepShardCache is the fewest mapping-cache entries ChannelSweep allows
+// per shard. ChannelSweep grows the sweep-wide budget (uniformly, so points
+// stay comparable) rather than silently giving wide points extra cache.
+const minSweepShardCache = 16
+
+// ChannelSweepOptions parameterizes a sweep.
+type ChannelSweepOptions struct {
+	// Scale sizes the device and the measured window. Scale.Device.Channels
+	// is overridden by each sweep point; DiesPerChannel is honored.
+	Scale ExperimentScale
+	// Channels lists the channel counts to sweep. Empty means 1,2,4,8.
+	Channels []int
+	// BatchSize is the number of writes dispatched per engine batch (the
+	// queue depth the host keeps). Zero means 8 per die.
+	BatchSize int
+	// Workload names the generator: "uniform" (default), "sequential",
+	// "zipfian" or "hotcold".
+	Workload string
+}
+
+// generator builds the sweep workload for an engine's logical page count.
+func (o ChannelSweepOptions) generator(logicalPages int64) (workload.Generator, error) {
+	switch o.Workload {
+	case "", "uniform":
+		return workload.NewUniform(logicalPages, o.Scale.Seed), nil
+	case "sequential":
+		return workload.NewSequential(logicalPages), nil
+	case "zipfian":
+		return workload.NewZipfian(logicalPages, 1.2, o.Scale.Seed), nil
+	case "hotcold":
+		return workload.NewHotCold(logicalPages, 0.2, 0.8, o.Scale.Seed), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown sweep workload %q", o.Workload)
+	}
+}
+
+// ChannelSweep measures write throughput of the sharded GeckoFTL engine
+// across channel counts. Every point runs the same logical workload; the
+// total RAM budget is held constant by dividing the mapping cache across
+// shards. Warm-up fills the device twice over so that each point is measured
+// in steady-state garbage collection.
+func ChannelSweep(opts ChannelSweepOptions) ([]ChannelPoint, error) {
+	if opts.Scale.MeasureWrites <= 0 {
+		return nil, fmt.Errorf("sim: measure writes %d must be positive", opts.Scale.MeasureWrites)
+	}
+	channels := opts.Channels
+	if len(channels) == 0 {
+		channels = []int{1, 2, 4, 8}
+	}
+	// Shards that are too small live-lock their garbage collector (every
+	// victim stays nearly fully valid), so grow the device until the widest
+	// point keeps a healthy number of blocks per shard. The grown geometry
+	// applies to every point, keeping the sweep comparable.
+	maxChannels := 0
+	for _, c := range channels {
+		if c > maxChannels {
+			maxChannels = c
+		}
+	}
+	if min := MinSweepShardBlocks * maxChannels; opts.Scale.Device.Blocks < min {
+		opts.Scale.Device.Blocks = min
+	}
+	// Likewise grow the cache budget so that dividing it by the widest
+	// point still leaves a workable per-shard cache; growing it once, for
+	// every point, keeps the total budget constant across the sweep.
+	if min := minSweepShardCache * maxChannels; opts.Scale.CacheEntries < min {
+		opts.Scale.CacheEntries = min
+	}
+	var points []ChannelPoint
+	for _, c := range channels {
+		p, err := channelPoint(opts, c)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %d channels: %w", c, err)
+		}
+		points = append(points, p)
+	}
+	base := points[0].Throughput
+	for i := range points {
+		points[i].Speedup = points[i].Throughput / base
+	}
+	return points, nil
+}
+
+func channelPoint(opts ChannelSweepOptions, channels int) (ChannelPoint, error) {
+	scale := opts.Scale
+	spec := scale.Device
+	spec.Channels = channels
+	dev, err := spec.NewDevice()
+	if err != nil {
+		return ChannelPoint{}, err
+	}
+	cfg := dev.Config()
+
+	// Hold the total cache budget constant across sweep points (ChannelSweep
+	// has already grown the budget so this never rounds below a workable
+	// per-shard cache).
+	cachePerShard := scale.CacheEntries / channels
+	eng, err := ftl.NewEngine(dev, ftl.GeckoFTLOptions(cachePerShard), 0)
+	if err != nil {
+		return ChannelPoint{}, err
+	}
+	gen, err := opts.generator(eng.LogicalPages())
+	if err != nil {
+		return ChannelPoint{}, err
+	}
+	batchSize := opts.BatchSize
+	if batchSize <= 0 {
+		batchSize = 8 * cfg.Dies()
+	}
+
+	pump := func(writes int64) error {
+		var done int64
+		for done < writes {
+			_, targets := workload.SplitBatch(workload.TakeBatch(gen, batchSize))
+			if len(targets) == 0 {
+				continue
+			}
+			if err := eng.WriteBatch(targets); err != nil {
+				return err
+			}
+			done += int64(len(targets))
+		}
+		return nil
+	}
+
+	if err := pump(2 * eng.LogicalPages()); err != nil {
+		return ChannelPoint{}, fmt.Errorf("warm-up: %w", err)
+	}
+
+	countersBefore := dev.Counters()
+	diesBefore := dev.DieTimes()
+	writesBefore := eng.Stats().LogicalWrites
+	if err := pump(scale.MeasureWrites); err != nil {
+		return ChannelPoint{}, fmt.Errorf("measurement: %w", err)
+	}
+	writes := eng.Stats().LogicalWrites - writesBefore
+
+	// Each shard drives its dies from a single goroutine, so a shard's
+	// critical path is the SUM of its dies' busy time — taking the busiest
+	// die instead would credit intra-shard overlap the synchronous shards
+	// cannot deliver (it only matters when DiesPerChannel > 1). The
+	// engine's wall-clock is the slowest shard; the serial cost is the sum
+	// over all dies. Dies are attributed to the shard owning their first
+	// block (exact whenever the block count divides evenly, as the grown
+	// sweep geometries do).
+	diesAfter := dev.DieTimes()
+	blocksPerShard := cfg.Blocks / eng.Shards()
+	shardBusy := make([]time.Duration, eng.Shards())
+	var maxDie, sum time.Duration
+	for d := range diesAfter {
+		busy := diesAfter[d] - diesBefore[d]
+		sum += busy
+		if busy > maxDie {
+			maxDie = busy
+		}
+		lo, _ := cfg.DieBlockRange(d)
+		if s := int(lo) / blocksPerShard; s < len(shardBusy) {
+			shardBusy[s] += busy
+		}
+	}
+	var wall time.Duration
+	for _, busy := range shardBusy {
+		if busy > wall {
+			wall = busy
+		}
+	}
+	if wall < maxDie {
+		wall = maxDie
+	}
+	p := ChannelPoint{
+		Channels:   channels,
+		Dies:       cfg.Dies(),
+		Writes:     writes,
+		WallTime:   wall,
+		SerialTime: sum,
+	}
+	delta := cfg.Latency.WriteReadRatio()
+	p.WA = dev.Counters().Sub(countersBefore).WriteAmplification(writes, delta)
+	if p.WallTime > 0 {
+		p.Throughput = float64(writes) / p.WallTime.Seconds()
+	}
+	params := model.ParallelParams{Channels: channels, DiesPerChannel: spec.DiesPerChannel}
+	p.ModelThroughput = params.WriteThroughput(cfg.Latency, p.WA)
+	if sum > 0 {
+		p.LoadImbalance = float64(maxDie) * float64(len(diesAfter)) / float64(sum)
+	}
+	return p, nil
+}

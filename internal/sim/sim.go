@@ -22,6 +22,11 @@ type DeviceSpec struct {
 	PagesPerBlock int
 	PageSize      int
 	OverProvision float64
+	// Channels and DiesPerChannel set the device topology (zero means one
+	// each: the paper's single serialized plane). The channel-sweep
+	// experiments override Channels.
+	Channels       int
+	DiesPerChannel int
 }
 
 // DefaultDeviceSpec is the scaled-down device used by the simulation
@@ -41,6 +46,8 @@ func (s DeviceSpec) Config() flash.Config {
 	if s.OverProvision > 0 {
 		cfg.OverProvision = s.OverProvision
 	}
+	cfg.Channels = s.Channels
+	cfg.DiesPerChannel = s.DiesPerChannel
 	return cfg
 }
 

@@ -1,0 +1,27 @@
+package workload
+
+import "geckoftl/internal/flash"
+
+// TakeBatch draws the next n operations from a generator. Batches are the
+// unit the sharded ftl.Engine dispatches across channels; the channel-sweep
+// experiments and the concurrency tests build their request streams with it.
+func TakeBatch(g Generator, n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = g.Next()
+	}
+	return ops
+}
+
+// SplitBatch partitions a batch into read and write target pages, preserving
+// order within each kind, ready to hand to Engine.ReadBatch/WriteBatch.
+func SplitBatch(ops []Op) (reads, writes []flash.LPN) {
+	for _, op := range ops {
+		if op.Kind == OpRead {
+			reads = append(reads, op.Page)
+		} else {
+			writes = append(writes, op.Page)
+		}
+	}
+	return reads, writes
+}
