@@ -242,7 +242,7 @@ func runVariant(b *testing.B, opts ftl.Options) sim.Result {
 	res, err := sim.Run(sim.RunOptions{
 		Device:        scale.Device,
 		FTLOptions:    opts,
-		Workload:      workload.NewUniform(int64(scale.Device.Config().LogicalPages()), scale.Seed),
+		Workload:      workload.MustNewUniform(int64(scale.Device.Config().LogicalPages()), scale.Seed),
 		MeasureWrites: scale.MeasureWrites,
 	})
 	if err != nil {
@@ -316,7 +316,7 @@ func BenchmarkAblationPartitioning(b *testing.B) {
 		res, err := sim.Run(sim.RunOptions{
 			Device:        scale.Device,
 			FTLOptions:    opts,
-			Workload:      workload.NewUniform(int64(scale.Device.Config().LogicalPages()), scale.Seed),
+			Workload:      workload.MustNewUniform(int64(scale.Device.Config().LogicalPages()), scale.Seed),
 			MeasureWrites: scale.MeasureWrites,
 		})
 		if err != nil {
@@ -372,6 +372,29 @@ func BenchmarkChannelSweep(b *testing.B) {
 				b.ReportMetric(p.Throughput, fmt.Sprintf("writes_per_s_C%d", p.Channels))
 				b.ReportMetric(p.Speedup, fmt.Sprintf("speedup_C%d", p.Channels))
 				b.ReportMetric(p.LoadImbalance, fmt.Sprintf("imbalance_C%d", p.Channels))
+			}
+		}
+	}
+}
+
+// BenchmarkRecoverySweep measures engine-wide crash recovery across channel
+// counts, checkpoint intervals and device capacities (see docs/benchmarks.md,
+// "Recovery experiments"). It reports the recovery wall-clock per channel
+// count and the parallel speedup over the serial scan.
+func BenchmarkRecoverySweep(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		points, err := sim.RecoverySweep(sim.RecoverySweepOptions{Scale: scale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range points {
+				if p.Dimension != "channels" {
+					continue
+				}
+				b.ReportMetric(p.WallClock.Seconds()*1000, fmt.Sprintf("recovery_ms_C%d", p.Channels))
+				b.ReportMetric(p.Speedup, fmt.Sprintf("recovery_speedup_C%d", p.Channels))
 			}
 		}
 	}

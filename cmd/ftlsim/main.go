@@ -39,9 +39,20 @@ func main() {
 	flag.Parse()
 
 	device := sim.DeviceSpec{Blocks: *blocks, PagesPerBlock: *pages, PageSize: *pageSize, OverProvision: *overProv}
+	// Bad flag values (workload name, skew, read ratio, geometry) are usage
+	// errors: report them with the flag reference instead of a failure (or,
+	// worse, the panic backtrace earlier versions produced) mid-run.
+	if _, err := generator(*wlName, int64(device.Config().LogicalPages()), *skew, *readRatio, *seed); err != nil {
+		usageExit(err)
+	}
 	names := []string{*ftlName}
 	if *ftlName == "all" {
 		names = []string{"gecko", "dftl", "lazy", "mu", "ib"}
+	}
+	for _, name := range names {
+		if _, err := options(name, *cache); err != nil {
+			usageExit(err)
+		}
 	}
 	for _, name := range names {
 		if err := runOne(name, device, *wlName, *writes, *cache, *skew, *readRatio, *seed, *crash); err != nil {
@@ -49,6 +60,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// usageExit reports a bad flag value and exits with the conventional
+// bad-usage status.
+func usageExit(err error) {
+	fmt.Fprintf(os.Stderr, "ftlsim: %v\n", err)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func options(name string, cache int) (ftl.Options, error) {
@@ -71,17 +90,21 @@ func options(name string, cache int) (ftl.Options, error) {
 func generator(name string, logicalPages int64, skew, readRatio float64, seed int64) (workload.Generator, error) {
 	switch strings.ToLower(name) {
 	case "uniform":
-		return workload.NewUniform(logicalPages, seed), nil
+		return workload.NewUniform(logicalPages, seed)
 	case "sequential":
-		return workload.NewSequential(logicalPages), nil
+		return workload.NewSequential(logicalPages)
 	case "zipfian":
-		return workload.NewZipfian(logicalPages, skew, seed), nil
+		return workload.NewZipfian(logicalPages, skew, seed)
 	case "hotcold":
-		return workload.NewHotCold(logicalPages, 0.2, 0.8, seed), nil
+		return workload.NewHotCold(logicalPages, 0.2, 0.8, seed)
 	case "mixed":
-		return workload.NewMixed(workload.NewUniform(logicalPages, seed), logicalPages, readRatio, seed+1), nil
+		writes, err := workload.NewUniform(logicalPages, seed)
+		if err != nil {
+			return nil, err
+		}
+		return workload.NewMixed(writes, logicalPages, readRatio, seed+1)
 	default:
-		return nil, fmt.Errorf("unknown workload %q", name)
+		return nil, fmt.Errorf("unknown workload %q (want uniform, sequential, zipfian, hotcold or mixed)", name)
 	}
 }
 

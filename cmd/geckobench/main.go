@@ -1,22 +1,32 @@
 // Command geckobench regenerates every table and figure of the GeckoFTL
-// paper's evaluation section as plain-text rows.
+// paper's evaluation section as plain-text rows, plus the engine-scaling
+// experiments that go beyond the paper.
 //
 // Usage:
 //
 //	geckobench -experiment all
 //	geckobench -experiment fig9 -writes 100000
 //	geckobench -experiment channels -sweep 1,2,4,8,16
+//	geckobench -experiment recovery -quick
+//	geckobench -experiment recovery -json
 //	geckobench -experiment summary
 //
 // Experiments: fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec,
-// fig13wa, fig14, recovery, channels, summary, all.
+// fig13wa, fig14, recovery, recovery-sweep, channels, summary, all.
 //
-// The channels experiment goes beyond the paper: it sweeps the device's
-// channel count and reports how the sharded engine's write throughput scales
-// (see docs/benchmarks.md for how to read its output).
+// Two experiments go beyond the paper: channels sweeps the device's channel
+// count and reports how the sharded engine's write throughput scales, and
+// recovery-sweep (also run by -experiment recovery) crashes the sharded
+// engine and measures how recovery wall-clock scales with channel count,
+// checkpoint interval and device capacity (see docs/benchmarks.md).
+//
+// With -json, each experiment emits one JSON object per line of the form
+// {"experiment": name, "rows": [...]}, so benchmark trajectories can be
+// recorded by machines instead of scraped from tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,27 +34,35 @@ import (
 	"strings"
 	"time"
 
+	"geckoftl/internal/model"
 	"geckoftl/internal/sim"
+	"geckoftl/internal/workload"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec, fig13wa, fig14, recovery, channels, summary, all)")
+		experiment = flag.String("experiment", "all", "experiment to run (fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec, fig13wa, fig14, recovery, recovery-sweep, channels, summary, all)")
 		writes     = flag.Int64("writes", 0, "measured logical writes per simulation (0 = default)")
 		blocks     = flag.Int("blocks", 0, "simulated device blocks (0 = default)")
 		quick      = flag.Bool("quick", false, "use the small test-sized scale")
-		sweepList  = flag.String("sweep", "1,2,4,8", "channel counts for the channels experiment")
+		sweepList  = flag.String("sweep", "1,2,4,8", "channel counts for the channels and recovery-sweep experiments")
 		dies       = flag.Int("dies", 1, "dies per channel for the channels experiment (adds capacity, not engine overlap; see docs/benchmarks.md)")
 		sweepWL    = flag.String("sweep-workload", "uniform", "workload for the channels experiment: uniform, sequential, zipfian, hotcold")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON rows (one {experiment, rows} object per experiment) instead of tables")
 	)
 	flag.Parse()
 	sweep, err := parseSweep(*sweepList)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "geckobench: %v\n", err)
-		os.Exit(1)
+		usageExit(err)
+	}
+	// Validate the workload name up front so a typo is a usage error, not a
+	// mid-run failure after minutes of simulation.
+	if _, err := workload.ByName(*sweepWL, 1024, 1); err != nil {
+		usageExit(err)
 	}
 	sweepOpts = sim.ChannelSweepOptions{Channels: sweep, Workload: *sweepWL}
 	sweepDies = *dies
+	jsonMode = *jsonOut
 
 	scale := sim.FullScale()
 	if *quick {
@@ -57,40 +75,92 @@ func main() {
 		scale.Device.Blocks = *blocks
 	}
 
-	if err := run(strings.ToLower(*experiment), scale); err != nil {
+	name := strings.ToLower(*experiment)
+	if !knownExperiment(name) {
+		usageExit(fmt.Errorf("unknown experiment %q", *experiment))
+	}
+	if err := run(name, scale); err != nil {
 		fmt.Fprintf(os.Stderr, "geckobench: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// knownExperiment reports whether name selects at least one experiment.
+func knownExperiment(name string) bool {
+	if name == "all" {
+		return true
+	}
+	for _, e := range experiments() {
+		if name == e.name || (e.group != "" && name == e.group) {
+			return true
+		}
+	}
+	return false
+}
+
+// usageExit reports a bad flag value and exits with the conventional
+// bad-usage status.
+func usageExit(err error) {
+	fmt.Fprintf(os.Stderr, "geckobench: %v\n", err)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// experimentSpec is one runnable experiment: a producer of typed rows and a
+// text renderer for them. The -json flag bypasses the renderer and encodes
+// the rows directly.
+type experimentSpec struct {
+	name string
+	// group optionally names a selector that also runs this experiment
+	// (recovery-sweep runs under "recovery").
+	group string
+	rows  func(sim.ExperimentScale) (any, error)
+	print func(any)
+}
+
+func experiments() []experimentSpec {
+	return []experimentSpec{
+		{name: "fig1", rows: figure1Rows, print: printFigure1},
+		{name: "table1", rows: table1Rows, print: printTable1},
+		{name: "fig9", rows: figure9Rows, print: printFigure9},
+		{name: "fig10", rows: figure10Rows, print: printFigure10},
+		{name: "fig11", rows: figure11Rows, print: printFigure11},
+		{name: "fig12", rows: figure12Rows, print: printFigure12},
+		{name: "fig13ram", rows: figure13RAMRows, print: printFigure13RAM},
+		{name: "fig13rec", rows: figure13RecoveryRows, print: printFigure13Recovery},
+		{name: "fig13wa", rows: figure13WARows, print: printFigure13WA},
+		{name: "fig14", rows: figure14Rows, print: printFigure14},
+		{name: "recovery", rows: recoveryRows, print: printRecovery},
+		{name: "recovery-sweep", group: "recovery", rows: recoverySweepRows, print: printRecoverySweep},
+		{name: "channels", rows: channelSweepRows, print: printChannelSweep},
+		{name: "summary", rows: summaryRows, print: printSummary},
 	}
 }
 
 func run(experiment string, scale sim.ExperimentScale) error {
 	all := experiment == "all"
 	ran := false
-	for _, e := range []struct {
-		name string
-		fn   func(sim.ExperimentScale) error
-	}{
-		{"fig1", figure1},
-		{"table1", table1},
-		{"fig9", figure9},
-		{"fig10", figure10},
-		{"fig11", figure11},
-		{"fig12", figure12},
-		{"fig13ram", figure13RAM},
-		{"fig13rec", figure13Recovery},
-		{"fig13wa", figure13WA},
-		{"fig14", figure14},
-		{"recovery", recovery},
-		{"channels", channelSweep},
-		{"summary", summary},
-	} {
-		if all || experiment == e.name {
-			ran = true
-			if err := e.fn(scale); err != nil {
+	enc := json.NewEncoder(os.Stdout)
+	for _, e := range experiments() {
+		if !all && experiment != e.name && (e.group == "" || experiment != e.group) {
+			continue
+		}
+		ran = true
+		rows, err := e.rows(scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		if jsonMode {
+			if err := enc.Encode(struct {
+				Experiment string `json:"experiment"`
+				Rows       any    `json:"rows"`
+			}{e.name, rows}); err != nil {
 				return fmt.Errorf("%s: %w", e.name, err)
 			}
-			fmt.Println()
+			continue
 		}
+		e.print(rows)
+		fmt.Println()
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", experiment)
@@ -98,159 +168,156 @@ func run(experiment string, scale sim.ExperimentScale) error {
 	return nil
 }
 
-func figure1(sim.ExperimentScale) error {
+func figure1Rows(sim.ExperimentScale) (any, error) { return sim.Figure1(), nil }
+
+func printFigure1(rows any) {
 	fmt.Println("Figure 1: LazyFTL integrated RAM and recovery time vs device capacity (analytical, full scale)")
 	fmt.Printf("%-12s %16s %16s\n", "capacity", "RAM (MB)", "recovery (s)")
-	for _, p := range sim.Figure1() {
+	for _, p := range rows.([]model.CapacityPoint) {
 		fmt.Printf("%-12s %16.1f %16.1f\n",
 			formatBytes(p.CapacityBytes), float64(p.RAMBytes)/(1<<20), p.Recovery.Seconds())
 	}
-	return nil
 }
 
-func table1(sim.ExperimentScale) error {
+func table1Rows(sim.ExperimentScale) (any, error) { return sim.Table1(), nil }
+
+func printTable1(rows any) {
 	fmt.Println("Table 1: per-operation IO costs and RAM of page-validity schemes (analytical, full scale)")
 	fmt.Printf("%-20s %14s %14s %12s %12s %14s\n", "technique", "update reads", "update writes", "GC reads", "GC writes", "RAM")
-	for _, r := range sim.Table1() {
+	for _, r := range rows.([]model.Table1Row) {
 		fmt.Printf("%-20s %14.5f %14.5f %12.3f %12.5f %14s\n",
 			r.Technique, r.UpdateReads, r.UpdateWrites, r.QueryReads, r.QueryWrites, formatBytes(r.RAMBytes))
 	}
-	return nil
 }
 
-func figure9(scale sim.ExperimentScale) error {
+func figure9Rows(scale sim.ExperimentScale) (any, error) { return sim.Figure9(scale) }
+
+func printFigure9(rows any) {
 	fmt.Println("Figure 9: Logarithmic Gecko vs flash-resident PVB under uniform random updates (simulation)")
-	rows, err := sim.Figure9(scale)
-	if err != nil {
-		return err
-	}
 	fmt.Printf("%-16s %12s %12s %12s %10s\n", "scheme", "flash reads", "flash writes", "WA", "GC queries")
-	for _, r := range rows {
+	for _, r := range rows.([]sim.Figure9Row) {
 		fmt.Printf("%-16s %12d %12d %12.4f %10d\n", r.Name, r.FlashReads, r.FlashWrites, r.WA, r.GCQueries)
 	}
-	return nil
 }
 
-func figure10(scale sim.ExperimentScale) error {
+func figure10Rows(scale sim.ExperimentScale) (any, error) { return sim.Figure10(scale) }
+
+func printFigure10(rows any) {
 	fmt.Println("Figure 10: entry-partitioning makes write-amplification independent of block size (simulation)")
-	rows, err := sim.Figure10(scale)
-	if err != nil {
-		return err
-	}
 	fmt.Printf("%-10s %22s %12s\n", "block size", "partitioning", "WA")
-	for _, r := range rows {
+	for _, r := range rows.([]sim.Figure10Row) {
 		label := fmt.Sprintf("S=%d", r.PartitionFactor)
 		if r.PartitionFactor == -1 {
 			label = "recommended"
 		}
 		fmt.Printf("%-10d %22s %12.4f\n", r.BlockSize, label, r.WA)
 	}
-	return nil
 }
 
-func figure11(scale sim.ExperimentScale) error {
+func figure11Rows(scale sim.ExperimentScale) (any, error) { return sim.Figure11(scale) }
+
+func printFigure11(rows any) {
 	fmt.Println("Figure 11: write-amplification vs number of blocks K (simulation)")
-	rows, err := sim.Figure11(scale)
-	if err != nil {
-		return err
-	}
 	fmt.Printf("%-10s %16s %16s\n", "blocks", "gecko WA", "flash-PVB WA")
-	for _, r := range rows {
+	for _, r := range rows.([]sim.Figure11Row) {
 		fmt.Printf("%-10d %16.4f %16.4f\n", r.Blocks, r.GeckoWA, r.PVBWA)
 	}
-	return nil
 }
 
-func figure12(scale sim.ExperimentScale) error {
+func figure12Rows(scale sim.ExperimentScale) (any, error) { return sim.Figure12(scale) }
+
+func printFigure12(rows any) {
 	fmt.Println("Figure 12: over-provisioning vs Logarithmic Gecko IO (simulation)")
-	rows, err := sim.Figure12(scale)
-	if err != nil {
-		return err
-	}
 	fmt.Printf("%-6s %12s %12s %12s\n", "R", "WA", "GC queries", "flash reads")
-	for _, r := range rows {
+	for _, r := range rows.([]sim.Figure12Row) {
 		fmt.Printf("%-6.2f %12.4f %12d %12d\n", r.OverProvision, r.WA, r.GCQueries, r.FlashReads)
 	}
-	return nil
 }
 
-func figure13RAM(sim.ExperimentScale) error {
+func figure13RAMRows(sim.ExperimentScale) (any, error) { return sim.Figure13RAM(), nil }
+
+func printFigure13RAM(rows any) {
 	fmt.Println("Figure 13 (top): integrated RAM breakdown per FTL (analytical, full scale)")
 	fmt.Printf("%-10s %12s %12s %12s %12s %14s %12s\n", "ftl", "cache", "GMD", "PVB", "BVC", "page-validity", "total")
-	for _, b := range sim.Figure13RAM() {
+	for _, b := range rows.([]model.RAMBreakdown) {
 		fmt.Printf("%-10s %12s %12s %12s %12s %14s %12s\n",
 			b.FTL, formatBytes(b.Cache), formatBytes(b.GMD), formatBytes(b.PVB),
 			formatBytes(b.BVC), formatBytes(b.PageValidity), formatBytes(b.Total()))
 	}
-	return nil
 }
 
-func figure13Recovery(sim.ExperimentScale) error {
+func figure13RecoveryRows(sim.ExperimentScale) (any, error) { return sim.Figure13Recovery(), nil }
+
+func printFigure13Recovery(rows any) {
 	fmt.Println("Figure 13 (middle): recovery time breakdown per FTL (analytical, full scale)")
 	fmt.Printf("%-10s %12s %12s %12s %14s %12s %10s %10s\n", "ftl", "block scan", "GMD", "PVB", "page-validity", "LRU cache", "total", "battery")
-	for _, b := range sim.Figure13Recovery() {
+	for _, b := range rows.([]model.RecoveryBreakdown) {
 		fmt.Printf("%-10s %12s %12s %12s %14s %12s %10s %10v\n",
 			b.FTL, fmtDur(b.BlockScan), fmtDur(b.GMD), fmtDur(b.PVB),
 			fmtDur(b.PageValidity), fmtDur(b.LRUCache), fmtDur(b.Total()), b.Battery)
 	}
-	return nil
 }
 
-func figure13WA(scale sim.ExperimentScale) error {
+func figure13WARows(scale sim.ExperimentScale) (any, error) { return sim.Figure13WA(scale) }
+
+func printFigure13WA(rows any) {
 	fmt.Println("Figure 13 (bottom): write-amplification breakdown per FTL (simulation)")
-	results, err := sim.Figure13WA(scale)
-	if err != nil {
-		return err
-	}
-	fmt.Print(sim.FormatTable("", results))
-	return nil
+	fmt.Print(sim.FormatTable("", rows.([]sim.Result)))
 }
 
-func figure14(scale sim.ExperimentScale) error {
+func figure14Rows(scale sim.ExperimentScale) (any, error) { return sim.Figure14(scale) }
+
+func printFigure14(rows any) {
 	fmt.Println("Figure 14: equal RAM budget; freed PVB RAM used as extra cache (simulation)")
-	rows, err := sim.Figure14(scale)
-	if err != nil {
-		return err
-	}
 	fmt.Printf("%-10s %14s %10s %10s %12s %10s\n", "ftl", "cache entries", "WA", "user", "translation", "validity")
-	for _, r := range rows {
+	for _, r := range rows.([]sim.Figure14Row) {
 		fmt.Printf("%-10s %14d %10.3f %10.3f %12.3f %10.3f\n",
 			r.Name, r.CacheEntries, r.WA, r.UserWA, r.TranslationWA, r.ValidityWA)
 	}
-	return nil
 }
 
-func recovery(scale sim.ExperimentScale) error {
-	fmt.Println("Recovery simulation: crash mid-workload, measure recovery IO and time")
-	rows, err := sim.RecoverySimulation(scale)
-	if err != nil {
-		return err
-	}
+func recoveryRows(scale sim.ExperimentScale) (any, error) { return sim.RecoverySimulation(scale) }
+
+func printRecovery(rows any) {
+	fmt.Println("Recovery simulation: crash each FTL mid-workload on one plane, measure recovery IO and time")
 	fmt.Printf("%-10s %14s %12s %12s %12s %10s %10s\n", "ftl", "duration", "spare reads", "page reads", "page writes", "entries", "battery")
-	for _, r := range rows {
+	for _, r := range rows.([]sim.RecoveryResult) {
 		fmt.Printf("%-10s %14s %12d %12d %12d %10d %10v\n",
 			r.Name, fmtDur(r.Duration), r.SpareReads, r.PageReads, r.PageWrites, r.RecoveredMappingEntries, r.UsedBattery)
 	}
-	return nil
 }
 
-func summary(scale sim.ExperimentScale) error {
-	fmt.Println("Headline claims")
-	s, err := sim.Headlines(scale)
-	if err != nil {
-		return err
+func recoverySweepRows(scale sim.ExperimentScale) (any, error) {
+	return sim.RecoverySweep(sim.RecoverySweepOptions{Scale: scale, Channels: sweepOpts.Channels})
+}
+
+func printRecoverySweep(rows any) {
+	fmt.Println("Engine recovery sweep: crash the sharded engine, recover all shards in parallel")
+	fmt.Printf("%-11s %-12s %8s %7s %7s %10s %10s %8s %11s %8s %10s\n",
+		"dimension", "ftl", "channels", "blocks", "cache", "wall", "serial", "speedup", "spare reads", "entries", "model-wall")
+	for _, p := range rows.([]sim.RecoveryPoint) {
+		fmt.Printf("%-11s %-12s %8d %7d %7d %10s %10s %7.2fx %11d %8d %10s\n",
+			p.Dimension, p.FTL, p.Channels, p.Blocks, p.CacheEntries,
+			fmtDur(p.WallClock), fmtDur(p.SerialTime), p.Speedup, p.SpareReads, p.RecoveredEntries, fmtDur(p.ModelWall))
 	}
+}
+
+func summaryRows(scale sim.ExperimentScale) (any, error) { return sim.Headlines(scale) }
+
+func printSummary(rows any) {
+	s := rows.(sim.HeadlineSummary)
+	fmt.Println("Headline claims")
 	fmt.Printf("  page-validity RAM reduction vs RAM-resident PVB:   %5.1f%%  (paper: 95%%)\n", 100*s.RAMReduction)
 	fmt.Printf("  recovery-time reduction vs LazyFTL:                %5.1f%%  (paper: >= 51%%)\n", 100*s.RecoveryReduction)
 	fmt.Printf("  page-validity write-amplification reduction vs\n")
 	fmt.Printf("  flash-resident PVB:                                %5.1f%%  (paper: 98%%)\n", 100*s.ValidityWAReduction)
-	return nil
 }
 
-// sweepOpts and sweepDies carry the channels-experiment flags to its driver.
+// sweepOpts, sweepDies and jsonMode carry flags to the experiment drivers.
 var (
 	sweepOpts sim.ChannelSweepOptions
 	sweepDies int
+	jsonMode  bool
 )
 
 // parseSweep parses a comma-separated channel-count list, e.g. "1,2,4,8".
@@ -273,27 +340,26 @@ func parseSweep(s string) ([]int, error) {
 	return out, nil
 }
 
-func channelSweep(scale sim.ExperimentScale) error {
+func channelSweepRows(scale sim.ExperimentScale) (any, error) {
 	opts := sweepOpts
 	opts.Scale = scale
 	opts.Scale.Device.DiesPerChannel = sweepDies
-	wl := opts.Workload
+	return sim.ChannelSweep(opts)
+}
+
+func printChannelSweep(rows any) {
+	wl := sweepOpts.Workload
 	if wl == "" {
 		wl = "uniform"
 	}
 	fmt.Printf("Channel scaling: sharded GeckoFTL engine write throughput vs channel count (%s workload, %d dies/channel)\n",
 		wl, sweepDies)
-	points, err := sim.ChannelSweep(opts)
-	if err != nil {
-		return err
-	}
 	fmt.Printf("%-9s %6s %12s %10s %10s %8s %12s %10s\n",
 		"channels", "dies", "writes/s", "speedup", "WA", "wall", "model-w/s", "imbalance")
-	for _, p := range points {
+	for _, p := range rows.([]sim.ChannelPoint) {
 		fmt.Printf("%-9d %6d %12.0f %9.2fx %10.3f %8s %12.0f %10.3f\n",
 			p.Channels, p.Dies, p.Throughput, p.Speedup, p.WA, fmtDur(p.WallTime), p.ModelThroughput, p.LoadImbalance)
 	}
-	return nil
 }
 
 func formatBytes(n int64) string {

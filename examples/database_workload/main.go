@@ -36,8 +36,8 @@ func main() {
 	for _, opts := range configs {
 		// Each FTL gets its own generator with the same seed so the access
 		// patterns are identical.
-		zipf := workload.NewZipfian(logical, 1.2, 7)
-		mixed := workload.NewMixed(zipf, logical, 0.3, 8)
+		zipf := workload.MustNewZipfian(logical, 1.2, 7)
+		mixed := workload.MustNewMixed(zipf, logical, 0.3, 8)
 		res, err := sim.Run(sim.RunOptions{
 			Device:        device,
 			FTLOptions:    opts,

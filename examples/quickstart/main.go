@@ -41,7 +41,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	gen := workload.NewUniform(f.LogicalPages(), 42)
+	gen := workload.MustNewUniform(f.LogicalPages(), 42)
 	dev.ResetCounters()
 	const updates = 20000
 	for i := 0; i < updates; i++ {

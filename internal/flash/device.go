@@ -233,8 +233,14 @@ func (d *Device) GlobalWriteSeq() uint64 { return d.writeSeq.Load() }
 // With concurrent callers in flight the snapshot is per-die consistent but
 // not a single global instant; quiesce the device for an exact total.
 func (d *Device) Counters() Counters {
+	return d.countersOverDies(0, len(d.dies))
+}
+
+// countersOverDies aggregates the counters of dies [lo, hi). Partitions use
+// it to report only their own dies' IO.
+func (d *Device) countersOverDies(lo, hi int) Counters {
 	var total Counters
-	for i := range d.dies {
+	for i := lo; i < hi; i++ {
 		die := &d.dies[i]
 		die.mu.Lock()
 		total.Add(die.counters)
@@ -246,7 +252,12 @@ func (d *Device) Counters() Counters {
 // ResetCounters zeroes the IO counters of every die, typically after a
 // warm-up phase so that steady-state write-amplification can be measured.
 func (d *Device) ResetCounters() {
-	for i := range d.dies {
+	d.resetCountersOverDies(0, len(d.dies))
+}
+
+// resetCountersOverDies zeroes the counters of dies [lo, hi).
+func (d *Device) resetCountersOverDies(lo, hi int) {
+	for i := lo; i < hi; i++ {
 		die := &d.dies[i]
 		die.mu.Lock()
 		die.counters.Reset()
@@ -254,12 +265,17 @@ func (d *Device) ResetCounters() {
 	}
 }
 
-// PowerFail simulates an abrupt power failure: the device refuses all
-// operations until PowerOn is called. Flash contents survive; anything the
-// FTL kept in integrated RAM does not (that loss is the FTL's concern).
+// PowerFail simulates an abrupt power failure of the whole device: it
+// refuses all operations until PowerOn is called. Flash contents survive;
+// anything the FTL kept in integrated RAM does not (that loss is the FTL's
+// concern). Partitions carved out of the device additionally have their own
+// power domain (see Partition.PowerFail): device power is the shared rail
+// underneath every partition domain.
 func (d *Device) PowerFail() { d.powered.Store(false) }
 
-// PowerOn restores power after a PowerFail.
+// PowerOn restores power after a PowerFail. It restores only the device-wide
+// rail; partitions whose own domain was failed stay dark until their own
+// PowerOn.
 func (d *Device) PowerOn() { d.powered.Store(true) }
 
 // Powered reports whether the device currently has power.
@@ -269,8 +285,13 @@ func (d *Device) Powered() bool { return d.powered.Load() }
 // latency model: the sum of every die's busy time, i.e. the cost of
 // executing all IO on a single serialized plane.
 func (d *Device) SimulatedTime() time.Duration {
+	return d.timeOverDies(0, len(d.dies))
+}
+
+// timeOverDies sums the busy time of dies [lo, hi).
+func (d *Device) timeOverDies(lo, hi int) time.Duration {
 	var total time.Duration
-	for i := range d.dies {
+	for i := lo; i < hi; i++ {
 		die := &d.dies[i]
 		die.mu.Lock()
 		total += die.counters.Elapsed()

@@ -2,6 +2,7 @@ package flash
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -74,10 +75,18 @@ type Plane interface {
 	EraseCount(block BlockID) (int, error)
 	BlocksEndurance() (min, max int, mean float64)
 	// Counters, SimulatedTime and ResetCounters report and reset the IO
-	// accounting of the underlying device (device-wide for partitions).
+	// accounting of the underlying device. For a partition they are scoped
+	// to the dies its block range touches, so concurrent shards account (and
+	// time) their IO independently; the scoping is exact when partitions are
+	// die-aligned (the sharded ftl.Engine rounds its shards to die
+	// boundaries whenever the geometry allows), and approximate — neighbors
+	// on a shared die bleed into each other's numbers — otherwise.
 	Counters() Counters
 	SimulatedTime() time.Duration
 	ResetCounters()
+	// PowerFail, PowerOn and Powered operate on the plane's own power
+	// domain: the whole device for a *Device, the partition's domain for a
+	// *Partition. Partitions of one device fail and recover independently.
 	PowerFail()
 	PowerOn()
 	Powered() bool
@@ -93,10 +102,20 @@ var (
 // is block base of the device. IO issued through a partition is executed,
 // latched and accounted by the parent device, so partitions on different dies
 // run in parallel while partitions sharing a die serialize.
+//
+// Each partition is its own power domain: Partition.PowerFail cuts only the
+// partition, and Partition.PowerOn restores only the partition, so shards of
+// one device crash and recover independently. The device-wide power rail
+// (Device.PowerFail) sits underneath every domain: while it is down, no
+// partition is powered regardless of its own domain state.
 type Partition struct {
 	dev  *Device
 	base BlockID
 	cfg  Config
+	// loDie and hiDie bound the dies the partition's blocks touch; counters
+	// and simulated time are scoped to this half-open range.
+	loDie, hiDie int
+	powered      atomic.Bool
 }
 
 // Partition carves the block range [base, base+blocks) out of the device.
@@ -115,7 +134,15 @@ func (d *Device) Partition(base BlockID, blocks int) (*Partition, error) {
 	// single plane, so the topology fields are cleared.
 	cfg.Channels = 0
 	cfg.DiesPerChannel = 0
-	return &Partition{dev: d, base: base, cfg: cfg}, nil
+	p := &Partition{
+		dev:   d,
+		base:  base,
+		cfg:   cfg,
+		loDie: d.cfg.DieOfBlock(base),
+		hiDie: d.cfg.DieOfBlock(base+BlockID(blocks)-1) + 1,
+	}
+	p.powered.Store(true)
+	return p, nil
 }
 
 // Config returns the partition-relative configuration.
@@ -128,16 +155,25 @@ func (p *Partition) Base() BlockID { return p.base }
 func (p *Partition) Device() *Device { return p.dev }
 
 // checkBlock bounds-checks a partition-relative block ID before translation,
-// so a buggy caller cannot reach a neighboring partition's blocks.
+// so a buggy caller cannot reach a neighboring partition's blocks, and
+// enforces the partition's power domain (the parent device enforces the
+// shared rail itself).
 func (p *Partition) checkBlock(block BlockID) error {
+	if !p.powered.Load() {
+		return ErrPowerFailed
+	}
 	if block < 0 || int(block) >= p.cfg.Blocks {
 		return fmt.Errorf("%w: block %d of partition with %d blocks", ErrOutOfRange, block, p.cfg.Blocks)
 	}
 	return nil
 }
 
-// checkPPN bounds-checks a partition-relative page number before translation.
+// checkPPN bounds-checks a partition-relative page number before translation
+// and enforces the partition's power domain.
 func (p *Partition) checkPPN(ppn PPN) error {
+	if !p.powered.Load() {
+		return ErrPowerFailed
+	}
 	if ppn < 0 || int64(ppn) >= int64(p.cfg.Blocks)*int64(p.cfg.PagesPerBlock) {
 		return fmt.Errorf("%w: page %d of partition with %d pages", ErrOutOfRange, ppn, int64(p.cfg.Blocks)*int64(p.cfg.PagesPerBlock))
 	}
@@ -203,22 +239,31 @@ func (p *Partition) BlocksEndurance() (min, max int, mean float64) {
 	return p.dev.enduranceRange(p.base, p.cfg.Blocks)
 }
 
-// Counters returns the parent device's IO counters. Partitions sharing a
-// device share its accounting; per-shard activity is visible through the
-// owning FTL's stats instead.
-func (p *Partition) Counters() Counters { return p.dev.Counters() }
+// Counters returns the IO counters of the dies the partition's blocks touch.
+// For a die-aligned partition (as the sharded ftl.Engine creates) this is
+// exactly the partition's own IO; a partition sharing a die with a neighbor
+// also sees the neighbor's IO on that die.
+func (p *Partition) Counters() Counters { return p.dev.countersOverDies(p.loDie, p.hiDie) }
 
-// SimulatedTime returns the parent device's total busy time.
-func (p *Partition) SimulatedTime() time.Duration { return p.dev.SimulatedTime() }
+// SimulatedTime returns the summed busy time of the partition's dies: the
+// critical path of a shard that drives its dies synchronously. Concurrent
+// shards on other dies do not contribute.
+func (p *Partition) SimulatedTime() time.Duration { return p.dev.timeOverDies(p.loDie, p.hiDie) }
 
-// ResetCounters resets the parent device's counters.
-func (p *Partition) ResetCounters() { p.dev.ResetCounters() }
+// ResetCounters resets the counters of the partition's dies only.
+func (p *Partition) ResetCounters() { p.dev.resetCountersOverDies(p.loDie, p.hiDie) }
 
-// PowerFail fails power on the whole parent device.
-func (p *Partition) PowerFail() { p.dev.PowerFail() }
+// PowerFail fails power on the partition's own domain: the partition refuses
+// all operations until its own PowerOn, while sibling partitions and the
+// parent device keep running. (An engine-wide crash also drops the shared
+// rail via Device.PowerFail.)
+func (p *Partition) PowerFail() { p.powered.Store(false) }
 
-// PowerOn restores power on the whole parent device.
-func (p *Partition) PowerOn() { p.dev.PowerOn() }
+// PowerOn restores the partition's own power domain after a PowerFail. It
+// does not touch the shared device rail: if the whole device was failed, the
+// partition stays unpowered until Device.PowerOn.
+func (p *Partition) PowerOn() { p.powered.Store(true) }
 
-// Powered reports the parent device's power state.
-func (p *Partition) Powered() bool { return p.dev.Powered() }
+// Powered reports whether the partition has power: its own domain must be up
+// and the parent device's shared rail must be up.
+func (p *Partition) Powered() bool { return p.powered.Load() && p.dev.Powered() }

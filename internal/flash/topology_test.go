@@ -181,3 +181,119 @@ func TestPartitionTranslation(t *testing.T) {
 		t.Fatalf("partition endurance = %d/%d/%f, want 0/1/%f", min, max, mean, 1.0/16)
 	}
 }
+
+// TestPartitionPowerDomainsIndependent is the regression test for the
+// shared-power-state bug: failing one partition must not fail its siblings or
+// the parent device, and partitions must recover in either order without one
+// partition's PowerOn resurrecting (or blocking) another.
+func TestPartitionPowerDomainsIndependent(t *testing.T) {
+	dev := MustNewDevice(topoConfig(64, 2, 1))
+	a, err := dev.Partition(0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dev.Partition(32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a.PowerFail()
+	if a.Powered() {
+		t.Fatal("partition a reports powered after its PowerFail")
+	}
+	if !b.Powered() || !dev.Powered() {
+		t.Fatal("failing partition a took down partition b or the device")
+	}
+	if _, err := a.WritePage(0, SpareArea{}, PurposeUserWrite); !errors.Is(err, ErrPowerFailed) {
+		t.Fatalf("write to failed partition err = %v, want ErrPowerFailed", err)
+	}
+	if _, err := b.WritePage(0, SpareArea{}, PurposeUserWrite); err != nil {
+		t.Fatalf("write to live partition failed: %v", err)
+	}
+
+	// Fail b too, then recover in the order b, a (the reverse of the fail
+	// order); each PowerOn must restore only its own domain.
+	b.PowerFail()
+	b.PowerOn()
+	if !b.Powered() {
+		t.Fatal("partition b not powered after its PowerOn")
+	}
+	if a.Powered() {
+		t.Fatal("partition b's PowerOn resurrected partition a")
+	}
+	a.PowerOn()
+	if !a.Powered() {
+		t.Fatal("partition a not powered after its PowerOn")
+	}
+	if _, err := a.WritePage(0, SpareArea{}, PurposeUserWrite); err != nil {
+		t.Fatalf("write after recovery failed: %v", err)
+	}
+
+	// The device-wide rail sits underneath every partition domain.
+	dev.PowerFail()
+	if a.Powered() || b.Powered() {
+		t.Fatal("partitions report powered while the device rail is down")
+	}
+	if _, err := b.WritePage(1, SpareArea{}, PurposeUserWrite); !errors.Is(err, ErrPowerFailed) {
+		t.Fatalf("write during device-wide failure err = %v, want ErrPowerFailed", err)
+	}
+	a.PowerFail()
+	dev.PowerOn()
+	if !b.Powered() {
+		t.Fatal("partition b not powered after the device rail returned")
+	}
+	if a.Powered() {
+		t.Fatal("device PowerOn resurrected partition a's own failed domain")
+	}
+	a.PowerOn()
+	if !a.Powered() {
+		t.Fatal("partition a not powered after rail and domain both restored")
+	}
+}
+
+// TestPartitionScopedAccounting verifies that a die-aligned partition's
+// counters and simulated time cover exactly its own dies, so concurrent
+// shards account their IO independently.
+func TestPartitionScopedAccounting(t *testing.T) {
+	cfg := topoConfig(64, 2, 1)
+	dev := MustNewDevice(cfg)
+	a, err := dev.Partition(0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dev.Partition(32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := a.WritePage(PPN(i), SpareArea{}, PurposeUserWrite); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.WritePage(0, SpareArea{}, PurposeUserWrite); err != nil {
+		t.Fatal(err)
+	}
+	ac := a.Counters()
+	if got := ac.TotalOp(OpPageWrite); got != 3 {
+		t.Errorf("partition a counted %d page writes, want 3", got)
+	}
+	bc := b.Counters()
+	if got := bc.TotalOp(OpPageWrite); got != 1 {
+		t.Errorf("partition b counted %d page writes, want 1", got)
+	}
+	if got, want := a.SimulatedTime(), 3*cfg.Latency.PageWrite; got != want {
+		t.Errorf("partition a simulated time %v, want %v", got, want)
+	}
+	if got, want := a.SimulatedTime()+b.SimulatedTime(), dev.SimulatedTime(); got != want {
+		t.Errorf("partition times sum to %v, device total %v", got, want)
+	}
+	a.ResetCounters()
+	ac = a.Counters()
+	if got := ac.TotalOp(OpPageWrite); got != 0 {
+		t.Errorf("partition a counted %d page writes after reset, want 0", got)
+	}
+	bc = b.Counters()
+	if got := bc.TotalOp(OpPageWrite); got != 1 {
+		t.Errorf("partition a's reset clobbered partition b (count %d, want 1)", got)
+	}
+}

@@ -43,4 +43,13 @@
 // block manager and validity store outright, the only shared state is the
 // device itself, which latches per die; the whole engine is safe for
 // concurrent use and -race clean.
+//
+// The engine also crashes and recovers as a unit: Engine.PowerFail drops the
+// shared power rail abruptly (mid-batch operations fail with
+// flash.ErrPowerFailed; battery configurations flush first), and
+// Engine.Recover runs every shard's recovery procedure concurrently — each
+// shard is its own flash power domain and scans only its own partition — so
+// recovery wall-clock shrinks with the channel count. The aggregated
+// EngineRecoveryReport breaks the work down per shard and reports the
+// slowest-shard critical path next to the single-plane serial cost.
 package ftl

@@ -28,6 +28,11 @@ type Engine struct {
 	shards        []*engineShard
 	perShardPages int64
 	logicalPages  int64
+
+	// powerMu guards failed: the engine-wide crashed/recovered state
+	// transitions of PowerFail and Recover.
+	powerMu sync.Mutex
+	failed  bool
 }
 
 // engineShard pairs one FTL instance with the lock that serializes it. The
@@ -40,15 +45,23 @@ type engineShard struct {
 
 // NewEngine creates an engine with the given number of shards over the
 // device. shards <= 0 selects one shard per channel. Each shard receives
-// Blocks/shards blocks; when the division is uneven the trailing remainder
-// blocks are left unused so that every shard exposes the same number of
-// logical pages (required for LPN striping).
+// Blocks/shards blocks, rounded down to a whole number of dies when the
+// geometry allows it; trailing remainder blocks are left unused so that
+// every shard exposes the same number of logical pages (required for LPN
+// striping). Die alignment matters beyond load balance: shards sharing a die
+// would serialize on its latch and pollute each other's die-scoped IO
+// accounting (see flash.Partition), notably the per-shard recovery timings.
 func NewEngine(dev *flash.Device, opts Options, shards int) (*Engine, error) {
 	cfg := dev.Config()
 	if shards <= 0 {
 		shards = cfg.NumChannels()
 	}
 	blocksPerShard := cfg.Blocks / shards
+	if cfg.Blocks%cfg.Dies() == 0 {
+		if perDie := cfg.Blocks / cfg.Dies(); blocksPerShard > perDie {
+			blocksPerShard -= blocksPerShard % perDie
+		}
+	}
 	if blocksPerShard < 1 {
 		return nil, fmt.Errorf("ftl: %d shards over %d blocks leaves empty shards", shards, cfg.Blocks)
 	}

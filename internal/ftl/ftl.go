@@ -195,6 +195,12 @@ func (f *FTL) Write(lpn flash.LPN) error {
 	if lpn < 0 || int64(lpn) >= f.logicalPages {
 		return fmt.Errorf("ftl: logical page %d out of range [0,%d)", lpn, f.logicalPages)
 	}
+	// Fail fast after a power loss: RAM state left by an interrupted
+	// operation is stale until PowerFail/Recover reset it, so no decision
+	// (notably garbage-collection victim picking) may be based on it.
+	if !f.dev.Powered() {
+		return flash.ErrPowerFailed
+	}
 	f.stats.LogicalWrites++
 
 	// Make room before writing so garbage-collection never runs out of
@@ -271,6 +277,9 @@ func (f *FTL) Write(lpn flash.LPN) error {
 func (f *FTL) Read(lpn flash.LPN) error {
 	if lpn < 0 || int64(lpn) >= f.logicalPages {
 		return fmt.Errorf("ftl: logical page %d out of range [0,%d)", lpn, f.logicalPages)
+	}
+	if !f.dev.Powered() {
+		return flash.ErrPowerFailed
 	}
 	f.stats.LogicalReads++
 

@@ -316,7 +316,7 @@ func TestSustainedWorkloadAllFTLs(t *testing.T) {
 	for name, build := range allFTLBuilders() {
 		t.Run(name, func(t *testing.T) {
 			f := testFTL(t, build, 96, 256)
-			gen := workload.NewUniform(f.LogicalPages(), 1)
+			gen := workload.MustNewUniform(f.LogicalPages(), 1)
 			runWorkload(t, f, gen, 8000)
 			if f.Stats().GCOperations == 0 {
 				t.Error("no garbage-collection despite sustained writes")
@@ -328,21 +328,21 @@ func TestSustainedWorkloadAllFTLs(t *testing.T) {
 
 func TestSequentialAndSkewedWorkloads(t *testing.T) {
 	f := testFTL(t, NewGeckoFTL, 96, 256)
-	runWorkload(t, f, workload.NewSequential(f.LogicalPages()), 5000)
+	runWorkload(t, f, workload.MustNewSequential(f.LogicalPages()), 5000)
 	checkConsistency(t, f, true)
 
 	f2 := testFTL(t, NewGeckoFTL, 96, 256)
-	runWorkload(t, f2, workload.NewHotCold(f2.LogicalPages(), 0.2, 0.8, 7), 5000)
+	runWorkload(t, f2, workload.MustNewHotCold(f2.LogicalPages(), 0.2, 0.8, 7), 5000)
 	checkConsistency(t, f2, true)
 
 	f3 := testFTL(t, NewGeckoFTL, 96, 256)
-	runWorkload(t, f3, workload.NewMixed(workload.NewUniform(f3.LogicalPages(), 3), f3.LogicalPages(), 0.3, 4), 5000)
+	runWorkload(t, f3, workload.MustNewMixed(workload.MustNewUniform(f3.LogicalPages(), 3), f3.LogicalPages(), 0.3, 4), 5000)
 	checkConsistency(t, f3, true)
 }
 
 func TestGCReclaimsSpace(t *testing.T) {
 	f := testFTL(t, NewGeckoFTL, 64, 128)
-	gen := workload.NewUniform(f.LogicalPages(), 2)
+	gen := workload.MustNewUniform(f.LogicalPages(), 2)
 	runWorkload(t, f, gen, 6000)
 	if f.bm.FreeBlocks() == 0 {
 		t.Error("device ran out of free blocks")
@@ -361,7 +361,7 @@ func TestGCReclaimsSpace(t *testing.T) {
 func TestDirtyBoundEnforced(t *testing.T) {
 	f := testFTL(t, NewLazyFTL, 96, 200)
 	limit := int(0.1 * 200)
-	gen := workload.NewUniform(f.LogicalPages(), 3)
+	gen := workload.MustNewUniform(f.LogicalPages(), 3)
 	for i := 0; i < 3000; i++ {
 		if err := f.Write(gen.Next().Page); err != nil {
 			t.Fatal(err)
@@ -388,7 +388,7 @@ func TestDirtyBoundEnforced(t *testing.T) {
 
 func TestCheckpointsHappenEveryCOperations(t *testing.T) {
 	f := testFTL(t, NewGeckoFTL, 96, 64)
-	gen := workload.NewUniform(f.LogicalPages(), 5)
+	gen := workload.MustNewUniform(f.LogicalPages(), 5)
 	runWorkload(t, f, gen, 1000)
 	st := f.Stats()
 	if st.Checkpoints == 0 {
@@ -409,7 +409,7 @@ func TestCheckpointsHappenEveryCOperations(t *testing.T) {
 
 func TestMetadataAwareGCNeverTargetsMetadata(t *testing.T) {
 	f := testFTL(t, NewGeckoFTL, 64, 128)
-	gen := workload.NewUniform(f.LogicalPages(), 6)
+	gen := workload.MustNewUniform(f.LogicalPages(), 6)
 	runWorkload(t, f, gen, 6000)
 	// All GC migrations must have come from user blocks: with the
 	// metadata-aware policy, translation and metadata pages are never
@@ -439,7 +439,7 @@ func TestWriteAmplificationOrdering(t *testing.T) {
 		"GeckoFTL": NewGeckoFTL, "DFTL": NewDFTL, "uFTL": NewMuFTL,
 	} {
 		f := testFTL(t, build, 128, 256)
-		gen := workload.NewUniform(f.LogicalPages(), 9)
+		gen := workload.MustNewUniform(f.LogicalPages(), 9)
 		// Warm up so that steady-state GC is included.
 		runWorkloadB(f, gen, ops/2)
 		f.dev.ResetCounters()
@@ -503,7 +503,7 @@ func TestRAMFootprintOrdering(t *testing.T) {
 
 func TestFlushLeavesNothingDirty(t *testing.T) {
 	f := testFTL(t, NewGeckoFTL, 96, 128)
-	gen := workload.NewUniform(f.LogicalPages(), 11)
+	gen := workload.MustNewUniform(f.LogicalPages(), 11)
 	runWorkload(t, f, gen, 2000)
 	if err := f.Flush(); err != nil {
 		t.Fatal(err)

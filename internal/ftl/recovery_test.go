@@ -12,7 +12,7 @@ import (
 // runs recovery, returning the report.
 func crashAndRecover(t *testing.T, f *FTL, ops int, seed int64) *RecoveryReport {
 	t.Helper()
-	gen := workload.NewUniform(f.LogicalPages(), seed)
+	gen := workload.MustNewUniform(f.LogicalPages(), seed)
 	runWorkload(t, f, gen, ops)
 	if err := f.PowerFail(); err != nil {
 		t.Fatal(err)
@@ -33,7 +33,7 @@ func TestRecoverRequiresPowerFail(t *testing.T) {
 
 func TestPowerFailDropsRAMState(t *testing.T) {
 	f := testFTL(t, NewGeckoFTL, 96, 128)
-	gen := workload.NewUniform(f.LogicalPages(), 21)
+	gen := workload.MustNewUniform(f.LogicalPages(), 21)
 	runWorkload(t, f, gen, 2000)
 	if err := f.PowerFail(); err != nil {
 		t.Fatal(err)
@@ -73,7 +73,7 @@ func TestGeckoFTLRecoveryRestoresConsistency(t *testing.T) {
 	}
 	// Normal operation must continue correctly after recovery: run more
 	// writes, then verify the end-state invariants.
-	gen := workload.NewUniform(f.LogicalPages(), 23)
+	gen := workload.MustNewUniform(f.LogicalPages(), 23)
 	runWorkload(t, f, gen, 4000)
 	checkConsistency(t, f, false)
 }
@@ -83,7 +83,7 @@ func TestAllFTLsSurvivePowerFailure(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			f := testFTL(t, build, 96, 128)
 			crashAndRecover(t, f, 4000, 24)
-			gen := workload.NewUniform(f.LogicalPages(), 25)
+			gen := workload.MustNewUniform(f.LogicalPages(), 25)
 			runWorkload(t, f, gen, 3000)
 			checkConsistency(t, f, false)
 		})
@@ -95,7 +95,7 @@ func TestRepeatedCrashes(t *testing.T) {
 	for round := 0; round < 3; round++ {
 		crashAndRecover(t, f, 2500, int64(30+round))
 	}
-	gen := workload.NewUniform(f.LogicalPages(), 40)
+	gen := workload.MustNewUniform(f.LogicalPages(), 40)
 	runWorkload(t, f, gen, 2000)
 	checkConsistency(t, f, false)
 }
@@ -127,7 +127,7 @@ func TestRecoveryBackwardsScanIsBounded(t *testing.T) {
 	// user blocks plus the per-block and translation/metadata scans.
 	cacheEntries := 64
 	f := testFTL(t, NewGeckoFTL, 96, cacheEntries)
-	gen := workload.NewUniform(f.LogicalPages(), 28)
+	gen := workload.MustNewUniform(f.LogicalPages(), 28)
 	runWorkload(t, f, gen, 5000)
 	if err := f.PowerFail(); err != nil {
 		t.Fatal(err)

@@ -38,7 +38,7 @@ func TestWearOptionsValidation(t *testing.T) {
 
 func TestWearLevelerDisabledCostsNothing(t *testing.T) {
 	f := testFTL(t, NewGeckoFTL, 64, 128) // wear-leveling off by default
-	gen := workload.NewUniform(f.LogicalPages(), 61)
+	gen := workload.MustNewUniform(f.LogicalPages(), 61)
 	runWorkload(t, f, gen, 1000)
 	c := f.dev.Counters()
 	if got := c.Count(flash.OpSpareRead, flash.PurposeWearLeveling); got != 0 {
@@ -54,7 +54,7 @@ func TestWearLevelerDisabledCostsNothing(t *testing.T) {
 
 func TestWearScanCostsOneSpareReadPerWrite(t *testing.T) {
 	f := newWearFTL(t, 1000) // huge threshold: scan but never migrate
-	gen := workload.NewUniform(f.LogicalPages(), 62)
+	gen := workload.MustNewUniform(f.LogicalPages(), 62)
 	const writes = 2000
 	runWorkload(t, f, gen, writes)
 	c := f.dev.Counters()
@@ -86,7 +86,7 @@ func TestWearLevelingRecyclesStaticBlocks(t *testing.T) {
 		}
 	}
 	// Update only the first 10% of pages, repeatedly.
-	hot := workload.NewUniform(logical/10, 63)
+	hot := workload.MustNewUniform(logical/10, 63)
 	runWorkload(t, f, hot, 15000)
 
 	st := f.WearStats()
@@ -106,7 +106,7 @@ func TestWearLevelingRecyclesStaticBlocks(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	hot2 := workload.NewUniform(g.LogicalPages()/10, 63)
+	hot2 := workload.MustNewUniform(g.LogicalPages()/10, 63)
 	runWorkload(t, g, hot2, 15000)
 	unworn := func(f *FTL) int {
 		n := 0
@@ -129,7 +129,7 @@ func TestWearLevelingRecyclesStaticBlocks(t *testing.T) {
 
 func TestWearStatsReflectDeviceEndurance(t *testing.T) {
 	f := newWearFTL(t, 4)
-	gen := workload.NewUniform(f.LogicalPages(), 64)
+	gen := workload.MustNewUniform(f.LogicalPages(), 64)
 	runWorkload(t, f, gen, 8000)
 	st := f.WearStats()
 	min, max, mean := f.dev.BlocksEndurance()

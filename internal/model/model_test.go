@@ -240,3 +240,37 @@ func TestRecoveryScalesWithCache(t *testing.T) {
 		t.Errorf("GeckoFTL cache-recovery growth %v not below LazyFTL %v", geckoGrowth, lazyGrowth)
 	}
 }
+
+func TestEngineRecoveryScalesWithShards(t *testing.T) {
+	p := Default()
+	serial := Recovery(GeckoFTL, p).Total()
+	one := EngineRecovery(GeckoFTL, p, 1)
+	if one.WallClock != serial || one.SerialTime != serial {
+		t.Errorf("1-shard engine recovery (%v wall, %v serial) != single-plane %v",
+			one.WallClock, one.SerialTime, serial)
+	}
+	prev := one
+	for _, shards := range []int{2, 4, 8, 16} {
+		est := EngineRecovery(GeckoFTL, p, shards)
+		if est.WallClock >= prev.WallClock {
+			t.Errorf("%d shards: wall-clock %v not below %d shards' %v",
+				shards, est.WallClock, prev.Shards, prev.WallClock)
+		}
+		// Dividing the device across shards never reduces total scan work by
+		// more than the per-shard fixed costs; the serial time stays within a
+		// factor of the single-plane total.
+		if est.SerialTime > 2*serial || 2*est.SerialTime < serial {
+			t.Errorf("%d shards: serial %v implausible vs single-plane %v", shards, est.SerialTime, serial)
+		}
+		if est.WallClock != est.PerShard.Total() {
+			t.Errorf("%d shards: wall-clock %v != per-shard total %v", shards, est.WallClock, est.PerShard.Total())
+		}
+		prev = est
+	}
+	// The paper's ordering survives sharding: LazyFTL's synchronize-before-
+	// resume recovery stays more expensive than GeckoFTL's bounded scan at
+	// the same shard count.
+	if g, l := EngineRecovery(GeckoFTL, p, 8), EngineRecovery(LazyFTL, p, 8); g.WallClock >= l.WallClock {
+		t.Errorf("8-shard GeckoFTL recovery %v not below LazyFTL %v", g.WallClock, l.WallClock)
+	}
+}

@@ -116,6 +116,53 @@ func lazyDirtyRecovery(p Parameters) time.Duration {
 	return scan + sync
 }
 
+// EngineRecoveryEstimate is the modeled cost of engine-wide parallel
+// recovery on a sharded, multi-channel device.
+type EngineRecoveryEstimate struct {
+	FTL    FTLKind
+	Shards int
+	// PerShard is the recovery breakdown of one shard: the device's blocks
+	// and the mapping cache divided evenly across shards.
+	PerShard RecoveryBreakdown
+	// WallClock is the slowest-shard critical path. With evenly divided,
+	// balanced shards it equals one shard's total, because shards recover
+	// concurrently on disjoint channels.
+	WallClock time.Duration
+	// SerialTime is what the same recovery would cost on the paper's single
+	// serialized plane: Shards times the per-shard total.
+	SerialTime time.Duration
+}
+
+// EngineRecovery models the ftl.Engine's channel-parallel recovery: the
+// device is split into shards (one per channel), each shard runs the FTL's
+// recovery procedure over its own partition, and all shards proceed
+// concurrently. Recovery work is dominated by spare-area scans of each
+// shard's own blocks, so the wall-clock is one shard's recovery while the
+// serial cost stays that of the whole device.
+func EngineRecovery(kind FTLKind, p Parameters, shards int) EngineRecoveryEstimate {
+	if shards < 1 {
+		shards = 1
+	}
+	per := p
+	per.Blocks = p.Blocks / int64(shards)
+	if per.Blocks < 1 {
+		per.Blocks = 1
+	}
+	per.CacheEntries = p.CacheEntries / int64(shards)
+	if per.CacheEntries < 1 {
+		per.CacheEntries = 1
+	}
+	breakdown := Recovery(kind, per)
+	total := breakdown.Total()
+	return EngineRecoveryEstimate{
+		FTL:        kind,
+		Shards:     shards,
+		PerShard:   breakdown,
+		WallClock:  total,
+		SerialTime: time.Duration(int64(total) * int64(shards)),
+	}
+}
+
 // RecoveryAll returns the breakdown for every FTL.
 func RecoveryAll(p Parameters) []RecoveryBreakdown {
 	out := make([]RecoveryBreakdown, 0, len(Kinds()))

@@ -70,18 +70,7 @@ type ChannelSweepOptions struct {
 
 // generator builds the sweep workload for an engine's logical page count.
 func (o ChannelSweepOptions) generator(logicalPages int64) (workload.Generator, error) {
-	switch o.Workload {
-	case "", "uniform":
-		return workload.NewUniform(logicalPages, o.Scale.Seed), nil
-	case "sequential":
-		return workload.NewSequential(logicalPages), nil
-	case "zipfian":
-		return workload.NewZipfian(logicalPages, 1.2, o.Scale.Seed), nil
-	case "hotcold":
-		return workload.NewHotCold(logicalPages, 0.2, 0.8, o.Scale.Seed), nil
-	default:
-		return nil, fmt.Errorf("sim: unknown sweep workload %q", o.Workload)
-	}
+	return workload.ByName(o.Workload, logicalPages, o.Scale.Seed)
 }
 
 // ChannelSweep measures write throughput of the sharded GeckoFTL engine

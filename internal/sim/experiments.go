@@ -340,7 +340,10 @@ func RecoverySimulation(scale ExperimentScale) ([]RecoveryResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		gen := workload.NewUniform(f.LogicalPages(), scale.Seed)
+		gen, err := workload.NewUniform(f.LogicalPages(), scale.Seed)
+		if err != nil {
+			return nil, err
+		}
 		for i := int64(0); i < scale.MeasureWrites; i++ {
 			if err := f.Write(gen.Next().Page); err != nil {
 				return nil, fmt.Errorf("sim: recovery workload (%s): %w", b.name, err)

@@ -153,7 +153,7 @@ func RunIsolated(opts IsolatedOptions) (IsolatedResult, error) {
 	logicalPages := int64(opts.OverProvision * float64(opts.UserBlocks*opts.PagesPerBlock))
 	gen := opts.Workload
 	if gen == nil {
-		gen = workload.NewUniform(logicalPages, opts.Seed+1)
+		gen = workload.MustNewUniform(logicalPages, opts.Seed+1)
 	}
 
 	driver := &isolatedDriver{

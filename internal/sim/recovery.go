@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"geckoftl/internal/flash"
+	"geckoftl/internal/ftl"
+	"geckoftl/internal/model"
+	"geckoftl/internal/workload"
+)
+
+// RecoveryPoint is one measurement of the engine-wide recovery sweep: a
+// sharded engine is crashed after a steady-state fill and the cost of
+// rebuilding every shard is recorded, next to the analytic model's
+// prediction for the same configuration.
+type RecoveryPoint struct {
+	// Dimension names the axis this point varies: "channels" (recovery
+	// parallelism), "checkpoint" (the cache capacity C, which sets the
+	// checkpoint interval and the 2C backwards-scan bound), or "capacity"
+	// (device blocks, comparing FTLs whose recovery grows with capacity
+	// against GeckoFTL's bounded scan).
+	Dimension string
+	// FTL is the engine's shard configuration.
+	FTL string
+	// Channels, Dies and Shards describe the topology.
+	Channels, Dies, Shards int
+	// Blocks is the device size of this point.
+	Blocks int
+	// CacheEntries is the engine-wide mapping-cache budget (divided across
+	// shards).
+	CacheEntries int
+	// PreWrites is the number of logical writes issued before the crash.
+	PreWrites int64
+	// WallClock and SerialTime are the engine recovery's slowest-shard
+	// critical path and summed per-shard cost (see ftl.EngineRecoveryReport).
+	WallClock, SerialTime time.Duration
+	// Speedup is SerialTime/WallClock.
+	Speedup float64
+	// SpareReads, PageReads and PageWrites total the recovery IO.
+	SpareReads, PageReads, PageWrites int64
+	// RecoveredEntries is the number of mapping entries recreated by the
+	// shards' bounded backwards scans.
+	RecoveredEntries int
+	// ModelWall and ModelSerial are the analytic model.EngineRecovery
+	// prediction for the same geometry, shard count and cache budget. The
+	// simulation and the model use different device fills, so compare
+	// trends, not absolute values.
+	ModelWall, ModelSerial time.Duration
+}
+
+// RecoverySweepOptions parameterizes RecoverySweep.
+type RecoverySweepOptions struct {
+	// Scale sizes the device, cache budget and workload seed. As in
+	// ChannelSweep, the device and cache grow until the widest point keeps
+	// workable shards, and the grown values apply to every point.
+	Scale ExperimentScale
+	// Channels lists the channel counts of the parallelism dimension.
+	// Empty means 1,2,4,8.
+	Channels []int
+	// CacheEntries lists engine-wide cache budgets for the checkpoint
+	// dimension, measured at the widest channel count. Empty means half and
+	// double the scale's budget (the scale's own budget is already covered
+	// by the channels dimension).
+	CacheEntries []int
+	// CapacityFactors lists device-size multipliers for the capacity
+	// dimension, measured on one channel for GeckoFTL and LazyFTL. Empty
+	// means 1,2,4.
+	CapacityFactors []int
+}
+
+// RecoverySweep measures engine-wide crash recovery across three axes:
+// recovery parallelism (channel count), checkpoint interval (cache capacity)
+// and device capacity (GeckoFTL versus LazyFTL). Every point fills a sharded
+// engine to steady state, power-fails it, recovers it, verifies consistency,
+// and reports the recovery cost next to the analytic model's prediction.
+//
+// The qualitative trends mirror model.Recovery: wall-clock shrinks with the
+// channel count (the per-shard scan shrinks and shards recover in parallel),
+// the backwards scan is bounded by the checkpointed 2C spare reads, and
+// LazyFTL's recovery grows with capacity while GeckoFTL's cache recovery
+// stays bounded.
+func RecoverySweep(opts RecoverySweepOptions) ([]RecoveryPoint, error) {
+	scale := opts.Scale
+	channels := opts.Channels
+	if len(channels) == 0 {
+		channels = []int{1, 2, 4, 8}
+	}
+	maxChannels := 0
+	for _, c := range channels {
+		if c > maxChannels {
+			maxChannels = c
+		}
+	}
+	// Grow the device and cache once so the widest point keeps workable
+	// shards; every point uses the grown values (see ChannelSweep).
+	if min := MinSweepShardBlocks * maxChannels; scale.Device.Blocks < min {
+		scale.Device.Blocks = min
+	}
+	if min := minSweepShardCache * maxChannels; scale.CacheEntries < min {
+		scale.CacheEntries = min
+	}
+	caches := opts.CacheEntries
+	if len(caches) == 0 {
+		caches = []int{scale.CacheEntries / 2, scale.CacheEntries * 2}
+	}
+	factors := opts.CapacityFactors
+	if len(factors) == 0 {
+		factors = []int{1, 2, 4}
+	}
+
+	var points []RecoveryPoint
+	for _, c := range channels {
+		p, err := recoveryPoint("channels", scale, "GeckoFTL", c, scale.Device.Blocks, scale.CacheEntries)
+		if err != nil {
+			return nil, fmt.Errorf("sim: recovery sweep, %d channels: %w", c, err)
+		}
+		points = append(points, p)
+	}
+	for _, cache := range caches {
+		if cache < minSweepShardCache*maxChannels {
+			cache = minSweepShardCache * maxChannels
+		}
+		p, err := recoveryPoint("checkpoint", scale, "GeckoFTL", maxChannels, scale.Device.Blocks, cache)
+		if err != nil {
+			return nil, fmt.Errorf("sim: recovery sweep, cache %d: %w", cache, err)
+		}
+		points = append(points, p)
+	}
+	for _, factor := range factors {
+		if factor < 1 {
+			factor = 1
+		}
+		for _, name := range []string{"GeckoFTL", "LazyFTL"} {
+			p, err := recoveryPoint("capacity", scale, name, 1, scale.Device.Blocks*factor, scale.CacheEntries)
+			if err != nil {
+				return nil, fmt.Errorf("sim: recovery sweep, %s x%d capacity: %w", name, factor, err)
+			}
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}
+
+// shardOptions builds the named FTL configuration for a per-shard cache.
+func shardOptions(name string, cacheEntries int) (ftl.Options, model.FTLKind, error) {
+	switch name {
+	case "GeckoFTL":
+		return ftl.GeckoFTLOptions(cacheEntries), model.GeckoFTL, nil
+	case "LazyFTL":
+		return ftl.LazyFTLOptions(cacheEntries), model.LazyFTL, nil
+	case "DFTL":
+		return ftl.DFTLOptions(cacheEntries), model.DFTL, nil
+	case "uFTL":
+		return ftl.MuFTLOptions(cacheEntries), model.MuFTL, nil
+	case "IB-FTL":
+		return ftl.IBFTLOptions(cacheEntries), model.IBFTL, nil
+	default:
+		return ftl.Options{}, 0, fmt.Errorf("sim: unknown FTL %q", name)
+	}
+}
+
+// recoveryPoint fills one sharded engine to steady state, crashes it,
+// recovers it and audits the result.
+func recoveryPoint(dimension string, scale ExperimentScale, ftlName string, channels, blocks, cacheTotal int) (RecoveryPoint, error) {
+	spec := scale.Device
+	spec.Blocks = blocks
+	spec.Channels = channels
+	dev, err := spec.NewDevice()
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	cfg := dev.Config()
+	opts, kind, err := shardOptions(ftlName, cacheTotal/channels)
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	// Logarithmic Gecko's merge runs grow with the shard's capacity, and a
+	// single merge must fit inside the garbage-collection reserve; scale the
+	// reserve with the shard size so the capacity dimension's large
+	// single-shard points cannot exhaust the free pool mid-merge.
+	if shardBlocks := blocks / channels; 4+shardBlocks/128 > opts.GCFreeBlockReserve {
+		opts.GCFreeBlockReserve = 4 + shardBlocks/128
+	}
+	eng, err := ftl.NewEngine(dev, opts, 0)
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	gen, err := workload.NewUniform(eng.LogicalPages(), scale.Seed)
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+
+	// Fill the device past capacity so the crash interrupts steady-state
+	// garbage collection with a realistic population of dirty entries.
+	pre := 2 * eng.LogicalPages()
+	batch := make([]flash.LPN, 8*cfg.Dies())
+	for done := int64(0); done < pre; done += int64(len(batch)) {
+		for i := range batch {
+			batch[i] = gen.Next().Page
+		}
+		if err := eng.WriteBatch(batch); err != nil {
+			return RecoveryPoint{}, fmt.Errorf("fill: %w", err)
+		}
+	}
+
+	if err := eng.PowerFail(); err != nil {
+		return RecoveryPoint{}, err
+	}
+	report, err := eng.Recover()
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	if err := eng.CheckConsistency(); err != nil {
+		return RecoveryPoint{}, fmt.Errorf("post-recovery audit: %w", err)
+	}
+
+	mp := model.Default()
+	mp.Blocks = int64(cfg.Blocks)
+	mp.PagesPerBlock = int64(cfg.PagesPerBlock)
+	mp.PageSize = int64(cfg.PageSize)
+	mp.OverProvision = cfg.OverProvision
+	mp.CacheEntries = int64(cacheTotal)
+	mp.Latency = cfg.Latency
+	est := model.EngineRecovery(kind, mp, eng.Shards())
+
+	return RecoveryPoint{
+		Dimension:        dimension,
+		FTL:              eng.Name(),
+		Channels:         channels,
+		Dies:             cfg.Dies(),
+		Shards:           eng.Shards(),
+		Blocks:           cfg.Blocks,
+		CacheEntries:     cacheTotal,
+		PreWrites:        pre,
+		WallClock:        report.WallClock,
+		SerialTime:       report.SerialTime,
+		Speedup:          report.Speedup(),
+		SpareReads:       report.SpareReads,
+		PageReads:        report.PageReads,
+		PageWrites:       report.PageWrites,
+		RecoveredEntries: report.RecoveredMappingEntries,
+		ModelWall:        est.WallClock,
+		ModelSerial:      est.SerialTime,
+	}, nil
+}

@@ -115,7 +115,7 @@ func Run(opts RunOptions) (Result, error) {
 	}
 	gen := opts.Workload
 	if gen == nil {
-		gen = workload.NewUniform(f.LogicalPages(), 1)
+		gen = workload.MustNewUniform(f.LogicalPages(), 1)
 	}
 	warmup := opts.WarmupWrites
 	if warmup == 0 {

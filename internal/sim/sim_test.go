@@ -71,7 +71,7 @@ func TestRunWithMixedWorkloadCountsOnlyWrites(t *testing.T) {
 	opts := quickRunOptions(ftl.DFTLOptions(256))
 	cfg := scale.Device.Config()
 	logical := int64(cfg.LogicalPages())
-	opts.Workload = workload.NewMixed(workload.NewUniform(logical, 3), logical, 0.4, 4)
+	opts.Workload = workload.MustNewMixed(workload.MustNewUniform(logical, 3), logical, 0.4, 4)
 	opts.WarmupWrites = logical
 	res, err := Run(opts)
 	if err != nil {

@@ -61,12 +61,22 @@ type Uniform struct {
 }
 
 // NewUniform creates a uniform random update workload over logicalPages
-// pages. It panics if logicalPages is not positive.
-func NewUniform(logicalPages int64, seed int64) *Uniform {
+// pages. It returns an error if logicalPages is not positive.
+func NewUniform(logicalPages int64, seed int64) (*Uniform, error) {
 	if logicalPages <= 0 {
-		panic(fmt.Sprintf("workload: logical pages %d must be positive", logicalPages))
+		return nil, fmt.Errorf("workload: logical pages %d must be positive", logicalPages)
 	}
-	return &Uniform{pages: flash.LPN(logicalPages), rng: rand.New(rand.NewSource(seed))}
+	return &Uniform{pages: flash.LPN(logicalPages), rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// MustNewUniform is NewUniform that panics on invalid parameters. It is used
+// by tests and examples where the configuration is a literal.
+func MustNewUniform(logicalPages int64, seed int64) *Uniform {
+	u, err := NewUniform(logicalPages, seed)
+	if err != nil {
+		panic(err)
+	}
+	return u
 }
 
 // Next returns a write to a uniformly random logical page.
@@ -86,12 +96,22 @@ type Sequential struct {
 	next  flash.LPN
 }
 
-// NewSequential creates a sequential update workload.
-func NewSequential(logicalPages int64) *Sequential {
+// NewSequential creates a sequential update workload. It returns an error if
+// logicalPages is not positive.
+func NewSequential(logicalPages int64) (*Sequential, error) {
 	if logicalPages <= 0 {
-		panic(fmt.Sprintf("workload: logical pages %d must be positive", logicalPages))
+		return nil, fmt.Errorf("workload: logical pages %d must be positive", logicalPages)
 	}
-	return &Sequential{pages: flash.LPN(logicalPages)}
+	return &Sequential{pages: flash.LPN(logicalPages)}, nil
+}
+
+// MustNewSequential is NewSequential that panics on invalid parameters.
+func MustNewSequential(logicalPages int64) *Sequential {
+	s, err := NewSequential(logicalPages)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // Next returns a write to the next logical page in sequence.
@@ -116,20 +136,30 @@ type Zipfian struct {
 // NewZipfian creates a Zipfian workload with the given skew parameter
 // (s > 1; values around 1.1-1.5 are typical). Page popularity ranks are
 // scattered over the address space with a pseudo-random permutation so that
-// hot pages are not clustered in one translation page.
-func NewZipfian(logicalPages int64, skew float64, seed int64) *Zipfian {
+// hot pages are not clustered in one translation page. It returns an error
+// for a non-positive page count or a skew outside (1, inf).
+func NewZipfian(logicalPages int64, skew float64, seed int64) (*Zipfian, error) {
 	if logicalPages <= 0 {
-		panic(fmt.Sprintf("workload: logical pages %d must be positive", logicalPages))
+		return nil, fmt.Errorf("workload: logical pages %d must be positive", logicalPages)
 	}
 	if skew <= 1 {
-		panic(fmt.Sprintf("workload: zipf skew %f must be > 1", skew))
+		return nil, fmt.Errorf("workload: zipf skew %g must be > 1", skew)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	return &Zipfian{
 		pages: flash.LPN(logicalPages),
 		rng:   rng,
 		zipf:  rand.NewZipf(rng, skew, 1, uint64(logicalPages-1)),
+	}, nil
+}
+
+// MustNewZipfian is NewZipfian that panics on invalid parameters.
+func MustNewZipfian(logicalPages int64, skew float64, seed int64) *Zipfian {
+	z, err := NewZipfian(logicalPages, skew, seed)
+	if err != nil {
+		panic(err)
 	}
+	return z
 }
 
 // scatter maps a popularity rank to a logical page with a multiplicative
@@ -152,40 +182,49 @@ func (z *Zipfian) Name() string { return "zipfian" }
 // HotCold generates writes where a hot fraction of the address space receives
 // a hot fraction of the updates (e.g. 20% of pages get 80% of writes).
 type HotCold struct {
-	pages        flash.LPN
-	hotFraction  float64
-	hotProbility float64
-	rng          *rand.Rand
+	pages          flash.LPN
+	hotPages       flash.LPN
+	hotProbability float64
+	rng            *rand.Rand
 }
 
 // NewHotCold creates a hot/cold workload: hotFraction of the pages receive
-// hotProbability of the writes.
-func NewHotCold(logicalPages int64, hotFraction, hotProbability float64, seed int64) *HotCold {
+// hotProbability of the writes. It returns an error for a non-positive page
+// count or a fraction/probability outside (0,1).
+func NewHotCold(logicalPages int64, hotFraction, hotProbability float64, seed int64) (*HotCold, error) {
 	if logicalPages <= 0 {
-		panic(fmt.Sprintf("workload: logical pages %d must be positive", logicalPages))
+		return nil, fmt.Errorf("workload: logical pages %d must be positive", logicalPages)
 	}
 	if hotFraction <= 0 || hotFraction >= 1 || hotProbability <= 0 || hotProbability >= 1 {
-		panic(fmt.Sprintf("workload: hot fraction %f and probability %f must be in (0,1)", hotFraction, hotProbability))
+		return nil, fmt.Errorf("workload: hot fraction %g and probability %g must be in (0,1)", hotFraction, hotProbability)
 	}
 	return &HotCold{
-		pages:        flash.LPN(logicalPages),
-		hotFraction:  hotFraction,
-		hotProbility: hotProbability,
-		rng:          rand.New(rand.NewSource(seed)),
+		pages:          flash.LPN(logicalPages),
+		hotPages:       flash.LPN(math.Max(1, float64(logicalPages)*hotFraction)),
+		hotProbability: hotProbability,
+		rng:            rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// MustNewHotCold is NewHotCold that panics on invalid parameters.
+func MustNewHotCold(logicalPages int64, hotFraction, hotProbability float64, seed int64) *HotCold {
+	h, err := NewHotCold(logicalPages, hotFraction, hotProbability, seed)
+	if err != nil {
+		panic(err)
 	}
+	return h
 }
 
 // Next returns a write, hot with the configured probability.
 func (h *HotCold) Next() Op {
-	hotPages := flash.LPN(math.Max(1, float64(h.pages)*h.hotFraction))
-	if h.rng.Float64() < h.hotProbility {
-		return Op{Kind: OpWrite, Page: flash.LPN(h.rng.Int63n(int64(hotPages)))}
+	if h.rng.Float64() < h.hotProbability {
+		return Op{Kind: OpWrite, Page: flash.LPN(h.rng.Int63n(int64(h.hotPages)))}
 	}
-	coldPages := h.pages - hotPages
+	coldPages := h.pages - h.hotPages
 	if coldPages <= 0 {
 		coldPages = 1
 	}
-	return Op{Kind: OpWrite, Page: hotPages + flash.LPN(h.rng.Int63n(int64(coldPages)))}
+	return Op{Kind: OpWrite, Page: h.hotPages + flash.LPN(h.rng.Int63n(int64(coldPages)))}
 }
 
 // Name implements Generator.
@@ -202,14 +241,42 @@ type Mixed struct {
 
 // NewMixed creates a mixed read/write workload. readRatio is the fraction of
 // operations that are reads (0 <= readRatio < 1).
-func NewMixed(writes Generator, logicalPages int64, readRatio float64, seed int64) *Mixed {
+func NewMixed(writes Generator, logicalPages int64, readRatio float64, seed int64) (*Mixed, error) {
 	if readRatio < 0 || readRatio >= 1 {
-		panic(fmt.Sprintf("workload: read ratio %f must be in [0,1)", readRatio))
+		return nil, fmt.Errorf("workload: read ratio %g must be in [0,1)", readRatio)
 	}
 	if logicalPages <= 0 {
-		panic(fmt.Sprintf("workload: logical pages %d must be positive", logicalPages))
+		return nil, fmt.Errorf("workload: logical pages %d must be positive", logicalPages)
 	}
-	return &Mixed{writes: writes, pages: flash.LPN(logicalPages), readRatio: readRatio, rng: rand.New(rand.NewSource(seed))}
+	return &Mixed{writes: writes, pages: flash.LPN(logicalPages), readRatio: readRatio, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// MustNewMixed is NewMixed that panics on invalid parameters.
+func MustNewMixed(writes Generator, logicalPages int64, readRatio float64, seed int64) *Mixed {
+	m, err := NewMixed(writes, logicalPages, readRatio, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// ByName constructs one of the named write workloads: "uniform" (or ""),
+// "sequential", "zipfian" (skew 1.2) or "hotcold" (20% of pages take 80% of
+// writes). The command-line tools and the sweep experiments route their
+// workload flags through it so that a bad name is an error, not a panic.
+func ByName(name string, logicalPages int64, seed int64) (Generator, error) {
+	switch name {
+	case "", "uniform":
+		return NewUniform(logicalPages, seed)
+	case "sequential":
+		return NewSequential(logicalPages)
+	case "zipfian":
+		return NewZipfian(logicalPages, 1.2, seed)
+	case "hotcold", "hot-cold":
+		return NewHotCold(logicalPages, 0.2, 0.8, seed)
+	default:
+		return nil, fmt.Errorf("workload: unknown workload %q (want uniform, sequential, zipfian or hotcold)", name)
+	}
 }
 
 // Next returns either a read of a random page or the next write of the

@@ -10,7 +10,7 @@ import (
 
 func TestUniformStaysInRangeAndCoversSpace(t *testing.T) {
 	const pages = 1000
-	u := NewUniform(pages, 1)
+	u := MustNewUniform(pages, 1)
 	if u.Name() != "uniform" {
 		t.Errorf("Name = %q", u.Name())
 	}
@@ -32,15 +32,15 @@ func TestUniformStaysInRangeAndCoversSpace(t *testing.T) {
 }
 
 func TestUniformDeterministicPerSeed(t *testing.T) {
-	a, b := NewUniform(100, 42), NewUniform(100, 42)
+	a, b := MustNewUniform(100, 42), MustNewUniform(100, 42)
 	for i := 0; i < 100; i++ {
 		if a.Next() != b.Next() {
 			t.Fatal("same seed produced different streams")
 		}
 	}
-	c := NewUniform(100, 43)
+	c := MustNewUniform(100, 43)
 	same := true
-	a = NewUniform(100, 42)
+	a = MustNewUniform(100, 42)
 	for i := 0; i < 100; i++ {
 		if a.Next() != c.Next() {
 			same = false
@@ -52,32 +52,64 @@ func TestUniformDeterministicPerSeed(t *testing.T) {
 	}
 }
 
-func TestPanicsOnBadParameters(t *testing.T) {
-	cases := []func(){
-		func() { NewUniform(0, 1) },
-		func() { NewSequential(-1) },
-		func() { NewZipfian(0, 1.2, 1) },
-		func() { NewZipfian(100, 1.0, 1) },
-		func() { NewHotCold(0, 0.2, 0.8, 1) },
-		func() { NewHotCold(100, 0, 0.8, 1) },
-		func() { NewHotCold(100, 0.2, 1.0, 1) },
-		func() { NewMixed(NewUniform(10, 1), 0, 0.5, 1) },
-		func() { NewMixed(NewUniform(10, 1), 10, 1.0, 1) },
+func TestConstructorErrorsOnBadParameters(t *testing.T) {
+	cases := []struct {
+		name string
+		make func() error
+	}{
+		{"uniform zero pages", func() error { _, err := NewUniform(0, 1); return err }},
+		{"sequential negative pages", func() error { _, err := NewSequential(-1); return err }},
+		{"zipfian zero pages", func() error { _, err := NewZipfian(0, 1.2, 1); return err }},
+		{"zipfian skew 1.0", func() error { _, err := NewZipfian(100, 1.0, 1); return err }},
+		{"hotcold zero pages", func() error { _, err := NewHotCold(0, 0.2, 0.8, 1); return err }},
+		{"hotcold zero fraction", func() error { _, err := NewHotCold(100, 0, 0.8, 1); return err }},
+		{"hotcold probability 1.0", func() error { _, err := NewHotCold(100, 0.2, 1.0, 1); return err }},
+		{"mixed zero pages", func() error { _, err := NewMixed(MustNewUniform(10, 1), 0, 0.5, 1); return err }},
+		{"mixed read ratio 1.0", func() error { _, err := NewMixed(MustNewUniform(10, 1), 10, 1.0, 1); return err }},
+		{"unknown name", func() error { _, err := ByName("bogus", 100, 1); return err }},
+		{"byname zero pages", func() error { _, err := ByName("uniform", 0, 1); return err }},
 	}
-	for i, fn := range cases {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d did not panic", i)
-				}
-			}()
-			fn()
-		}()
+	for _, c := range cases {
+		if err := c.make(); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestMustConstructorsPanicOnBadParameters(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewUniform(0) did not panic")
+		}
+	}()
+	MustNewUniform(0, 1)
+}
+
+func TestByNameBuildsEveryWorkload(t *testing.T) {
+	for name, want := range map[string]string{
+		"":           "uniform",
+		"uniform":    "uniform",
+		"sequential": "sequential",
+		"zipfian":    "zipfian",
+		"hotcold":    "hot-cold",
+	} {
+		g, err := ByName(name, 1000, 1)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if g.Name() != want {
+			t.Errorf("ByName(%q).Name() = %q, want %q", name, g.Name(), want)
+		}
+		for i := 0; i < 100; i++ {
+			if op := g.Next(); op.Page < 0 || op.Page >= 1000 {
+				t.Fatalf("ByName(%q) page %d out of range", name, op.Page)
+			}
+		}
 	}
 }
 
 func TestSequentialWrapsAround(t *testing.T) {
-	s := NewSequential(3)
+	s := MustNewSequential(3)
 	want := []flash.LPN{0, 1, 2, 0, 1}
 	for i, w := range want {
 		op := s.Next()
@@ -92,7 +124,7 @@ func TestSequentialWrapsAround(t *testing.T) {
 
 func TestZipfianIsSkewedAndInRange(t *testing.T) {
 	const pages = 10000
-	z := NewZipfian(pages, 1.3, 7)
+	z := MustNewZipfian(pages, 1.3, 7)
 	counts := make(map[flash.LPN]int)
 	const draws = 50000
 	for i := 0; i < draws; i++ {
@@ -121,7 +153,7 @@ func TestZipfianIsSkewedAndInRange(t *testing.T) {
 
 func TestHotColdSkew(t *testing.T) {
 	const pages = 1000
-	h := NewHotCold(pages, 0.2, 0.8, 3)
+	h := MustNewHotCold(pages, 0.2, 0.8, 3)
 	hot := 0
 	const draws = 20000
 	for i := 0; i < draws; i++ {
@@ -143,7 +175,7 @@ func TestHotColdSkew(t *testing.T) {
 }
 
 func TestMixedReadRatio(t *testing.T) {
-	m := NewMixed(NewUniform(500, 1), 500, 0.3, 2)
+	m := MustNewMixed(MustNewUniform(500, 1), 500, 0.3, 2)
 	reads := 0
 	const draws = 20000
 	for i := 0; i < draws; i++ {
@@ -234,11 +266,11 @@ func TestQuickGeneratorsStayInRange(t *testing.T) {
 	f := func(seed int64, pagesRaw uint16) bool {
 		pages := int64(pagesRaw)%5000 + 10
 		gens := []Generator{
-			NewUniform(pages, seed),
-			NewSequential(pages),
-			NewZipfian(pages, 1.2, seed),
-			NewHotCold(pages, 0.25, 0.75, seed),
-			NewMixed(NewUniform(pages, seed), pages, 0.5, seed),
+			MustNewUniform(pages, seed),
+			MustNewSequential(pages),
+			MustNewZipfian(pages, 1.2, seed),
+			MustNewHotCold(pages, 0.25, 0.75, seed),
+			MustNewMixed(MustNewUniform(pages, seed), pages, 0.5, seed),
 		}
 		for _, g := range gens {
 			for i := 0; i < 200; i++ {
