@@ -400,6 +400,33 @@ func BenchmarkRecoverySweep(b *testing.B) {
 	}
 }
 
+// BenchmarkLatencySweep measures per-write tail latency of the sharded
+// engine under inline versus incremental garbage-collection scheduling (see
+// docs/benchmarks.md, "Latency experiments"). It reports the p99.9 and
+// maximum write latency plus the worst GC stall per mode, under zipfian
+// skew at both victim policies.
+func BenchmarkLatencySweep(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		points, err := sim.LatencySweep(sim.LatencySweepOptions{
+			Scale:     scale,
+			Workloads: []string{"zipfian"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range points {
+				tag := fmt.Sprintf("%s_%s", p.GCMode, p.Policy)
+				b.ReportMetric(p.Write.P999.Seconds()*1000, "p999_ms_"+tag)
+				b.ReportMetric(p.Write.Max.Seconds()*1000, "max_ms_"+tag)
+				b.ReportMetric(p.MaxGCStall.Seconds()*1000, "max_stall_ms_"+tag)
+				b.ReportMetric(p.WA, "WA_"+tag)
+			}
+		}
+	}
+}
+
 // BenchmarkParallelModel documents the parallelism-aware latency model's
 // predictions at the paper's full-scale latencies.
 func BenchmarkParallelModel(b *testing.B) {

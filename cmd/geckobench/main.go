@@ -9,16 +9,20 @@
 //	geckobench -experiment channels -sweep 1,2,4,8,16
 //	geckobench -experiment recovery -quick
 //	geckobench -experiment recovery -json
+//	geckobench -experiment latency -gc-pages 4 -policy metadata-aware
 //	geckobench -experiment summary
 //
 // Experiments: fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec,
-// fig13wa, fig14, recovery, recovery-sweep, channels, summary, all.
+// fig13wa, fig14, recovery, recovery-sweep, channels, latency, summary, all.
 //
-// Two experiments go beyond the paper: channels sweeps the device's channel
-// count and reports how the sharded engine's write throughput scales, and
-// recovery-sweep (also run by -experiment recovery) crashes the sharded
-// engine and measures how recovery wall-clock scales with channel count,
-// checkpoint interval and device capacity (see docs/benchmarks.md).
+// Three experiments go beyond the paper: channels sweeps the device's
+// channel count and reports how the sharded engine's write throughput
+// scales; recovery-sweep (also run by -experiment recovery) crashes the
+// sharded engine and measures how recovery wall-clock scales with channel
+// count, checkpoint interval and device capacity; and latency records
+// per-write service-time distributions (p50..p99.9, max) and compares
+// inline whole-victim garbage collection against the incremental bounded
+// scheduler across victim policies and workloads (see docs/benchmarks.md).
 //
 // With -json, each experiment emits one JSON object per line of the form
 // {"experiment": name, "rows": [...]}, so benchmark trajectories can be
@@ -34,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"geckoftl/internal/ftl"
 	"geckoftl/internal/model"
 	"geckoftl/internal/sim"
 	"geckoftl/internal/workload"
@@ -41,7 +46,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec, fig13wa, fig14, recovery, recovery-sweep, channels, summary, all)")
+		experiment = flag.String("experiment", "all", "experiment to run (fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec, fig13wa, fig14, recovery, recovery-sweep, channels, latency, summary, all)")
 		writes     = flag.Int64("writes", 0, "measured logical writes per simulation (0 = default)")
 		blocks     = flag.Int("blocks", 0, "simulated device blocks (0 = default)")
 		quick      = flag.Bool("quick", false, "use the small test-sized scale")
@@ -49,6 +54,9 @@ func main() {
 		dies       = flag.Int("dies", 1, "dies per channel for the channels experiment (adds capacity, not engine overlap; see docs/benchmarks.md)")
 		sweepWL    = flag.String("sweep-workload", "uniform", "workload for the channels experiment: uniform, sequential, zipfian, hotcold")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON rows (one {experiment, rows} object per experiment) instead of tables")
+		gcModes    = flag.String("gc-mode", "both", "GC scheduling modes for the latency experiment: inline, incremental, or both")
+		policies   = flag.String("policy", "both", "victim policies for the latency experiment: greedy, metadata-aware, or both")
+		gcPages    = flag.Int("gc-pages", 0, "incremental GC step budget per write for the latency experiment (0 = default)")
 	)
 	flag.Parse()
 	sweep, err := parseSweep(*sweepList)
@@ -60,9 +68,21 @@ func main() {
 	if _, err := workload.ByName(*sweepWL, 1024, 1); err != nil {
 		usageExit(err)
 	}
+	modes, err := parseGCModes(*gcModes)
+	if err != nil {
+		usageExit(err)
+	}
+	pols, err := parsePolicies(*policies)
+	if err != nil {
+		usageExit(err)
+	}
+	if *gcPages < 0 {
+		usageExit(fmt.Errorf("-gc-pages %d must be >= 0", *gcPages))
+	}
 	sweepOpts = sim.ChannelSweepOptions{Channels: sweep, Workload: *sweepWL}
 	sweepDies = *dies
 	jsonMode = *jsonOut
+	latencyOpts = sim.LatencySweepOptions{Modes: modes, Policies: pols, GCPagesPerWrite: *gcPages}
 
 	scale := sim.FullScale()
 	if *quick {
@@ -133,6 +153,7 @@ func experiments() []experimentSpec {
 		{name: "recovery", rows: recoveryRows, print: printRecovery},
 		{name: "recovery-sweep", group: "recovery", rows: recoverySweepRows, print: printRecoverySweep},
 		{name: "channels", rows: channelSweepRows, print: printChannelSweep},
+		{name: "latency", rows: latencySweepRows, print: printLatencySweep},
 		{name: "summary", rows: summaryRows, print: printSummary},
 	}
 }
@@ -313,12 +334,57 @@ func printSummary(rows any) {
 	fmt.Printf("  flash-resident PVB:                                %5.1f%%  (paper: 98%%)\n", 100*s.ValidityWAReduction)
 }
 
-// sweepOpts, sweepDies and jsonMode carry flags to the experiment drivers.
+// sweepOpts, sweepDies, latencyOpts and jsonMode carry flags to the
+// experiment drivers.
 var (
-	sweepOpts sim.ChannelSweepOptions
-	sweepDies int
-	jsonMode  bool
+	sweepOpts   sim.ChannelSweepOptions
+	sweepDies   int
+	latencyOpts sim.LatencySweepOptions
+	jsonMode    bool
 )
+
+// parseGCModes parses the -gc-mode flag: a single ftl.GCMode name or "both".
+func parseGCModes(s string) ([]ftl.GCMode, error) {
+	if s == "" || s == "both" {
+		return []ftl.GCMode{ftl.GCInline, ftl.GCIncremental}, nil
+	}
+	m, err := ftl.ParseGCMode(s)
+	if err != nil {
+		return nil, err
+	}
+	return []ftl.GCMode{m}, nil
+}
+
+// parsePolicies parses the -policy flag: a single ftl.VictimPolicy name or
+// "both".
+func parsePolicies(s string) ([]ftl.VictimPolicy, error) {
+	if s == "" || s == "both" {
+		return []ftl.VictimPolicy{ftl.VictimMetadataAware, ftl.VictimGreedy}, nil
+	}
+	p, err := ftl.ParseVictimPolicy(s)
+	if err != nil {
+		return nil, err
+	}
+	return []ftl.VictimPolicy{p}, nil
+}
+
+func latencySweepRows(scale sim.ExperimentScale) (any, error) {
+	opts := latencyOpts
+	opts.Scale = scale
+	return sim.LatencySweep(opts)
+}
+
+func printLatencySweep(rows any) {
+	fmt.Println("Latency sweep: per-write service time of the sharded GeckoFTL engine, inline vs incremental GC")
+	fmt.Printf("%-9s %-15s %-12s %3s %10s %8s %9s %9s %9s %9s %8s %10s %10s %5s\n",
+		"workload", "policy", "gc-mode", "k", "WA", "p50", "p90", "p99", "p99.9", "max", "stalled", "max-stall", "bound", "fb")
+	for _, p := range rows.([]sim.LatencyPoint) {
+		fmt.Printf("%-9s %-15s %-12s %3d %10.3f %8s %9s %9s %9s %9s %8d %10s %10s %5d\n",
+			p.Workload, p.Policy, p.GCMode, p.GCPagesPerWrite, p.WA,
+			fmtDur(p.Write.P50), fmtDur(p.Write.P90), fmtDur(p.Write.P99), fmtDur(p.Write.P999), fmtDur(p.Write.Max),
+			p.GCStalledWrites.Count, fmtDur(p.MaxGCStall), fmtDur(p.ModelStallBound), p.GCFallbacks)
+	}
+}
 
 // parseSweep parses a comma-separated channel-count list, e.g. "1,2,4,8".
 func parseSweep(s string) ([]int, error) {

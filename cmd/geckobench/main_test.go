@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+
+	"geckoftl/internal/ftl"
+)
+
+// TestGCModeFlagRoundTrip pins that every ftl.GCMode's String() is accepted
+// verbatim by the -gc-mode flag parser, so option names printed in
+// experiment output can be pasted back into the command line.
+func TestGCModeFlagRoundTrip(t *testing.T) {
+	for _, m := range []ftl.GCMode{ftl.GCInline, ftl.GCIncremental} {
+		got, err := parseGCModes(m.String())
+		if err != nil {
+			t.Fatalf("-gc-mode %q rejected: %v", m.String(), err)
+		}
+		if len(got) != 1 || got[0] != m {
+			t.Fatalf("-gc-mode %q parsed to %v", m.String(), got)
+		}
+	}
+	if both, err := parseGCModes("both"); err != nil || len(both) != 2 {
+		t.Fatalf("-gc-mode both parsed to %v, %v", both, err)
+	}
+	if _, err := parseGCModes("bogus"); err == nil {
+		t.Fatal("-gc-mode bogus accepted")
+	}
+}
+
+// TestVictimPolicyFlagRoundTrip pins the same for -policy and
+// ftl.VictimPolicy.String().
+func TestVictimPolicyFlagRoundTrip(t *testing.T) {
+	for _, p := range []ftl.VictimPolicy{ftl.VictimGreedy, ftl.VictimMetadataAware} {
+		got, err := parsePolicies(p.String())
+		if err != nil {
+			t.Fatalf("-policy %q rejected: %v", p.String(), err)
+		}
+		if len(got) != 1 || got[0] != p {
+			t.Fatalf("-policy %q parsed to %v", p.String(), got)
+		}
+	}
+	if both, err := parsePolicies("both"); err != nil || len(both) != 2 {
+		t.Fatalf("-policy both parsed to %v, %v", both, err)
+	}
+	if _, err := parsePolicies("bogus"); err == nil {
+		t.Fatal("-policy bogus accepted")
+	}
+}
+
+// TestParseSweep covers the pre-existing channel-list parser alongside the
+// new flag parsers.
+func TestParseSweep(t *testing.T) {
+	got, err := parseSweep("1, 2,8")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("parseSweep = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "x", "-1"} {
+		if _, err := parseSweep(bad); err == nil {
+			t.Errorf("parseSweep(%q) accepted", bad)
+		}
+	}
+}

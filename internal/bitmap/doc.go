@@ -1,0 +1,9 @@
+// Package bitmap provides the fixed-size bitmaps that page-validity metadata
+// is built from.
+//
+// A Gecko entry's value is "a bitmap of size B, where the bit at offset i
+// indicates if the physical page at offset i in the block is invalid"
+// (Section 3 of the GeckoFTL paper). GC queries and merge operations combine
+// such bitmaps with bitwise OR, and the Blocks Validity Counter needs their
+// population counts, so those are the operations this package optimizes.
+package bitmap

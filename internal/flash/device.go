@@ -29,6 +29,14 @@ type dieState struct {
 	// counters accounts the IO executed by this die; the device aggregates
 	// them on demand. The counters' elapsed time is the die's busy time.
 	counters Counters
+	// busyUntil is the instant, on the device-wide virtual timeline, at which
+	// the die's most recently issued operation completes. Unlike the
+	// counters' elapsed time it respects idle gaps: an operation issued after
+	// the arrival clock (see Device.SyncArrival) has moved past the die's
+	// last completion starts at the arrival instant, not back-to-back. The
+	// latency instrumentation derives per-operation service times — queueing
+	// behind the die included — from this clock.
+	busyUntil time.Duration
 }
 
 // Device is a simulated NAND flash device organized as Config.Channels
@@ -50,6 +58,12 @@ type Device struct {
 	writeSeq atomic.Uint64
 	eraseSeq atomic.Uint64
 	powered  atomic.Bool
+	// arrival is the device-wide arrival clock in nanoseconds: no operation
+	// starts before it. Callers that dispatch work in rounds (the sharded
+	// ftl.Engine's batches) ratchet it forward with SyncArrival so that
+	// per-operation latencies measure queueing within the current round
+	// rather than against dies idle since an earlier one.
+	arrival atomic.Int64
 }
 
 // NewDevice creates a device with every block erased and empty.
@@ -87,6 +101,25 @@ func (d *Device) die(block BlockID) *dieState {
 	return &d.dies[d.cfg.DieOfBlock(block)]
 }
 
+// record charges one operation to a die (which must be locked by the caller)
+// and advances the die's busy-until clock: the operation starts when the die
+// is free, the device-wide arrival clock has been reached, and the caller's
+// extra floor (a partition's own arrival clock) has passed; it completes one
+// latency later. The floor is what keeps an operation issued to an idle die
+// of a multi-die partition from starting "in the past" relative to the
+// partition's clock, which would under-report its latency.
+func (d *Device) record(die *dieState, op Op, p Purpose, cost, floor time.Duration) {
+	die.counters.Record(op, p, cost)
+	start := die.busyUntil
+	if a := time.Duration(d.arrival.Load()); a > start {
+		start = a
+	}
+	if floor > start {
+		start = floor
+	}
+	die.busyUntil = start + cost
+}
+
 // check validates power state and block range.
 func (d *Device) check(block BlockID) error {
 	if !d.powered.Load() {
@@ -114,6 +147,12 @@ func (d *Device) checkPage(block BlockID, offset int) error {
 // The returned sequence number is the device-wide write timestamp recorded in
 // the spare area.
 func (d *Device) WritePage(ppn PPN, spare SpareArea, p Purpose) (uint64, error) {
+	return d.writePage(ppn, spare, p, 0)
+}
+
+// writePage is WritePage with a caller-supplied start floor on the virtual
+// timeline (see record); partitions pass their own arrival clock.
+func (d *Device) writePage(ppn PPN, spare SpareArea, p Purpose, floor time.Duration) (uint64, error) {
 	addr := Decompose(ppn, d.cfg.PagesPerBlock)
 	if err := d.checkPage(addr.Block, addr.Offset); err != nil {
 		return 0, err
@@ -136,13 +175,18 @@ func (d *Device) WritePage(ppn PPN, spare SpareArea, p Purpose) (uint64, error) 
 	if addr.Offset >= blk.writePointer {
 		blk.writePointer = addr.Offset + 1
 	}
-	die.counters.Record(OpPageWrite, p, d.cfg.Latency.PageWrite)
+	d.record(die, OpPageWrite, p, d.cfg.Latency.PageWrite, floor)
 	return seq, nil
 }
 
 // ReadPage reads the page at ppn. The simulator stores no payload, so the
 // call only validates that the page has been programmed and accounts the IO.
 func (d *Device) ReadPage(ppn PPN, p Purpose) error {
+	return d.readPage(ppn, p, 0)
+}
+
+// readPage is ReadPage with a caller-supplied start floor.
+func (d *Device) readPage(ppn PPN, p Purpose, floor time.Duration) error {
 	addr := Decompose(ppn, d.cfg.PagesPerBlock)
 	if err := d.checkPage(addr.Block, addr.Offset); err != nil {
 		return err
@@ -154,7 +198,7 @@ func (d *Device) ReadPage(ppn PPN, p Purpose) error {
 	if addr.Offset >= blk.writePointer {
 		return fmt.Errorf("%w: %v", ErrPageNotWritten, addr)
 	}
-	die.counters.Record(OpPageRead, p, d.cfg.Latency.PageRead)
+	d.record(die, OpPageRead, p, d.cfg.Latency.PageRead, floor)
 	return nil
 }
 
@@ -162,6 +206,11 @@ func (d *Device) ReadPage(ppn PPN, p Purpose) error {
 // succeeds on unprogrammed pages and reports whether the page was programmed,
 // because recovery scans probe spare areas of possibly-free pages.
 func (d *Device) ReadSpare(ppn PPN, p Purpose) (SpareArea, bool, error) {
+	return d.readSpare(ppn, p, 0)
+}
+
+// readSpare is ReadSpare with a caller-supplied start floor.
+func (d *Device) readSpare(ppn PPN, p Purpose, floor time.Duration) (SpareArea, bool, error) {
 	addr := Decompose(ppn, d.cfg.PagesPerBlock)
 	if err := d.checkPage(addr.Block, addr.Offset); err != nil {
 		return SpareArea{}, false, err
@@ -170,7 +219,7 @@ func (d *Device) ReadSpare(ppn PPN, p Purpose) (SpareArea, bool, error) {
 	die.mu.Lock()
 	defer die.mu.Unlock()
 	blk := &d.blocks[addr.Block]
-	die.counters.Record(OpSpareRead, p, d.cfg.Latency.SpareRead)
+	d.record(die, OpSpareRead, p, d.cfg.Latency.SpareRead, floor)
 	if addr.Offset >= blk.writePointer {
 		return SpareArea{}, false, nil
 	}
@@ -179,6 +228,11 @@ func (d *Device) ReadSpare(ppn PPN, p Purpose) (SpareArea, bool, error) {
 
 // EraseBlock erases a block, freeing all of its pages.
 func (d *Device) EraseBlock(block BlockID, p Purpose) error {
+	return d.eraseBlock(block, p, 0)
+}
+
+// eraseBlock is EraseBlock with a caller-supplied start floor.
+func (d *Device) eraseBlock(block BlockID, p Purpose, floor time.Duration) error {
 	if err := d.check(block); err != nil {
 		return err
 	}
@@ -195,7 +249,7 @@ func (d *Device) EraseBlock(block BlockID, p Purpose) error {
 	for i := range blk.spares {
 		blk.spares[i] = SpareArea{}
 	}
-	die.counters.Record(OpErase, p, d.cfg.Latency.Erase)
+	d.record(die, OpErase, p, d.cfg.Latency.Erase, floor)
 	return nil
 }
 
@@ -298,6 +352,50 @@ func (d *Device) timeOverDies(lo, hi int) time.Duration {
 		die.mu.Unlock()
 	}
 	return total
+}
+
+// SyncArrival advances the device-wide arrival clock to the completion
+// instant of all work issued so far (the latest die busy-until) and returns
+// it. Callers that dispatch operations in rounds — the sharded ftl.Engine
+// calls it once per batch, and once per single-page operation — use the
+// returned instant as the round's arrival time: a subsequent operation's
+// latency is its completion minus this arrival, which charges queueing
+// behind earlier operations of the same round on the same die, but not idle
+// time from before the round. The clock only moves forward.
+func (d *Device) SyncArrival() time.Duration {
+	now := d.BusyUntil()
+	for {
+		cur := d.arrival.Load()
+		if int64(now) <= cur {
+			return time.Duration(cur)
+		}
+		if d.arrival.CompareAndSwap(cur, int64(now)) {
+			return now
+		}
+	}
+}
+
+// BusyUntil returns the instant on the virtual timeline at which the last
+// operation issued to any die completes, floored at the arrival clock (so an
+// idle device reports the current virtual now rather than a stale
+// completion).
+func (d *Device) BusyUntil() time.Duration {
+	return d.busyUntilOverDies(0, len(d.dies))
+}
+
+// busyUntilOverDies returns the latest busy-until instant of dies [lo, hi),
+// floored at the arrival clock.
+func (d *Device) busyUntilOverDies(lo, hi int) time.Duration {
+	max := time.Duration(d.arrival.Load())
+	for i := lo; i < hi; i++ {
+		die := &d.dies[i]
+		die.mu.Lock()
+		if die.busyUntil > max {
+			max = die.busyUntil
+		}
+		die.mu.Unlock()
+	}
+	return max
 }
 
 // ParallelSimulatedTime returns the busy time of the busiest die: the

@@ -84,6 +84,19 @@ type Plane interface {
 	Counters() Counters
 	SimulatedTime() time.Duration
 	ResetCounters()
+	// BusyUntil returns the virtual-timeline instant at which the plane's
+	// most recently issued operation completes (scoped to the partition's
+	// dies for a *Partition, floored at the plane's arrival clock). The
+	// latency instrumentation subtracts a round's arrival instant
+	// (SyncArrival) from it to obtain per-operation service times that
+	// include queueing behind the die.
+	BusyUntil() time.Duration
+	// SyncArrival advances the plane's arrival clock to BusyUntil and
+	// returns it: subsequent operations on the plane start no earlier than
+	// this instant. For a *Device the clock is device-wide; for a
+	// *Partition it is the partition's own, so concurrent shards' arrival
+	// stamps never interfere with (or lock) each other's dies.
+	SyncArrival() time.Duration
 	// PowerFail, PowerOn and Powered operate on the plane's own power
 	// domain: the whole device for a *Device, the partition's domain for a
 	// *Partition. Partitions of one device fail and recover independently.
@@ -116,6 +129,13 @@ type Partition struct {
 	// and simulated time are scoped to this half-open range.
 	loDie, hiDie int
 	powered      atomic.Bool
+	// arrival is the partition's own arrival clock in nanoseconds: IO issued
+	// through the partition starts no earlier than it (on top of the
+	// device-wide arrival clock). SyncArrival ratchets it to the partition's
+	// completion instant, which keeps an operation that lands on an idle die
+	// of a multi-die partition from starting before the partition's previous
+	// operation completed — and its measured latency honest.
+	arrival atomic.Int64
 }
 
 // Partition carves the block range [base, base+blocks) out of the device.
@@ -190,7 +210,7 @@ func (p *Partition) WritePage(ppn PPN, spare SpareArea, pu Purpose) (uint64, err
 	if err := p.checkPPN(ppn); err != nil {
 		return 0, err
 	}
-	return p.dev.WritePage(ppn+p.ppnOffset(), spare, pu)
+	return p.dev.writePage(ppn+p.ppnOffset(), spare, pu, p.floor())
 }
 
 // ReadPage reads the partition-relative page ppn.
@@ -198,7 +218,7 @@ func (p *Partition) ReadPage(ppn PPN, pu Purpose) error {
 	if err := p.checkPPN(ppn); err != nil {
 		return err
 	}
-	return p.dev.ReadPage(ppn+p.ppnOffset(), pu)
+	return p.dev.readPage(ppn+p.ppnOffset(), pu, p.floor())
 }
 
 // ReadSpare reads the spare area of the partition-relative page ppn.
@@ -206,7 +226,7 @@ func (p *Partition) ReadSpare(ppn PPN, pu Purpose) (SpareArea, bool, error) {
 	if err := p.checkPPN(ppn); err != nil {
 		return SpareArea{}, false, err
 	}
-	return p.dev.ReadSpare(ppn+p.ppnOffset(), pu)
+	return p.dev.readSpare(ppn+p.ppnOffset(), pu, p.floor())
 }
 
 // EraseBlock erases the partition-relative block.
@@ -214,7 +234,7 @@ func (p *Partition) EraseBlock(block BlockID, pu Purpose) error {
 	if err := p.checkBlock(block); err != nil {
 		return err
 	}
-	return p.dev.EraseBlock(block+p.base, pu)
+	return p.dev.eraseBlock(block+p.base, pu, p.floor())
 }
 
 // WritePointer returns the write pointer of the partition-relative block.
@@ -252,6 +272,38 @@ func (p *Partition) SimulatedTime() time.Duration { return p.dev.timeOverDies(p.
 
 // ResetCounters resets the counters of the partition's dies only.
 func (p *Partition) ResetCounters() { p.dev.resetCountersOverDies(p.loDie, p.hiDie) }
+
+// floor returns the partition's arrival clock, the earliest instant IO
+// issued through the partition may start.
+func (p *Partition) floor() time.Duration { return time.Duration(p.arrival.Load()) }
+
+// BusyUntil returns the completion instant of the last operation issued to
+// the partition's dies, floored at the device-wide and partition arrival
+// clocks. For a die-aligned partition driven serially (an engine shard)
+// this is exactly the completion time of the shard's most recent operation.
+func (p *Partition) BusyUntil() time.Duration {
+	max := p.dev.busyUntilOverDies(p.loDie, p.hiDie)
+	if f := p.floor(); f > max {
+		max = f
+	}
+	return max
+}
+
+// SyncArrival advances the partition's own arrival clock to its completion
+// instant and returns it. Unlike Device.SyncArrival it touches only the
+// partition's dies, so concurrent shards never contend here.
+func (p *Partition) SyncArrival() time.Duration {
+	now := p.BusyUntil()
+	for {
+		cur := p.arrival.Load()
+		if int64(now) <= cur {
+			return time.Duration(cur)
+		}
+		if p.arrival.CompareAndSwap(cur, int64(now)) {
+			return now
+		}
+	}
+}
 
 // PowerFail fails power on the partition's own domain: the partition refuses
 // all operations until its own PowerOn, while sibling partitions and the

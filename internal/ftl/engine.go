@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"geckoftl/internal/flash"
+	"geckoftl/internal/stats"
 )
 
 // Engine is a concurrency-safe, sharded FTL frontend for multi-channel
@@ -41,6 +43,39 @@ type Engine struct {
 type engineShard struct {
 	mu  sync.Mutex
 	ftl *FTL
+
+	// Per-shard latency histograms, guarded by mu like the FTL itself.
+	// Recording locally and merging on demand (LatencyStats) keeps the hot
+	// path free of cross-shard contention.
+	readLat  *stats.Histogram
+	writeLat *stats.Histogram
+	// stallLat records the full service time of writes that performed any
+	// garbage-collection work; maxStall tracks the largest GC-only stall
+	// component (FTL.LastWriteGCStall) any single write absorbed.
+	stallLat *stats.Histogram
+	maxStall time.Duration
+}
+
+// observe records the service time of the operation that just completed on
+// the shard: the completion instant of the shard's dies minus the round's
+// arrival instant, which includes queueing behind earlier operations of the
+// same round on the same dies. Callers hold the shard lock.
+func (sh *engineShard) observe(arrival time.Duration, write bool) {
+	latency := sh.ftl.Device().BusyUntil() - arrival
+	if latency < 0 {
+		latency = 0
+	}
+	if !write {
+		sh.readLat.Record(latency)
+		return
+	}
+	sh.writeLat.Record(latency)
+	if stall, _ := sh.ftl.LastWriteGCStall(); stall > 0 {
+		sh.stallLat.Record(latency)
+		if stall > sh.maxStall {
+			sh.maxStall = stall
+		}
+	}
 }
 
 // NewEngine creates an engine with the given number of shards over the
@@ -75,7 +110,12 @@ func NewEngine(dev *flash.Device, opts Options, shards int) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ftl: shard %d: %w", i, err)
 		}
-		e.shards = append(e.shards, &engineShard{ftl: f})
+		e.shards = append(e.shards, &engineShard{
+			ftl:      f,
+			readLat:  stats.NewHistogram(),
+			writeLat: stats.NewHistogram(),
+			stallLat: stats.NewHistogram(),
+		})
 	}
 	e.perShardPages = e.shards[0].ftl.LogicalPages()
 	e.logicalPages = e.perShardPages * int64(shards)
@@ -117,27 +157,45 @@ func (e *Engine) shardOf(lpn flash.LPN) (int, flash.LPN, error) {
 }
 
 // Write serves one application write. Safe for concurrent use.
+//
+// A single-page operation's arrival instant is stamped on the shard's own
+// plane (Partition.SyncArrival, not the device-wide ratchet): its recorded
+// latency is the operation's service time plus any queueing behind
+// operations already holding the shard — IO cannot start before the stamp
+// even on an idle die of a multi-die shard — without charging it work from
+// other shards' dies and without touching their die locks.
 func (e *Engine) Write(lpn flash.LPN) error {
 	s, local, err := e.shardOf(lpn)
 	if err != nil {
 		return err
 	}
 	sh := e.shards[s]
+	arrival := sh.ftl.Device().SyncArrival()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.ftl.Write(local)
+	if err := sh.ftl.Write(local); err != nil {
+		return err
+	}
+	sh.observe(arrival, true)
+	return nil
 }
 
-// Read serves one application read. Safe for concurrent use.
+// Read serves one application read. Safe for concurrent use; arrival
+// semantics as for Write.
 func (e *Engine) Read(lpn flash.LPN) error {
 	s, local, err := e.shardOf(lpn)
 	if err != nil {
 		return err
 	}
 	sh := e.shards[s]
+	arrival := sh.ftl.Device().SyncArrival()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.ftl.Read(local)
+	if err := sh.ftl.Read(local); err != nil {
+		return err
+	}
+	sh.observe(arrival, false)
+	return nil
 }
 
 // WriteBatch writes every logical page in lpns, fanning the requests out
@@ -149,7 +207,7 @@ func (e *Engine) WriteBatch(lpns []flash.LPN) error {
 	if err != nil {
 		return err
 	}
-	return e.fanOut(buckets, (*FTL).Write)
+	return e.fanOut(buckets, (*FTL).Write, true)
 }
 
 // ReadBatch reads every logical page in lpns, fanning the requests out
@@ -159,7 +217,7 @@ func (e *Engine) ReadBatch(lpns []flash.LPN) error {
 	if err != nil {
 		return err
 	}
-	return e.fanOut(buckets, (*FTL).Read)
+	return e.fanOut(buckets, (*FTL).Read, false)
 }
 
 // bucket groups a batch into per-shard slices of shard-local LPNs. Routing
@@ -179,7 +237,19 @@ func (e *Engine) bucket(lpns []flash.LPN) ([][]flash.LPN, error) {
 // fanOut runs one goroutine per non-empty bucket, each holding its shard's
 // lock while draining the bucket sequentially. A shard that fails stops
 // early; the joined errors of all failed shards are returned.
-func (e *Engine) fanOut(buckets [][]flash.LPN, op func(*FTL, flash.LPN) error) error {
+//
+// The batch's arrival instant is taken once, before the fan-out, so every
+// operation's recorded latency is measured against the same virtual "now":
+// the n-th operation of a bucket is charged the queueing behind its n-1
+// predecessors on the shard's dies, exactly as a host keeping a queue of
+// depth len(batch) would observe. With one batch in flight at a time (how
+// the sweeps drive the engine), each shard's dies are touched only by that
+// shard and the recorded latencies are deterministic regardless of
+// goroutine scheduling; overlapping batches from concurrent callers ratchet
+// the shared arrival clock and so charge each other's queueing, as
+// overlapping arrivals at a real device would.
+func (e *Engine) fanOut(buckets [][]flash.LPN, op func(*FTL, flash.LPN) error, write bool) error {
+	arrival := e.dev.SyncArrival()
 	var wg sync.WaitGroup
 	errs := make([]error, len(buckets))
 	for i, bucket := range buckets {
@@ -197,6 +267,7 @@ func (e *Engine) fanOut(buckets [][]flash.LPN, op func(*FTL, flash.LPN) error) e
 					errs[i] = fmt.Errorf("shard %d: %w", i, err)
 					return
 				}
+				sh.observe(arrival, write)
 			}
 		}(i, bucket)
 	}
@@ -215,6 +286,65 @@ func (e *Engine) Flush() error {
 		}
 	}
 	return nil
+}
+
+// EngineStats is the engine-wide instrumentation report: the shards' logical
+// operation counters summed and their per-operation latency distributions
+// merged. Latencies are simulated service times under the device's cost
+// model — the time from an operation's batch arrival to its last IO
+// completing, including queueing behind its die — so the report is
+// deterministic and host-independent.
+type EngineStats struct {
+	// Ops is the shards' logical operation counters summed.
+	Ops Stats
+	// Reads and Writes are the service-time distributions of successful
+	// single-page and batched operations since the last reset.
+	Reads, Writes stats.Summary
+	// GCStalledWrites is the service-time distribution of the subset of
+	// writes that performed garbage-collection work (migrations or erases).
+	GCStalledWrites stats.Summary
+	// MaxGCStall is the largest GC stall any single write absorbed: the
+	// device time its GC migrations and erases consumed, excluding the
+	// write's own IO. Under GCIncremental this is the quantity bounded by
+	// model.IncrementalGCStallBound.
+	MaxGCStall time.Duration
+}
+
+// LatencyStats merges every shard's latency histograms (and sums the logical
+// counters) into an engine-wide report. It may run concurrently with
+// batches; like Stats, the snapshot is per-shard consistent.
+func (e *Engine) LatencyStats() EngineStats {
+	reads, writes, stalled := stats.NewHistogram(), stats.NewHistogram(), stats.NewHistogram()
+	var out EngineStats
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		reads.Merge(sh.readLat)
+		writes.Merge(sh.writeLat)
+		stalled.Merge(sh.stallLat)
+		if sh.maxStall > out.MaxGCStall {
+			out.MaxGCStall = sh.maxStall
+		}
+		out.Ops.add(sh.ftl.Stats())
+		sh.mu.Unlock()
+	}
+	out.Reads = reads.Summary()
+	out.Writes = writes.Summary()
+	out.GCStalledWrites = stalled.Summary()
+	return out
+}
+
+// ResetLatencyStats empties every shard's latency histograms, typically
+// after a warm-up phase so that a measured window's distribution excludes
+// cold-start behaviour. Logical operation counters are not reset.
+func (e *Engine) ResetLatencyStats() {
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		sh.readLat.Reset()
+		sh.writeLat.Reset()
+		sh.stallLat.Reset()
+		sh.maxStall = 0
+		sh.mu.Unlock()
+	}
 }
 
 // Stats returns the shards' logical operation counters summed.
@@ -264,6 +394,7 @@ func (s *Stats) add(other Stats) {
 	s.Checkpoints += other.Checkpoints
 	s.MetadataBlockErases += other.MetadataBlockErases
 	s.ForcedSyncs += other.ForcedSyncs
+	s.GCFallbacks += other.GCFallbacks
 }
 
 // CheckConsistency verifies the FTL's translation invariants against the

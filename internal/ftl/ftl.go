@@ -3,6 +3,7 @@ package ftl
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"geckoftl/internal/bitmap"
 	"geckoftl/internal/flash"
@@ -44,6 +45,10 @@ type Stats struct {
 	// ForcedSyncs counts synchronizations forced by the dirty-entry bound of
 	// LazyFTL and IB-FTL.
 	ForcedSyncs int64
+	// GCFallbacks counts writes on which the incremental garbage collector
+	// hit the free-block floor and fell back to an unbounded inline reclaim.
+	// A healthy incremental configuration keeps this at zero.
+	GCFallbacks int64
 }
 
 // FTL is a page-associative flash translation layer instance. Use one of the
@@ -69,6 +74,17 @@ type FTL struct {
 	logicalPages int64
 	dirtyCount   int
 	stats        Stats
+
+	// gc is the incremental garbage-collection scheduler's RAM state (the
+	// victim currently being drained); see gc.go. A power failure drops it
+	// like every other RAM structure.
+	gc gcState
+	// opGCTime and opGCSteps account the garbage-collection work (migrations
+	// and erases, by the device latency model) charged to the current or most
+	// recent Write: the write's GC stall. The engine's latency
+	// instrumentation reads them through LastWriteGCStall.
+	opGCTime  time.Duration
+	opGCSteps int
 }
 
 // New creates an FTL over the device with the given options.
@@ -91,6 +107,7 @@ func New(dev flash.Plane, opts Options) (*FTL, error) {
 		cache:        cache,
 		wear:         newWearLeveler(opts.WearLeveling, opts.WearThreshold),
 		logicalPages: logicalPages,
+		gc:           gcState{victim: flash.InvalidBlock},
 	}
 
 	store := &groupStore{bm: bm}
@@ -202,10 +219,13 @@ func (f *FTL) Write(lpn flash.LPN) error {
 		return flash.ErrPowerFailed
 	}
 	f.stats.LogicalWrites++
+	f.opGCTime, f.opGCSteps = 0, 0
 
 	// Make room before writing so garbage-collection never runs out of
-	// destination pages mid-operation.
-	if err := f.garbageCollectIfNeeded(); err != nil {
+	// destination pages mid-operation. Under GCIncremental this performs at
+	// most GCPagesPerWrite bounded steps; under GCInline it reclaims whole
+	// victims until the free pool is above the reserve.
+	if err := f.garbageCollect(); err != nil {
 		return err
 	}
 
@@ -551,17 +571,29 @@ func (f *FTL) reclaimFullyInvalidMetadata() (bool, error) {
 			if protected[block] {
 				continue
 			}
-			if err := f.bm.Erase(block, flash.PurposeGCErase); err != nil {
+			if err := f.eraseDeadMetadataBlock(block); err != nil {
 				return reclaimed, err
 			}
-			if err := f.validity.RecordErase(block); err != nil {
-				return reclaimed, err
-			}
-			f.stats.MetadataBlockErases++
 			reclaimed = true
 		}
 	}
 	return reclaimed, nil
+}
+
+// eraseDeadMetadataBlock erases one fully-invalid translation or metadata
+// block and does the shared bookkeeping. Both the inline reclaim above and
+// the incremental scheduler's bounded variant (gc.go) go through it, so the
+// two GC modes account these erases identically.
+func (f *FTL) eraseDeadMetadataBlock(block flash.BlockID) error {
+	if err := f.bm.Erase(block, flash.PurposeGCErase); err != nil {
+		return err
+	}
+	f.chargeGC(f.cfg.Latency.Erase)
+	if err := f.validity.RecordErase(block); err != nil {
+		return err
+	}
+	f.stats.MetadataBlockErases++
+	return nil
 }
 
 // collectBlock garbage-collects one victim block: it queries the
@@ -605,6 +637,7 @@ func (f *FTL) collectBlock(victim flash.BlockID) error {
 	if err := f.bm.Erase(victim, flash.PurposeGCErase); err != nil {
 		return err
 	}
+	f.chargeGC(f.cfg.Latency.Erase)
 	return f.validity.RecordErase(victim)
 }
 
@@ -621,31 +654,44 @@ type metaRelocator interface {
 // policy: live metadata pages (as reported by the owning structure) are
 // copied to a fresh metadata page and the structure's directory is updated.
 func (f *FTL) collectMetaBlock(victim flash.BlockID) error {
-	relocator, _ := f.validity.(metaRelocator)
 	written := f.bm.WritePointer(victim)
 	for offset := 0; offset < written; offset++ {
-		ppn := flash.PPNOf(victim, offset, f.cfg.PagesPerBlock)
-		if relocator == nil || !relocator.IsLive(ppn) {
-			continue
-		}
-		if err := f.dev.ReadPage(ppn, flash.PurposeGCMigration); err != nil {
+		if _, err := f.migrateMetaPage(victim, offset); err != nil {
 			return err
 		}
-		spare, _, err := f.dev.ReadSpare(ppn, flash.PurposeGCMigration)
-		if err != nil {
-			return err
-		}
-		newPPN, err := f.bm.AllocatePage(GroupMeta, spare, flash.PurposeGCMigration)
-		if err != nil {
-			return err
-		}
-		relocator.Relocate(ppn, newPPN)
-		f.stats.GCMigrations++
 	}
 	if err := f.bm.Erase(victim, flash.PurposeGCErase); err != nil {
 		return err
 	}
+	f.chargeGC(f.cfg.Latency.Erase)
 	return f.validity.RecordErase(victim)
+}
+
+// migrateMetaPage relocates the metadata page at the given offset of a victim
+// if its owning structure reports it live, reporting whether any IO was
+// issued. Both the inline and the incremental collector drain metadata
+// victims through it.
+func (f *FTL) migrateMetaPage(victim flash.BlockID, offset int) (bool, error) {
+	relocator, _ := f.validity.(metaRelocator)
+	ppn := flash.PPNOf(victim, offset, f.cfg.PagesPerBlock)
+	if relocator == nil || !relocator.IsLive(ppn) {
+		return false, nil
+	}
+	if err := f.dev.ReadPage(ppn, flash.PurposeGCMigration); err != nil {
+		return true, err
+	}
+	spare, _, err := f.dev.ReadSpare(ppn, flash.PurposeGCMigration)
+	if err != nil {
+		return true, err
+	}
+	newPPN, err := f.bm.AllocatePage(GroupMeta, spare, flash.PurposeGCMigration)
+	if err != nil {
+		return true, err
+	}
+	relocator.Relocate(ppn, newPPN)
+	f.stats.GCMigrations++
+	f.chargeGC(f.cfg.Latency.PageRead + f.cfg.Latency.SpareRead + f.cfg.Latency.PageWrite)
+	return true, nil
 }
 
 // migrateValidPage migrates one supposedly-valid page out of a victim block.
@@ -656,6 +702,7 @@ func (f *FTL) migrateValidPage(ppn flash.PPN, group Group) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	f.chargeGC(f.cfg.Latency.SpareRead)
 	if !written {
 		return false, nil
 	}
@@ -674,20 +721,26 @@ func (f *FTL) migrateValidPage(ppn flash.PPN, group Group) (bool, error) {
 	}
 
 	// Section 4.1: the page may be an unidentified invalid page. If the
-	// cache maps this logical page elsewhere with the UIP flag set, page ppn
-	// is a stale before-image and is not migrated. Having now identified it,
-	// the UIP flag is cleared: the before-image disappears with the victim's
-	// erase, so reporting it later would wrongly invalidate whatever page is
-	// written at that address after the block is reused.
-	if cached, ok := f.cache.Peek(lpn); ok && cached.UIP && cached.Physical != ppn {
-		f.cache.Update(lpn, func(en *mapcache.Entry) { en.UIP = false })
+	// cache maps this logical page elsewhere, page ppn is a stale
+	// before-image and is not migrated — the cache is authoritative for the
+	// newest location, which matters under incremental GC where application
+	// writes interleave with the victim drain and outdate the invalid-page
+	// snapshot taken at victim selection. When the stale entry carried the
+	// UIP flag, the before-image is hereby identified and the flag cleared:
+	// the page disappears with the victim's erase, so reporting it later
+	// would wrongly invalidate whatever page is written at that address after
+	// the block is reused.
+	if cached, ok := f.cache.Peek(lpn); ok && cached.Physical != ppn {
+		if cached.UIP {
+			f.cache.Update(lpn, func(en *mapcache.Entry) { en.UIP = false })
+		}
 		return false, nil
 	}
 	// The flash-resident mapping may also already point elsewhere (the
 	// invalidation was identified and reported, but BVC bookkeeping lags for
 	// entries reported through a synchronization after this GC query).
 	if f.table.FlashEntry(lpn) != ppn {
-		if cached, ok := f.cache.Peek(lpn); !ok || cached.Physical != ppn {
+		if _, ok := f.cache.Peek(lpn); !ok {
 			return false, nil
 		}
 	}
@@ -699,6 +752,7 @@ func (f *FTL) migrateValidPage(ppn flash.PPN, group Group) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	f.chargeGC(f.cfg.Latency.PageRead + f.cfg.Latency.PageWrite)
 	// Garbage-collection migrations are treated like application writes: a
 	// dirty cached mapping entry is created for every migrated page.
 	entry := mapcache.Entry{Logical: lpn, Physical: newPPN, Dirty: true}
@@ -729,6 +783,7 @@ func (f *FTL) migrateMetadataPage(ppn flash.PPN, spare flash.SpareArea, group Gr
 	if err != nil {
 		return err
 	}
+	f.chargeGC(f.cfg.Latency.PageRead + f.cfg.Latency.PageWrite)
 	if group == GroupTranslation {
 		tp := int(spare.Tag)
 		if tp >= 0 && tp < f.table.Pages() && f.table.GMDLocation(tp) == ppn {

@@ -1,0 +1,225 @@
+package ftl
+
+import (
+	"fmt"
+	"time"
+
+	"geckoftl/internal/bitmap"
+	"geckoftl/internal/flash"
+)
+
+// The incremental garbage collector's scheduling constants.
+const (
+	// incrementalGCLead is how many blocks above the reserve the incremental
+	// collector engages: starting slightly early gives the bounded per-write
+	// steps a cushion of free blocks to amortize a victim's drain over, so
+	// the pool (almost) never falls to the hard floor. The lead is kept
+	// small because every block of headroom held free is a block of
+	// over-provisioned slack the steady-state garbage collector cannot use,
+	// which raises write-amplification.
+	incrementalGCLead = 1
+	// incrementalGCFloor is the free-block count at which the incremental
+	// collector abandons bounded scheduling and falls back to the inline
+	// loop: below it, the allocations a single write can need (a user page,
+	// synchronization pages, fresh active blocks) risk exhausting the pool
+	// mid-operation. A fallback is an unbounded stall; Stats.GCFallbacks
+	// counts them so experiments can verify the budget held.
+	incrementalGCFloor = 2
+)
+
+// gcState is the incremental scheduler's RAM state: the victim currently
+// being drained, the snapshot of its invalid pages taken at selection, and
+// the drain position. Like all RAM state it does not survive a power
+// failure; an abandoned half-drained victim is safe because every migration
+// decision is re-checked against the mapping cache and translation table
+// (see migrateValidPage).
+type gcState struct {
+	// victim is the block being drained, InvalidBlock when idle.
+	victim flash.BlockID
+	group  Group
+	// invalid is the page-validity snapshot of the victim at selection time.
+	// Application writes interleaving with the drain can outdate it; the
+	// per-page guards in migrateValidPage keep stale entries harmless.
+	invalid *bitmap.Bitmap
+	// offset is the next page offset to examine; written is the victim's
+	// write pointer at selection.
+	offset, written int
+}
+
+// active reports whether a victim drain is in progress.
+func (g *gcState) active() bool { return g.victim != flash.InvalidBlock }
+
+// crashGC drops the incremental collector's RAM state, as a power failure
+// would.
+func (f *FTL) crashGC() {
+	f.gc = gcState{victim: flash.InvalidBlock}
+	f.opGCTime, f.opGCSteps = 0, 0
+}
+
+// chargeGC accounts simulated device time spent on garbage-collection
+// relocations and erases against the current write's stall metric. GC
+// queries to the page-validity store are deliberately not charged here: they
+// are accounted under the validity component, exactly as in the paper's
+// write-amplification breakdown.
+func (f *FTL) chargeGC(d time.Duration) { f.opGCTime += d }
+
+// LastWriteGCStall returns the garbage-collection stall of the most recent
+// Write: the simulated device time its GC migrations and erases consumed,
+// and the number of bounded steps they comprised (zero steps under GCInline,
+// where whole victims are reclaimed at once).
+func (f *FTL) LastWriteGCStall() (time.Duration, int) { return f.opGCTime, f.opGCSteps }
+
+// garbageCollect makes room before an application write, dispatching on the
+// configured scheduling mode.
+func (f *FTL) garbageCollect() error {
+	if f.opts.GCMode == GCIncremental {
+		return f.garbageCollectIncremental()
+	}
+	return f.garbageCollectIfNeeded()
+}
+
+// garbageCollectIncremental performs at most GCPagesPerWrite bounded
+// garbage-collection steps: each step relocates one page out of the current
+// victim, erases a drained victim or a fully-invalid metadata block, or
+// selects a new victim. Work starts incrementalGCLead blocks above the
+// reserve and a victim drain, once started, is carried to completion across
+// writes, so the free pool hovers around the engagement threshold instead of
+// oscillating against the reserve.
+func (f *FTL) garbageCollectIncremental() error {
+	if f.bm.FreeBlocks() <= incrementalGCFloor {
+		// Safety valve: the bounded steps fell behind the write stream.
+		// Abandon the drain in progress (its state may reference a victim the
+		// inline loop will re-pick with a fresh validity query) and reclaim
+		// inline until the pool is healthy again. This write's stall is
+		// unbounded; GCFallbacks records that the budget was broken.
+		f.gc = gcState{victim: flash.InvalidBlock}
+		f.stats.GCFallbacks++
+		return f.garbageCollectIfNeeded()
+	}
+	for steps := f.opts.GCPagesPerWrite; steps > 0; steps-- {
+		if !f.gc.active() && f.bm.FreeBlocks() > f.opts.GCFreeBlockReserve+incrementalGCLead {
+			return nil
+		}
+		did, err := f.gcStep()
+		if err != nil {
+			return err
+		}
+		if !did {
+			return nil
+		}
+		f.opGCSteps++
+	}
+	return nil
+}
+
+// gcStep performs one bounded unit of garbage-collection work and reports
+// whether there was any to do.
+func (f *FTL) gcStep() (bool, error) {
+	if !f.gc.active() {
+		// Fully-invalid translation and metadata blocks are the cheapest
+		// space there is under the metadata-aware policy (Section 4.2): erase
+		// one per step before migrating anything.
+		if f.opts.VictimPolicy == VictimMetadataAware {
+			if did, err := f.eraseOneFullyInvalidMetadata(); did || err != nil {
+				return did, err
+			}
+		}
+		return f.pickIncrementalVictim()
+	}
+
+	// Drain: advance to the next page that needs IO. Pages the snapshot
+	// marks invalid are skipped for free.
+	for f.gc.offset < f.gc.written {
+		offset := f.gc.offset
+		f.gc.offset++
+		if f.gc.group == GroupMeta {
+			did, err := f.migrateMetaPage(f.gc.victim, offset)
+			if err != nil {
+				return true, err
+			}
+			if did {
+				return true, nil
+			}
+			continue
+		}
+		if f.gc.invalid.Get(offset) {
+			continue
+		}
+		ppn := flash.PPNOf(f.gc.victim, offset, f.cfg.PagesPerBlock)
+		migrated, err := f.migrateValidPage(ppn, f.gc.group)
+		if err != nil {
+			return true, err
+		}
+		if migrated {
+			f.stats.GCMigrations++
+		} else {
+			f.stats.UIPSkips++
+		}
+		// Even a skipped page cost a spare read, so it consumed this step.
+		return true, nil
+	}
+	// Fully drained without issuing IO on this step: the erase is this
+	// step's work. (A drain whose last page needed IO reaches here on the
+	// following step, so no step ever charges more than one IO unit.)
+	return true, f.finishVictim()
+}
+
+// pickIncrementalVictim selects the next victim and snapshots its invalid
+// pages. Selecting counts as a step: the page-validity query behind the
+// snapshot is itself IO.
+func (f *FTL) pickIncrementalVictim() (bool, error) {
+	victim, ok := f.bm.PickVictim(f.opts.VictimPolicy, f.table.ProtectedBlocks())
+	if !ok {
+		// Nothing eligible right now (all candidates active or protected);
+		// try again on a later write. If the pool keeps shrinking the floor
+		// fallback reports the real error.
+		return false, nil
+	}
+	group, allocated := f.bm.GroupOf(victim)
+	if !allocated {
+		return false, fmt.Errorf("ftl: victim block %d is not allocated", victim)
+	}
+	f.stats.GCOperations++
+	f.gc = gcState{victim: victim, group: group, written: f.bm.WritePointer(victim)}
+	if group != GroupMeta {
+		invalid, err := f.validity.Query(victim)
+		if err != nil {
+			return true, err
+		}
+		f.gc.invalid = invalid
+	}
+	return true, nil
+}
+
+// finishVictim erases the drained victim and retires the drain state. A
+// victim that acquired a protected previous translation-page version
+// mid-drain (possible only for translation blocks under the greedy policy)
+// is left allocated for a future pick after the Gecko buffer flushes.
+func (f *FTL) finishVictim() error {
+	victim := f.gc.victim
+	f.gc = gcState{victim: flash.InvalidBlock}
+	if f.table.ProtectedBlocks()[victim] {
+		return nil
+	}
+	if err := f.bm.Erase(victim, flash.PurposeGCErase); err != nil {
+		return err
+	}
+	f.chargeGC(f.cfg.Latency.Erase)
+	return f.validity.RecordErase(victim)
+}
+
+// eraseOneFullyInvalidMetadata erases at most one fully-invalid translation
+// or metadata block (the bounded-step counterpart of
+// reclaimFullyInvalidMetadata) and reports whether it did.
+func (f *FTL) eraseOneFullyInvalidMetadata() (bool, error) {
+	protected := f.table.ProtectedBlocks()
+	for _, g := range []Group{GroupTranslation, GroupMeta} {
+		for _, block := range f.bm.FullyInvalidBlocks(g) {
+			if protected[block] {
+				continue
+			}
+			return true, f.eraseDeadMetadataBlock(block)
+		}
+	}
+	return false, nil
+}

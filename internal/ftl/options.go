@@ -40,6 +40,69 @@ func (s Scheme) String() string {
 	return fmt.Sprintf("scheme(%d)", int(s))
 }
 
+// GCMode selects how the garbage collector schedules its work relative to
+// application writes, the second axis (besides the victim policy) along
+// which GC behaviour can be varied for latency experiments.
+type GCMode int
+
+const (
+	// GCInline reclaims whole victims synchronously inside the application
+	// write that found the free pool at the reserve — the paper's implicit
+	// scheduling. Throughput-optimal, but a single write can absorb an
+	// entire victim's relocation cost as a stall.
+	GCInline GCMode = iota
+	// GCIncremental bounds the garbage-collection work charged to any single
+	// application write to Options.GCPagesPerWrite relocation/erase steps,
+	// draining a victim across consecutive writes. Foreground writes then
+	// observe a bounded worst-case stall (model.IncrementalGCStallBound) at
+	// the cost of garbage collection starting earlier.
+	GCIncremental
+)
+
+var gcModeNames = [...]string{
+	GCInline:      "inline",
+	GCIncremental: "incremental",
+}
+
+// String names the mode; ParseGCMode accepts exactly these names.
+func (m GCMode) String() string {
+	if m >= 0 && int(m) < len(gcModeNames) {
+		return gcModeNames[m]
+	}
+	return fmt.Sprintf("gc-mode(%d)", int(m))
+}
+
+// ParseGCMode maps a GC-mode name (as produced by GCMode.String) back to the
+// mode. Command-line tools route their -gc-mode flags through it so that a
+// typo is a usage error rather than a silently ignored setting.
+func ParseGCMode(s string) (GCMode, error) {
+	for m, name := range gcModeNames {
+		if s == name {
+			return GCMode(m), nil
+		}
+	}
+	return 0, fmt.Errorf("ftl: unknown GC mode %q (want inline or incremental)", s)
+}
+
+// ParseVictimPolicy maps a victim-policy name (as produced by
+// VictimPolicy.String) back to the policy.
+func ParseVictimPolicy(s string) (VictimPolicy, error) {
+	switch s {
+	case VictimGreedy.String():
+		return VictimGreedy, nil
+	case VictimMetadataAware.String():
+		return VictimMetadataAware, nil
+	}
+	return 0, fmt.Errorf("ftl: unknown victim policy %q (want greedy or metadata-aware)", s)
+}
+
+// DefaultGCPagesPerWrite is the default per-write step budget of the
+// incremental garbage collector. It is sized so that, at the paper's
+// over-provisioning (victims roughly half valid in the worst case, each step
+// reclaiming about one page of net space), reclaim stays ahead of the two to
+// four pages a logical write consumes across user data and metadata.
+const DefaultGCPagesPerWrite = 4
+
 // Options configures an FTL instance. The New* constructors fill it in for
 // the paper's five FTLs; tests and ablation benchmarks tweak individual
 // fields.
@@ -60,6 +123,14 @@ type Options struct {
 	Checkpoints bool
 	// VictimPolicy selects the garbage-collection victim policy.
 	VictimPolicy VictimPolicy
+	// GCMode selects inline (whole victim per write) or incremental (bounded
+	// steps per write) garbage-collection scheduling.
+	GCMode GCMode
+	// GCPagesPerWrite is the incremental garbage collector's step budget: the
+	// maximum number of page relocations or block erases charged to a single
+	// application write under GCIncremental. Zero selects
+	// DefaultGCPagesPerWrite; the field is ignored under GCInline.
+	GCPagesPerWrite int
 	// GCFreeBlockReserve is the number of free blocks below which
 	// garbage-collection runs. Zero selects a default of 4.
 	GCFreeBlockReserve int
@@ -98,6 +169,15 @@ func (o *Options) validate(cfg flash.Config) error {
 	}
 	if o.GCFreeBlockReserve >= cfg.Blocks/2 {
 		return fmt.Errorf("ftl: GC reserve %d too large for %d blocks", o.GCFreeBlockReserve, cfg.Blocks)
+	}
+	if o.GCMode != GCInline && o.GCMode != GCIncremental {
+		return fmt.Errorf("ftl: unknown GC mode %v", o.GCMode)
+	}
+	if o.GCPagesPerWrite < 0 {
+		return fmt.Errorf("ftl: GC pages per write %d must be >= 0", o.GCPagesPerWrite)
+	}
+	if o.GCPagesPerWrite == 0 {
+		o.GCPagesPerWrite = DefaultGCPagesPerWrite
 	}
 	if o.GeckoSizeRatio == 0 {
 		o.GeckoSizeRatio = gecko.DefaultSizeRatio

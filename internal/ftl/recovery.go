@@ -55,6 +55,7 @@ func (f *FTL) PowerFail() error {
 	// Integrated RAM is gone.
 	f.cache.Clear()
 	f.dirtyCount = 0
+	f.crashGC()
 	f.table.CrashRAM()
 	f.bm.CrashRAM()
 	if f.lg != nil {

@@ -134,19 +134,27 @@ func (f *FTL) wearLevelIfNeeded() error {
 	}
 	// The candidate was observed earlier in the scan window; re-validate it
 	// at collection time. It may have been garbage-collected, reallocated to
-	// another group, become the active block, or become protected since.
+	// another group, become the active block, become protected, or become
+	// the incremental garbage collector's in-flight victim since — collecting
+	// that one here would erase it under the drain's feet and the drain would
+	// erase whatever block reuses the ID a second time.
 	info := &f.bm.blocks[victim]
 	if !info.allocated || info.group != GroupUser ||
 		info.writePointer < f.cfg.PagesPerBlock || f.bm.isActive(victim) ||
-		f.table.ProtectedBlocks()[victim] {
+		f.table.ProtectedBlocks()[victim] || victim == f.gc.victim {
 		return nil
 	}
-	// Recycling uses the ordinary collection path; the IO is attributed to
-	// wear-leveling via the purpose recorded by its reads and writes, and
-	// the erase-count statistics converge as the block is rewritten.
+	// Recycling uses the ordinary collection path, whose chargeGC calls feed
+	// the per-write GC-stall metric. A wear recycle is this subsystem's own
+	// (whole-block, per-K-writes) cost, not garbage-collection scheduling, so
+	// its charges are excluded from the stall — otherwise one recycle would
+	// break the incremental scheduler's documented hard bound. The recycle
+	// still shows up in the write's overall recorded latency.
+	gcTimeBefore := f.opGCTime
 	if err := f.collectBlock(victim); err != nil {
 		return err
 	}
+	f.opGCTime = gcTimeBefore
 	f.wear.migrations++
 	return nil
 }

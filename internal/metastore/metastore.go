@@ -1,13 +1,3 @@
-// Package metastore provides the flash-backed page store that flash-resident
-// metadata structures write into.
-//
-// Logarithmic Gecko runs, the flash-resident PVB and the IB-FTL page validity
-// log all need the same service from the FTL: "give me the next free metadata
-// page, account the IO, and let me invalidate pages I no longer need". Inside
-// a full FTL that service is provided by the block manager's Gecko block
-// group; for the isolated experiments of Sections 5.1 and 5.2 of the paper
-// (Logarithmic Gecko vs a flash-resident PVB, without a surrounding FTL) the
-// BlockStore in this package provides it directly on top of a raw device.
 package metastore
 
 import (

@@ -1,0 +1,15 @@
+// Package model implements the analytical cost models of the GeckoFTL paper
+// and this repository's extensions of them: the integrated-RAM breakdown of
+// each FTL's data structures (Section 2 and Appendix B), the recovery-time
+// breakdown (Section 5.3 and Appendix C), and the asymptotic per-operation
+// IO costs of Table 1. These models generate Figure 1, the top and middle
+// parts of Figure 13, and Table 1 at the paper's full 2 TB scale, where
+// simulation would be impractical.
+//
+// Beyond the paper, the package models the multi-channel engine: the
+// parallelism-aware throughput model (ParallelParams), the engine-wide
+// recovery prediction (EngineRecovery), and the worst-case
+// garbage-collection stall bounds (IncrementalGCStallBound,
+// InlineGCStallBound) that the latency sweep validates against measured
+// per-write stalls.
+package model

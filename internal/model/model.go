@@ -1,9 +1,3 @@
-// Package model implements the analytical cost models of the GeckoFTL paper:
-// the integrated-RAM breakdown of each FTL's data structures (Section 2 and
-// Appendix B), the recovery-time breakdown (Section 5.3 and Appendix C), and
-// the asymptotic per-operation IO costs of Table 1. These models generate
-// Figure 1, the top and middle parts of Figure 13, and Table 1 at the paper's
-// full 2 TB scale, where simulation would be impractical.
 package model
 
 import (

@@ -1,0 +1,52 @@
+package model
+
+import (
+	"time"
+
+	"geckoftl/internal/flash"
+)
+
+// Worst-case garbage-collection stall predictions. A "step" is the unit the
+// incremental scheduler budgets: relocating one page out of a victim (a
+// spare-area read to identify it, a page read and a page program to move it)
+// or erasing one block. The latency sweep (sim.LatencySweep) validates these
+// bounds against the measured per-write GC stalls.
+
+// GCStallStep returns the largest simulated device time one bounded
+// garbage-collection step can take under the given latency model: a page
+// relocation or a block erase, whichever is costlier.
+func GCStallStep(lat flash.Latency) time.Duration {
+	relocate := lat.SpareRead + lat.PageRead + lat.PageWrite
+	if lat.Erase > relocate {
+		return lat.Erase
+	}
+	return relocate
+}
+
+// IncrementalGCStallBound predicts the worst-case GC stall a single
+// application write can absorb under ftl.GCIncremental with the given
+// per-write step budget: every one of the k steps at the costliest step
+// price. It is a hard bound as long as the incremental collector never falls
+// back to inline reclaim (ftl.Stats.GCFallbacks stays zero).
+func IncrementalGCStallBound(lat flash.Latency, pagesPerWrite int) time.Duration {
+	if pagesPerWrite < 1 {
+		pagesPerWrite = 1
+	}
+	return time.Duration(pagesPerWrite) * GCStallStep(lat)
+}
+
+// InlineGCStallBound predicts the per-victim stall of inline whole-victim
+// collection: in the worst case every page of the victim is relocated
+// (pages-per-victim times the relocation cost) and the victim is erased.
+// Unlike the incremental bound this is per victim, not per write — an inline
+// write whose collection consumes enough free blocks to stay at the reserve
+// reclaims several victims back to back, and metadata-aware configurations
+// additionally erase every fully-invalid metadata block in the same write —
+// so measured inline stalls can exceed it. That gap is exactly what the
+// incremental scheduler removes.
+func InlineGCStallBound(lat flash.Latency, pagesPerBlock int) time.Duration {
+	if pagesPerBlock < 1 {
+		pagesPerBlock = 1
+	}
+	return time.Duration(pagesPerBlock)*(lat.SpareRead+lat.PageRead+lat.PageWrite) + lat.Erase
+}

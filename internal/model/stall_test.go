@@ -1,0 +1,41 @@
+package model
+
+import (
+	"testing"
+	"time"
+
+	"geckoftl/internal/flash"
+)
+
+func TestGCStallStep(t *testing.T) {
+	lat := flash.DefaultLatency()
+	// At the paper's defaults the erase (2ms) dominates a relocation
+	// (3us + 100us + 1ms).
+	if got := GCStallStep(lat); got != lat.Erase {
+		t.Fatalf("GCStallStep = %v, want erase latency %v", got, lat.Erase)
+	}
+	// With a cheap erase the relocation dominates.
+	lat.Erase = time.Microsecond
+	want := lat.SpareRead + lat.PageRead + lat.PageWrite
+	if got := GCStallStep(lat); got != want {
+		t.Fatalf("GCStallStep = %v, want relocation cost %v", got, want)
+	}
+}
+
+func TestStallBoundsScale(t *testing.T) {
+	lat := flash.DefaultLatency()
+	if b1, b4 := IncrementalGCStallBound(lat, 1), IncrementalGCStallBound(lat, 4); b4 != 4*b1 {
+		t.Fatalf("incremental bound not linear in the budget: %v vs %v", b1, b4)
+	}
+	if IncrementalGCStallBound(lat, 0) != IncrementalGCStallBound(lat, 1) {
+		t.Fatal("non-positive budget should clamp to one step")
+	}
+	// The incremental bound at the default budget must undercut the inline
+	// per-victim bound for any realistic block size, otherwise the scheduler
+	// buys nothing.
+	inline := InlineGCStallBound(lat, 32)
+	incremental := IncrementalGCStallBound(lat, 4)
+	if incremental >= inline {
+		t.Fatalf("incremental bound %v not below inline per-victim bound %v", incremental, inline)
+	}
+}

@@ -1,0 +1,22 @@
+// Package sim is the experiment harness that reproduces the evaluation
+// section of the GeckoFTL paper and the engine-scaling experiments that go
+// beyond it. It runs FTLs (or Logarithmic Gecko and the PVB baselines in
+// isolation) against workload generators on the simulated device, collects
+// per-purpose IO breakdowns, and exposes one driver per table and figure of
+// the paper. The cmd/geckobench tool and the module-level benchmarks print
+// the drivers' results.
+//
+// Three sweep drivers extend the paper to the multi-channel engine:
+//
+//   - ChannelSweep measures how the sharded engine's write throughput scales
+//     with the channel count.
+//   - RecoverySweep crashes the engine and measures how parallel per-shard
+//     recovery scales with channels, checkpoint interval and capacity.
+//   - LatencySweep records per-write service-time distributions (p50 through
+//     p99.9 and max) and compares inline whole-victim garbage collection
+//     against the incremental bounded scheduler across victim policies and
+//     workloads.
+//
+// All sweep results are deterministic: time is the device's simulated
+// latency model, never the host clock.
+package sim

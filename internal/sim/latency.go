@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"geckoftl/internal/ftl"
+	"geckoftl/internal/model"
+	"geckoftl/internal/stats"
+	"geckoftl/internal/workload"
+)
+
+// LatencyPoint is one row of the latency sweep: the sharded GeckoFTL engine
+// run under one workload with one victim policy and one GC scheduling mode,
+// reporting the measured window's write-latency distribution next to the
+// analytic worst-case-stall bound.
+type LatencyPoint struct {
+	// Workload, Policy and GCMode name the configuration of this point.
+	Workload, Policy, GCMode string
+	// GCPagesPerWrite is the incremental step budget (also reported for
+	// inline points, where it is ignored by the FTL).
+	GCPagesPerWrite int
+	// Channels is the engine width.
+	Channels int
+	// Writes is the number of logical writes in the measured window.
+	Writes int64
+	// WA is the measured write-amplification of the window; incremental
+	// scheduling must not buy latency with extra IO, so the sweep's
+	// acceptance bar keeps it within 5% of the inline mode.
+	WA float64
+	// Write is the per-write service-time distribution (queueing behind the
+	// die included, see ftl.EngineStats).
+	Write stats.Summary
+	// GCStalledWrites is the service-time distribution of writes that
+	// performed garbage-collection work.
+	GCStalledWrites stats.Summary
+	// MaxGCStall is the largest GC stall any single write absorbed.
+	MaxGCStall time.Duration
+	// ModelStallBound is the analytic worst-case stall: per write under
+	// incremental scheduling (model.IncrementalGCStallBound, a hard bound),
+	// per victim under inline scheduling (model.InlineGCStallBound, which
+	// measured inline stalls may exceed when one write reclaims several
+	// victims).
+	ModelStallBound time.Duration
+	// GCFallbacks counts writes on which the incremental collector broke its
+	// budget by falling back to inline reclaim; zero for a healthy
+	// configuration, and always zero for inline points.
+	GCFallbacks int64
+}
+
+// LatencySweepOptions parameterizes LatencySweep.
+type LatencySweepOptions struct {
+	// Scale sizes the device, cache budget and measured window. As in
+	// ChannelSweep, the device and cache grow until every shard stays
+	// workable, and the grown values apply to every point.
+	Scale ExperimentScale
+	// Channels is the engine width of every point (the sweep varies GC
+	// behaviour, not topology). Zero means 2.
+	Channels int
+	// BatchSize is the number of writes dispatched per engine batch: the
+	// queue depth the host keeps, and therefore how much queueing behind
+	// earlier batchmates the recorded latencies include. Zero means 2 per
+	// die, a shallow queue that keeps the tail dominated by GC stalls rather
+	// than queueing noise.
+	BatchSize int
+	// Workloads lists the write patterns. Empty means uniform, zipfian,
+	// hotcold.
+	Workloads []string
+	// Policies lists the victim policies. Empty means metadata-aware and
+	// greedy.
+	Policies []ftl.VictimPolicy
+	// Modes lists the GC scheduling modes. Empty means inline and
+	// incremental.
+	Modes []ftl.GCMode
+	// GCPagesPerWrite is the incremental step budget. Zero means
+	// ftl.DefaultGCPagesPerWrite.
+	GCPagesPerWrite int
+}
+
+// LatencySweep measures per-write tail latency of the sharded GeckoFTL
+// engine across {GC mode} x {victim policy} x {workload}. Every point runs
+// the same measured window after a two-full-overwrite warm-up, so the
+// distributions reflect steady-state garbage collection. The headline
+// comparison is inline versus incremental scheduling: incremental mode must
+// cut the p99.9 write latency (the GC stall moves out of the tail) while
+// keeping write-amplification within 5%, and its measured worst-case stall
+// must stay within the analytic bound.
+func LatencySweep(opts LatencySweepOptions) ([]LatencyPoint, error) {
+	if opts.Scale.MeasureWrites <= 0 {
+		return nil, fmt.Errorf("sim: measure writes %d must be positive", opts.Scale.MeasureWrites)
+	}
+	channels := opts.Channels
+	if channels <= 0 {
+		channels = 2
+	}
+	workloads := opts.Workloads
+	if len(workloads) == 0 {
+		workloads = []string{"uniform", "zipfian", "hotcold"}
+	}
+	policies := opts.Policies
+	if len(policies) == 0 {
+		policies = []ftl.VictimPolicy{ftl.VictimMetadataAware, ftl.VictimGreedy}
+	}
+	modes := opts.Modes
+	if len(modes) == 0 {
+		modes = []ftl.GCMode{ftl.GCInline, ftl.GCIncremental}
+	}
+	// Grow the device and cache once so every shard stays workable; the
+	// grown geometry applies to every point (see ChannelSweep).
+	if min := MinSweepShardBlocks * channels; opts.Scale.Device.Blocks < min {
+		opts.Scale.Device.Blocks = min
+	}
+	if min := minSweepShardCache * channels; opts.Scale.CacheEntries < min {
+		opts.Scale.CacheEntries = min
+	}
+
+	var points []LatencyPoint
+	for _, wl := range workloads {
+		for _, policy := range policies {
+			for _, mode := range modes {
+				p, err := latencyPoint(opts, channels, wl, policy, mode)
+				if err != nil {
+					return nil, fmt.Errorf("sim: latency sweep (%s, %v, %v): %w", wl, policy, mode, err)
+				}
+				points = append(points, p)
+			}
+		}
+	}
+	return points, nil
+}
+
+// latencyPoint measures one configuration.
+func latencyPoint(opts LatencySweepOptions, channels int, wl string, policy ftl.VictimPolicy, mode ftl.GCMode) (LatencyPoint, error) {
+	scale := opts.Scale
+	spec := scale.Device
+	spec.Channels = channels
+	dev, err := spec.NewDevice()
+	if err != nil {
+		return LatencyPoint{}, err
+	}
+	cfg := dev.Config()
+
+	ftlOpts := ftl.GeckoFTLOptions(scale.CacheEntries / channels)
+	ftlOpts.VictimPolicy = policy
+	ftlOpts.GCMode = mode
+	ftlOpts.GCPagesPerWrite = opts.GCPagesPerWrite
+	eng, err := ftl.NewEngine(dev, ftlOpts, 0)
+	if err != nil {
+		return LatencyPoint{}, err
+	}
+	gen, err := workload.ByName(wl, eng.LogicalPages(), scale.Seed)
+	if err != nil {
+		return LatencyPoint{}, err
+	}
+	batchSize := opts.BatchSize
+	if batchSize <= 0 {
+		batchSize = 2 * cfg.Dies()
+	}
+
+	pump := func(writes int64) error {
+		var done int64
+		for done < writes {
+			_, targets := workload.SplitBatch(workload.TakeBatch(gen, batchSize))
+			if len(targets) == 0 {
+				continue
+			}
+			if err := eng.WriteBatch(targets); err != nil {
+				return err
+			}
+			done += int64(len(targets))
+		}
+		return nil
+	}
+
+	if err := pump(2 * eng.LogicalPages()); err != nil {
+		return LatencyPoint{}, fmt.Errorf("warm-up: %w", err)
+	}
+	eng.ResetLatencyStats()
+	countersBefore := dev.Counters()
+	statsBefore := eng.Stats()
+	if err := pump(scale.MeasureWrites); err != nil {
+		return LatencyPoint{}, fmt.Errorf("measurement: %w", err)
+	}
+
+	es := eng.LatencyStats()
+	after := eng.Stats()
+	writes := after.LogicalWrites - statsBefore.LogicalWrites
+	delta := cfg.Latency.WriteReadRatio()
+	p := LatencyPoint{
+		Workload:        wl,
+		Policy:          policy.String(),
+		GCMode:          mode.String(),
+		GCPagesPerWrite: eng.Shard(0).Options().GCPagesPerWrite,
+		Channels:        channels,
+		Writes:          writes,
+		WA:              dev.Counters().Sub(countersBefore).WriteAmplification(writes, delta),
+		Write:           es.Writes,
+		GCStalledWrites: es.GCStalledWrites,
+		MaxGCStall:      es.MaxGCStall,
+		GCFallbacks:     after.GCFallbacks - statsBefore.GCFallbacks,
+	}
+	if mode == ftl.GCIncremental {
+		p.ModelStallBound = model.IncrementalGCStallBound(cfg.Latency, p.GCPagesPerWrite)
+	} else {
+		p.ModelStallBound = model.InlineGCStallBound(cfg.Latency, cfg.PagesPerBlock)
+	}
+	return p, nil
+}

@@ -1,9 +1,3 @@
-// Package sim is the experiment harness that reproduces the evaluation
-// section of the GeckoFTL paper. It runs FTLs (or Logarithmic Gecko and the
-// PVB baselines in isolation) against workload generators on the simulated
-// device, collects per-purpose IO breakdowns, and exposes one driver per
-// table and figure of the paper. The cmd/geckobench tool and the module-level
-// benchmarks print the drivers' results.
 package sim
 
 import (

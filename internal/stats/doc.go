@@ -1,0 +1,13 @@
+// Package stats provides the streaming latency histograms behind the
+// engine's per-operation tail-latency instrumentation.
+//
+// The GeckoFTL paper argues for *sustained, predictable* performance:
+// metadata-aware garbage collection exists precisely to avoid pathological
+// stalls, so the interesting metric is not mean throughput but the shape of
+// the latency distribution — p50 through p99.9 and the worst case. A
+// Histogram records simulated per-operation service times into
+// logarithmically spaced buckets (bounded relative error, constant memory,
+// no sample retention) and histograms from independent engine shards merge
+// exactly, which is what lets the sharded ftl.Engine aggregate a device-wide
+// distribution without sharing any mutable state between shards.
+package stats

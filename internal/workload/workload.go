@@ -1,12 +1,3 @@
-// Package workload generates the logical-page access streams that drive the
-// FTL simulations.
-//
-// The paper's evaluation uses uniformly random page updates as its
-// adversarial workload (it minimizes the amount of buffering Logarithmic
-// Gecko can exploit). This package additionally provides sequential, Zipfian,
-// hot/cold and mixed read/write generators, plus a trace replayer, so that
-// the example applications and the ablation benchmarks can explore other
-// regimes.
 package workload
 
 import (
