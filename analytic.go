@@ -1,0 +1,78 @@
+package geckoftl
+
+import (
+	"geckoftl/internal/gecko"
+	"geckoftl/internal/model"
+)
+
+// The analytical models of the paper (RAM and recovery-time breakdowns at
+// arbitrary device capacities, Logarithmic Gecko's tuning math), re-exported
+// for cmd/ramcalc and the tuning example.
+
+// ModelParameters are the analytical models' inputs: device geometry, cache
+// budget and latency constants at an arbitrary capacity.
+type ModelParameters = model.Parameters
+
+// DefaultModelParameters returns the paper's full-scale 2 TB parameters.
+func DefaultModelParameters() ModelParameters { return model.Default() }
+
+// FTLKind names one of the paper's five FTLs in the analytical models.
+type FTLKind = model.FTLKind
+
+// The analytical models' FTL kinds.
+const (
+	ModelDFTL     = model.DFTL
+	ModelLazyFTL  = model.LazyFTL
+	ModelMuFTL    = model.MuFTL
+	ModelIBFTL    = model.IBFTL
+	ModelGeckoFTL = model.GeckoFTL
+)
+
+// Breakdowns and rows of the analytical figures.
+type (
+	RAMBreakdown      = model.RAMBreakdown
+	RecoveryBreakdown = model.RecoveryBreakdown
+	CapacityPoint     = model.CapacityPoint
+	Table1Row         = model.Table1Row
+)
+
+// RAMAll returns the integrated-RAM breakdown of every FTL at the given
+// parameters (Figure 13 top).
+func RAMAll(p ModelParameters) []RAMBreakdown { return model.RAMAll(p) }
+
+// RecoveryAll returns the recovery-time breakdown of every FTL (Figure 13
+// middle).
+func RecoveryAll(p ModelParameters) []RecoveryBreakdown { return model.RecoveryAll(p) }
+
+// RAMReductionVsPVB returns the fractional page-validity RAM reduction of
+// the given FTL versus a RAM-resident PVB.
+func RAMReductionVsPVB(kind FTLKind, p ModelParameters) float64 {
+	return model.RAMReductionVsPVB(kind, p)
+}
+
+// RecoveryReductionVsLazyFTL returns the fractional recovery-time reduction
+// of the given FTL versus LazyFTL.
+func RecoveryReductionVsLazyFTL(kind FTLKind, p ModelParameters) float64 {
+	return model.RecoveryReductionVsLazyFTL(kind, p)
+}
+
+// GeckoConfig is Logarithmic Gecko's configuration: the size ratio T, the
+// entry-partitioning factor S, and the geometry they index. Its methods
+// expose the analytical cost model of Sections 3 and 5.
+type GeckoConfig = gecko.Config
+
+// GeckoCostModel is the amortized per-operation cost of a page-validity
+// scheme (Table 1's columns).
+type GeckoCostModel = gecko.CostModel
+
+// DefaultGeckoConfig returns Logarithmic Gecko's default configuration for
+// the given geometry.
+func DefaultGeckoConfig(blocks, pagesPerBlock, pageSize int) GeckoConfig {
+	return gecko.DefaultConfig(blocks, pagesPerBlock, pageSize)
+}
+
+// OptimalGeckoSizeRatio searches size ratios 2..maxT for the one minimizing
+// Logarithmic Gecko's write-amplification in the given workload regime.
+func OptimalGeckoSizeRatio(cfg GeckoConfig, gcPerWrite, delta float64, maxT int) int {
+	return gecko.OptimalSizeRatio(cfg, gcPerWrite, delta, maxT)
+}

@@ -6,19 +6,19 @@
 //
 //	ftlsim -ftl gecko -workload uniform -writes 50000
 //	ftlsim -ftl lazy -workload zipfian -skew 1.3 -crash
+//	ftlsim -ftl gecko -workload uniform -trims 0.2
 //	ftlsim -ftl all -blocks 512
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
-	"geckoftl/internal/ftl"
-	"geckoftl/internal/sim"
-	"geckoftl/internal/workload"
+	"geckoftl"
 )
 
 func main() {
@@ -33,16 +33,17 @@ func main() {
 		cache     = flag.Int("cache", 1024, "LRU cache capacity in mapping entries")
 		skew      = flag.Float64("skew", 1.2, "zipfian skew")
 		readRatio = flag.Float64("reads", 0.3, "read fraction for the mixed workload")
+		trimFrac  = flag.Float64("trims", 0, "host trim fraction interleaved with the workload [0,1)")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		crash     = flag.Bool("crash", false, "power-fail after the run and measure recovery")
 	)
 	flag.Parse()
 
-	device := sim.DeviceSpec{Blocks: *blocks, PagesPerBlock: *pages, PageSize: *pageSize, OverProvision: *overProv}
-	// Bad flag values (workload name, skew, read ratio, geometry) are usage
-	// errors: report them with the flag reference instead of a failure (or,
-	// worse, the panic backtrace earlier versions produced) mid-run.
-	if _, err := generator(*wlName, int64(device.Config().LogicalPages()), *skew, *readRatio, *seed); err != nil {
+	device := geckoftl.DeviceSpec{Blocks: *blocks, PagesPerBlock: *pages, PageSize: *pageSize, OverProvision: *overProv}
+	// Bad flag values (workload name, skew, read ratio, trim fraction,
+	// geometry) are usage errors: report them with the flag reference
+	// instead of a failure mid-run.
+	if _, err := generator(*wlName, 1024, *skew, *readRatio, *trimFrac, *seed); err != nil {
 		usageExit(err)
 	}
 	names := []string{*ftlName}
@@ -50,12 +51,12 @@ func main() {
 		names = []string{"gecko", "dftl", "lazy", "mu", "ib"}
 	}
 	for _, name := range names {
-		if _, err := options(name, *cache); err != nil {
+		if _, err := geckoftl.FTLOptionsByName(strings.ToLower(name), *cache); err != nil {
 			usageExit(err)
 		}
 	}
 	for _, name := range names {
-		if err := runOne(name, device, *wlName, *writes, *cache, *skew, *readRatio, *seed, *crash); err != nil {
+		if err := runOne(name, device, *wlName, *writes, *cache, *skew, *readRatio, *trimFrac, *seed, *crash); err != nil {
 			fmt.Fprintf(os.Stderr, "ftlsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -70,119 +71,117 @@ func usageExit(err error) {
 	os.Exit(2)
 }
 
-func options(name string, cache int) (ftl.Options, error) {
-	switch strings.ToLower(name) {
-	case "gecko", "geckoftl":
-		return ftl.GeckoFTLOptions(cache), nil
-	case "dftl":
-		return ftl.DFTLOptions(cache), nil
-	case "lazy", "lazyftl":
-		return ftl.LazyFTLOptions(cache), nil
-	case "mu", "uftl", "mu-ftl":
-		return ftl.MuFTLOptions(cache), nil
-	case "ib", "ibftl", "ib-ftl":
-		return ftl.IBFTLOptions(cache), nil
-	default:
-		return ftl.Options{}, fmt.Errorf("unknown FTL %q", name)
-	}
-}
-
-func generator(name string, logicalPages int64, skew, readRatio float64, seed int64) (workload.Generator, error) {
+func generator(name string, logicalPages int64, skew, readRatio, trimFrac float64, seed int64) (geckoftl.Workload, error) {
+	var gen geckoftl.Workload
+	var err error
 	switch strings.ToLower(name) {
 	case "uniform":
-		return workload.NewUniform(logicalPages, seed)
+		gen, err = geckoftl.NewUniform(logicalPages, seed)
 	case "sequential":
-		return workload.NewSequential(logicalPages)
+		gen, err = geckoftl.NewSequential(logicalPages)
 	case "zipfian":
-		return workload.NewZipfian(logicalPages, skew, seed)
+		gen, err = geckoftl.NewZipfian(logicalPages, skew, seed)
 	case "hotcold":
-		return workload.NewHotCold(logicalPages, 0.2, 0.8, seed)
+		gen, err = geckoftl.NewHotCold(logicalPages, 0.2, 0.8, seed)
 	case "mixed":
-		writes, err := workload.NewUniform(logicalPages, seed)
-		if err != nil {
-			return nil, err
+		var writes geckoftl.Workload
+		writes, err = geckoftl.NewUniform(logicalPages, seed)
+		if err == nil {
+			gen, err = geckoftl.NewMixed(writes, logicalPages, readRatio, seed+1)
 		}
-		return workload.NewMixed(writes, logicalPages, readRatio, seed+1)
 	default:
 		return nil, fmt.Errorf("unknown workload %q (want uniform, sequential, zipfian, hotcold or mixed)", name)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if trimFrac > 0 {
+		return geckoftl.NewTrimming(gen, logicalPages, trimFrac, seed+2)
+	}
+	if trimFrac < 0 {
+		return nil, fmt.Errorf("trim fraction %g must be in [0,1)", trimFrac)
+	}
+	return gen, nil
 }
 
-func runOne(name string, device sim.DeviceSpec, wlName string, writes int64, cache int, skew, readRatio float64, seed int64, crash bool) error {
-	opts, err := options(name, cache)
+func runOne(name string, device geckoftl.DeviceSpec, wlName string, writes int64, cache int, skew, readRatio, trimFrac float64, seed int64, crash bool) error {
+	opts, err := geckoftl.FTLOptionsByName(strings.ToLower(name), cache)
 	if err != nil {
 		return err
 	}
-	logical := int64(device.Config().LogicalPages())
-	gen, err := generator(wlName, logical, skew, readRatio, seed)
+	ctx := context.Background()
+	dev, err := geckoftl.Open(
+		geckoftl.WithGeometry(device.Blocks, device.PagesPerBlock, device.PageSize),
+		geckoftl.WithOverProvision(device.OverProvision),
+		geckoftl.WithFTLOptions(opts),
+	)
 	if err != nil {
 		return err
 	}
-	result, err := sim.Run(sim.RunOptions{
-		Device:        device,
-		FTLOptions:    opts,
-		Workload:      gen,
-		MeasureWrites: writes,
-	})
+	gen, err := generator(wlName, dev.LogicalPages(), skew, readRatio, trimFrac, seed)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s on %s workload, %d writes:\n", result.Name, wlName, writes)
+
+	// Warm up with two full overwrites so the measured window reflects
+	// steady-state garbage collection, then measure.
+	if err := drive(ctx, dev, gen, 2*dev.LogicalPages()); err != nil {
+		return fmt.Errorf("warm-up: %w", err)
+	}
+	dev.ResetStats()
+	if err := drive(ctx, dev, gen, writes); err != nil {
+		return fmt.Errorf("measurement: %w", err)
+	}
+
+	snap := dev.Snapshot()
+	fmt.Printf("%s on %s workload, %d writes:\n", dev.Geometry().FTL, gen.Name(), snap.WindowWrites)
 	fmt.Printf("  write-amplification: %.3f (user %.3f, translation %.3f, page-validity %.3f)\n",
-		result.WA, result.UserWA, result.TranslationWA, result.ValidityWA)
-	fmt.Printf("  integrated RAM:      %d bytes\n", result.RAMBytes)
-	fmt.Printf("  GC operations:       %d\n", result.GCOperations)
-	fmt.Printf("  simulated time:      %s\n", result.SimulatedTime.Round(time.Millisecond))
+		snap.WriteAmplification, snap.UserWA, snap.TranslationWA, snap.ValidityWA)
+	if snap.Ops.Trims > 0 {
+		fmt.Printf("  trims served:        %d (%d before-images invalidated)\n", snap.Ops.Trims, snap.Ops.TrimmedPages)
+	}
+	fmt.Printf("  integrated RAM:      %d bytes\n", snap.RAMBytes)
+	fmt.Printf("  GC operations:       %d\n", snap.GC.Collections)
+	fmt.Printf("  simulated time:      %s\n", snap.SimulatedTime.Round(time.Millisecond))
 
 	if crash {
-		if err := runCrash(name, device, wlName, writes, cache, skew, readRatio, seed); err != nil {
+		if err := dev.PowerFail(); err != nil {
 			return err
 		}
+		report, err := dev.Recover(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  power-failure recovery: %s (%d spare reads, %d page reads, %d page writes, %d entries recreated, battery=%v)\n",
+			report.WallClock.Round(time.Microsecond), report.SpareReads, report.PageReads, report.PageWrites,
+			report.RecoveredMappingEntries, report.UsedBattery)
 	}
 	fmt.Println()
-	return nil
+	return dev.Close(ctx)
 }
 
-// runCrash repeats the workload on a fresh device, power-fails mid-stream and
-// reports the recovery cost.
-func runCrash(name string, device sim.DeviceSpec, wlName string, writes int64, cache int, skew, readRatio float64, seed int64) error {
-	opts, err := options(name, cache)
-	if err != nil {
-		return err
-	}
-	dev, err := device.NewDevice()
-	if err != nil {
-		return err
-	}
-	f, err := ftl.New(dev, opts)
-	if err != nil {
-		return err
-	}
-	gen, err := generator(wlName, f.LogicalPages(), skew, readRatio, seed)
-	if err != nil {
-		return err
-	}
-	for i := int64(0); i < writes; i++ {
+// drive pushes operations from the generator into the device until n writes
+// have been served (reads and trims ride along without counting, matching
+// the paper's write-only accounting).
+func drive(ctx context.Context, dev *geckoftl.Device, gen geckoftl.Workload, n int64) error {
+	var done int64
+	for done < n {
 		op := gen.Next()
-		if op.Kind == workload.OpRead {
-			if err := f.Read(op.Page); err != nil {
+		switch op.Kind {
+		case geckoftl.OpRead:
+			if err := dev.Read(ctx, op.Page); err != nil {
 				return err
 			}
-			continue
+		case geckoftl.OpTrim:
+			if err := dev.TrimBatch(ctx, []geckoftl.LPN{op.Page}); err != nil {
+				return err
+			}
+		default:
+			if err := dev.Write(ctx, op.Page); err != nil {
+				return err
+			}
+			done++
 		}
-		if err := f.Write(op.Page); err != nil {
-			return err
-		}
 	}
-	if err := f.PowerFail(); err != nil {
-		return err
-	}
-	report, err := f.Recover()
-	if err != nil {
-		return err
-	}
-	fmt.Printf("  power-failure recovery: %s (%d spare reads, %d page reads, %d page writes, %d entries recreated, battery=%v)\n",
-		report.Duration.Round(time.Microsecond), report.SpareReads, report.PageReads, report.PageWrites,
-		report.RecoveredMappingEntries, report.UsedBattery)
 	return nil
 }

@@ -10,19 +10,23 @@
 //	geckobench -experiment recovery -quick
 //	geckobench -experiment recovery -json
 //	geckobench -experiment latency -gc-pages 4 -policy metadata-aware
+//	geckobench -experiment trim -trim-fractions 0,0.1,0.2,0.3 -json
 //	geckobench -experiment summary
 //
 // Experiments: fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec,
-// fig13wa, fig14, recovery, recovery-sweep, channels, latency, summary, all.
+// fig13wa, fig14, recovery, recovery-sweep, channels, latency, trim,
+// summary, all.
 //
-// Three experiments go beyond the paper: channels sweeps the device's
+// Four experiments go beyond the paper: channels sweeps the device's
 // channel count and reports how the sharded engine's write throughput
 // scales; recovery-sweep (also run by -experiment recovery) crashes the
 // sharded engine and measures how recovery wall-clock scales with channel
-// count, checkpoint interval and device capacity; and latency records
+// count, checkpoint interval and device capacity; latency records
 // per-write service-time distributions (p50..p99.9, max) and compares
 // inline whole-victim garbage collection against the incremental bounded
-// scheduler across victim policies and workloads (see docs/benchmarks.md).
+// scheduler across victim policies and workloads; and trim interleaves
+// host trims at increasing fractions and shows write-amplification falling
+// monotonically (see docs/benchmarks.md).
 //
 // With -json, each experiment emits one JSON object per line of the form
 // {"experiment": name, "rows": [...]}, so benchmark trajectories can be
@@ -38,15 +42,12 @@ import (
 	"strings"
 	"time"
 
-	"geckoftl/internal/ftl"
-	"geckoftl/internal/model"
-	"geckoftl/internal/sim"
-	"geckoftl/internal/workload"
+	"geckoftl"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec, fig13wa, fig14, recovery, recovery-sweep, channels, latency, summary, all)")
+		experiment = flag.String("experiment", "all", "experiment to run (fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec, fig13wa, fig14, recovery, recovery-sweep, channels, latency, trim, summary, all)")
 		writes     = flag.Int64("writes", 0, "measured logical writes per simulation (0 = default)")
 		blocks     = flag.Int("blocks", 0, "simulated device blocks (0 = default)")
 		quick      = flag.Bool("quick", false, "use the small test-sized scale")
@@ -57,6 +58,7 @@ func main() {
 		gcModes    = flag.String("gc-mode", "both", "GC scheduling modes for the latency experiment: inline, incremental, or both")
 		policies   = flag.String("policy", "both", "victim policies for the latency experiment: greedy, metadata-aware, or both")
 		gcPages    = flag.Int("gc-pages", 0, "incremental GC step budget per write for the latency experiment (0 = default)")
+		trimFracs  = flag.String("trim-fractions", "0,0.1,0.2,0.3", "trim fractions for the trim experiment")
 	)
 	flag.Parse()
 	sweep, err := parseSweep(*sweepList)
@@ -65,7 +67,7 @@ func main() {
 	}
 	// Validate the workload name up front so a typo is a usage error, not a
 	// mid-run failure after minutes of simulation.
-	if _, err := workload.ByName(*sweepWL, 1024, 1); err != nil {
+	if _, err := geckoftl.WorkloadByName(*sweepWL, 1024, 1); err != nil {
 		usageExit(err)
 	}
 	modes, err := parseGCModes(*gcModes)
@@ -79,14 +81,19 @@ func main() {
 	if *gcPages < 0 {
 		usageExit(fmt.Errorf("-gc-pages %d must be >= 0", *gcPages))
 	}
-	sweepOpts = sim.ChannelSweepOptions{Channels: sweep, Workload: *sweepWL}
+	fractions, err := parseFractions(*trimFracs)
+	if err != nil {
+		usageExit(err)
+	}
+	sweepOpts = geckoftl.ChannelSweepOptions{Channels: sweep, Workload: *sweepWL}
 	sweepDies = *dies
 	jsonMode = *jsonOut
-	latencyOpts = sim.LatencySweepOptions{Modes: modes, Policies: pols, GCPagesPerWrite: *gcPages}
+	latencyOpts = geckoftl.LatencySweepOptions{Modes: modes, Policies: pols, GCPagesPerWrite: *gcPages}
+	trimOpts = geckoftl.TrimSweepOptions{Workload: *sweepWL, TrimFractions: fractions}
 
-	scale := sim.FullScale()
+	scale := geckoftl.FullScale()
 	if *quick {
-		scale = sim.QuickScale()
+		scale = geckoftl.QuickScale()
 	}
 	if *writes > 0 {
 		scale.MeasureWrites = *writes
@@ -134,7 +141,7 @@ type experimentSpec struct {
 	// group optionally names a selector that also runs this experiment
 	// (recovery-sweep runs under "recovery").
 	group string
-	rows  func(sim.ExperimentScale) (any, error)
+	rows  func(geckoftl.ExperimentScale) (any, error)
 	print func(any)
 }
 
@@ -154,11 +161,12 @@ func experiments() []experimentSpec {
 		{name: "recovery-sweep", group: "recovery", rows: recoverySweepRows, print: printRecoverySweep},
 		{name: "channels", rows: channelSweepRows, print: printChannelSweep},
 		{name: "latency", rows: latencySweepRows, print: printLatencySweep},
+		{name: "trim", rows: trimSweepRows, print: printTrimSweep},
 		{name: "summary", rows: summaryRows, print: printSummary},
 	}
 }
 
-func run(experiment string, scale sim.ExperimentScale) error {
+func run(experiment string, scale geckoftl.ExperimentScale) error {
 	all := experiment == "all"
 	ran := false
 	enc := json.NewEncoder(os.Stdout)
@@ -189,44 +197,44 @@ func run(experiment string, scale sim.ExperimentScale) error {
 	return nil
 }
 
-func figure1Rows(sim.ExperimentScale) (any, error) { return sim.Figure1(), nil }
+func figure1Rows(geckoftl.ExperimentScale) (any, error) { return geckoftl.Figure1(), nil }
 
 func printFigure1(rows any) {
 	fmt.Println("Figure 1: LazyFTL integrated RAM and recovery time vs device capacity (analytical, full scale)")
 	fmt.Printf("%-12s %16s %16s\n", "capacity", "RAM (MB)", "recovery (s)")
-	for _, p := range rows.([]model.CapacityPoint) {
+	for _, p := range rows.([]geckoftl.CapacityPoint) {
 		fmt.Printf("%-12s %16.1f %16.1f\n",
 			formatBytes(p.CapacityBytes), float64(p.RAMBytes)/(1<<20), p.Recovery.Seconds())
 	}
 }
 
-func table1Rows(sim.ExperimentScale) (any, error) { return sim.Table1(), nil }
+func table1Rows(geckoftl.ExperimentScale) (any, error) { return geckoftl.Table1(), nil }
 
 func printTable1(rows any) {
 	fmt.Println("Table 1: per-operation IO costs and RAM of page-validity schemes (analytical, full scale)")
 	fmt.Printf("%-20s %14s %14s %12s %12s %14s\n", "technique", "update reads", "update writes", "GC reads", "GC writes", "RAM")
-	for _, r := range rows.([]model.Table1Row) {
+	for _, r := range rows.([]geckoftl.Table1Row) {
 		fmt.Printf("%-20s %14.5f %14.5f %12.3f %12.5f %14s\n",
 			r.Technique, r.UpdateReads, r.UpdateWrites, r.QueryReads, r.QueryWrites, formatBytes(r.RAMBytes))
 	}
 }
 
-func figure9Rows(scale sim.ExperimentScale) (any, error) { return sim.Figure9(scale) }
+func figure9Rows(scale geckoftl.ExperimentScale) (any, error) { return geckoftl.Figure9(scale) }
 
 func printFigure9(rows any) {
 	fmt.Println("Figure 9: Logarithmic Gecko vs flash-resident PVB under uniform random updates (simulation)")
 	fmt.Printf("%-16s %12s %12s %12s %10s\n", "scheme", "flash reads", "flash writes", "WA", "GC queries")
-	for _, r := range rows.([]sim.Figure9Row) {
+	for _, r := range rows.([]geckoftl.Figure9Row) {
 		fmt.Printf("%-16s %12d %12d %12.4f %10d\n", r.Name, r.FlashReads, r.FlashWrites, r.WA, r.GCQueries)
 	}
 }
 
-func figure10Rows(scale sim.ExperimentScale) (any, error) { return sim.Figure10(scale) }
+func figure10Rows(scale geckoftl.ExperimentScale) (any, error) { return geckoftl.Figure10(scale) }
 
 func printFigure10(rows any) {
 	fmt.Println("Figure 10: entry-partitioning makes write-amplification independent of block size (simulation)")
 	fmt.Printf("%-10s %22s %12s\n", "block size", "partitioning", "WA")
-	for _, r := range rows.([]sim.Figure10Row) {
+	for _, r := range rows.([]geckoftl.Figure10Row) {
 		label := fmt.Sprintf("S=%d", r.PartitionFactor)
 		if r.PartitionFactor == -1 {
 			label = "recommended"
@@ -235,98 +243,102 @@ func printFigure10(rows any) {
 	}
 }
 
-func figure11Rows(scale sim.ExperimentScale) (any, error) { return sim.Figure11(scale) }
+func figure11Rows(scale geckoftl.ExperimentScale) (any, error) { return geckoftl.Figure11(scale) }
 
 func printFigure11(rows any) {
 	fmt.Println("Figure 11: write-amplification vs number of blocks K (simulation)")
 	fmt.Printf("%-10s %16s %16s\n", "blocks", "gecko WA", "flash-PVB WA")
-	for _, r := range rows.([]sim.Figure11Row) {
+	for _, r := range rows.([]geckoftl.Figure11Row) {
 		fmt.Printf("%-10d %16.4f %16.4f\n", r.Blocks, r.GeckoWA, r.PVBWA)
 	}
 }
 
-func figure12Rows(scale sim.ExperimentScale) (any, error) { return sim.Figure12(scale) }
+func figure12Rows(scale geckoftl.ExperimentScale) (any, error) { return geckoftl.Figure12(scale) }
 
 func printFigure12(rows any) {
 	fmt.Println("Figure 12: over-provisioning vs Logarithmic Gecko IO (simulation)")
 	fmt.Printf("%-6s %12s %12s %12s\n", "R", "WA", "GC queries", "flash reads")
-	for _, r := range rows.([]sim.Figure12Row) {
+	for _, r := range rows.([]geckoftl.Figure12Row) {
 		fmt.Printf("%-6.2f %12.4f %12d %12d\n", r.OverProvision, r.WA, r.GCQueries, r.FlashReads)
 	}
 }
 
-func figure13RAMRows(sim.ExperimentScale) (any, error) { return sim.Figure13RAM(), nil }
+func figure13RAMRows(geckoftl.ExperimentScale) (any, error) { return geckoftl.Figure13RAM(), nil }
 
 func printFigure13RAM(rows any) {
 	fmt.Println("Figure 13 (top): integrated RAM breakdown per FTL (analytical, full scale)")
 	fmt.Printf("%-10s %12s %12s %12s %12s %14s %12s\n", "ftl", "cache", "GMD", "PVB", "BVC", "page-validity", "total")
-	for _, b := range rows.([]model.RAMBreakdown) {
+	for _, b := range rows.([]geckoftl.RAMBreakdown) {
 		fmt.Printf("%-10s %12s %12s %12s %12s %14s %12s\n",
 			b.FTL, formatBytes(b.Cache), formatBytes(b.GMD), formatBytes(b.PVB),
 			formatBytes(b.BVC), formatBytes(b.PageValidity), formatBytes(b.Total()))
 	}
 }
 
-func figure13RecoveryRows(sim.ExperimentScale) (any, error) { return sim.Figure13Recovery(), nil }
+func figure13RecoveryRows(geckoftl.ExperimentScale) (any, error) {
+	return geckoftl.Figure13Recovery(), nil
+}
 
 func printFigure13Recovery(rows any) {
 	fmt.Println("Figure 13 (middle): recovery time breakdown per FTL (analytical, full scale)")
 	fmt.Printf("%-10s %12s %12s %12s %14s %12s %10s %10s\n", "ftl", "block scan", "GMD", "PVB", "page-validity", "LRU cache", "total", "battery")
-	for _, b := range rows.([]model.RecoveryBreakdown) {
+	for _, b := range rows.([]geckoftl.RecoveryBreakdown) {
 		fmt.Printf("%-10s %12s %12s %12s %14s %12s %10s %10v\n",
 			b.FTL, fmtDur(b.BlockScan), fmtDur(b.GMD), fmtDur(b.PVB),
 			fmtDur(b.PageValidity), fmtDur(b.LRUCache), fmtDur(b.Total()), b.Battery)
 	}
 }
 
-func figure13WARows(scale sim.ExperimentScale) (any, error) { return sim.Figure13WA(scale) }
+func figure13WARows(scale geckoftl.ExperimentScale) (any, error) { return geckoftl.Figure13WA(scale) }
 
 func printFigure13WA(rows any) {
 	fmt.Println("Figure 13 (bottom): write-amplification breakdown per FTL (simulation)")
-	fmt.Print(sim.FormatTable("", rows.([]sim.Result)))
+	fmt.Print(geckoftl.FormatTable("", rows.([]geckoftl.Result)))
 }
 
-func figure14Rows(scale sim.ExperimentScale) (any, error) { return sim.Figure14(scale) }
+func figure14Rows(scale geckoftl.ExperimentScale) (any, error) { return geckoftl.Figure14(scale) }
 
 func printFigure14(rows any) {
 	fmt.Println("Figure 14: equal RAM budget; freed PVB RAM used as extra cache (simulation)")
 	fmt.Printf("%-10s %14s %10s %10s %12s %10s\n", "ftl", "cache entries", "WA", "user", "translation", "validity")
-	for _, r := range rows.([]sim.Figure14Row) {
+	for _, r := range rows.([]geckoftl.Figure14Row) {
 		fmt.Printf("%-10s %14d %10.3f %10.3f %12.3f %10.3f\n",
 			r.Name, r.CacheEntries, r.WA, r.UserWA, r.TranslationWA, r.ValidityWA)
 	}
 }
 
-func recoveryRows(scale sim.ExperimentScale) (any, error) { return sim.RecoverySimulation(scale) }
+func recoveryRows(scale geckoftl.ExperimentScale) (any, error) {
+	return geckoftl.RecoverySimulation(scale)
+}
 
 func printRecovery(rows any) {
 	fmt.Println("Recovery simulation: crash each FTL mid-workload on one plane, measure recovery IO and time")
 	fmt.Printf("%-10s %14s %12s %12s %12s %10s %10s\n", "ftl", "duration", "spare reads", "page reads", "page writes", "entries", "battery")
-	for _, r := range rows.([]sim.RecoveryResult) {
+	for _, r := range rows.([]geckoftl.RecoveryResult) {
 		fmt.Printf("%-10s %14s %12d %12d %12d %10d %10v\n",
 			r.Name, fmtDur(r.Duration), r.SpareReads, r.PageReads, r.PageWrites, r.RecoveredMappingEntries, r.UsedBattery)
 	}
 }
 
-func recoverySweepRows(scale sim.ExperimentScale) (any, error) {
-	return sim.RecoverySweep(sim.RecoverySweepOptions{Scale: scale, Channels: sweepOpts.Channels})
+func recoverySweepRows(scale geckoftl.ExperimentScale) (any, error) {
+	return geckoftl.RecoverySweep(geckoftl.RecoverySweepOptions{Scale: scale, Channels: sweepOpts.Channels})
 }
 
 func printRecoverySweep(rows any) {
 	fmt.Println("Engine recovery sweep: crash the sharded engine, recover all shards in parallel")
 	fmt.Printf("%-11s %-12s %8s %7s %7s %10s %10s %8s %11s %8s %10s\n",
 		"dimension", "ftl", "channels", "blocks", "cache", "wall", "serial", "speedup", "spare reads", "entries", "model-wall")
-	for _, p := range rows.([]sim.RecoveryPoint) {
+	for _, p := range rows.([]geckoftl.RecoveryPoint) {
 		fmt.Printf("%-11s %-12s %8d %7d %7d %10s %10s %7.2fx %11d %8d %10s\n",
 			p.Dimension, p.FTL, p.Channels, p.Blocks, p.CacheEntries,
 			fmtDur(p.WallClock), fmtDur(p.SerialTime), p.Speedup, p.SpareReads, p.RecoveredEntries, fmtDur(p.ModelWall))
 	}
 }
 
-func summaryRows(scale sim.ExperimentScale) (any, error) { return sim.Headlines(scale) }
+func summaryRows(scale geckoftl.ExperimentScale) (any, error) { return geckoftl.Headlines(scale) }
 
 func printSummary(rows any) {
-	s := rows.(sim.HeadlineSummary)
+	s := rows.(geckoftl.HeadlineSummary)
 	fmt.Println("Headline claims")
 	fmt.Printf("  page-validity RAM reduction vs RAM-resident PVB:   %5.1f%%  (paper: 95%%)\n", 100*s.RAMReduction)
 	fmt.Printf("  recovery-time reduction vs LazyFTL:                %5.1f%%  (paper: >= 51%%)\n", 100*s.RecoveryReduction)
@@ -334,51 +346,91 @@ func printSummary(rows any) {
 	fmt.Printf("  flash-resident PVB:                                %5.1f%%  (paper: 98%%)\n", 100*s.ValidityWAReduction)
 }
 
-// sweepOpts, sweepDies, latencyOpts and jsonMode carry flags to the
-// experiment drivers.
+// sweepOpts, sweepDies, latencyOpts, trimOpts and jsonMode carry flags to
+// the experiment drivers.
 var (
-	sweepOpts   sim.ChannelSweepOptions
+	sweepOpts   geckoftl.ChannelSweepOptions
 	sweepDies   int
-	latencyOpts sim.LatencySweepOptions
+	latencyOpts geckoftl.LatencySweepOptions
+	trimOpts    geckoftl.TrimSweepOptions
 	jsonMode    bool
 )
 
-// parseGCModes parses the -gc-mode flag: a single ftl.GCMode name or "both".
-func parseGCModes(s string) ([]ftl.GCMode, error) {
-	if s == "" || s == "both" {
-		return []ftl.GCMode{ftl.GCInline, ftl.GCIncremental}, nil
+// parseFractions parses a comma-separated trim-fraction list, e.g.
+// "0,0.1,0.2".
+func parseFractions(s string) ([]float64, error) {
+	var out []float64
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(field, 64)
+		if err != nil || f < 0 || f >= 1 {
+			return nil, fmt.Errorf("bad trim fraction %q in -trim-fractions (want [0,1))", field)
+		}
+		out = append(out, f)
 	}
-	m, err := ftl.ParseGCMode(s)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-trim-fractions %q lists no fractions", s)
+	}
+	return out, nil
+}
+
+func trimSweepRows(scale geckoftl.ExperimentScale) (any, error) {
+	opts := trimOpts
+	opts.Scale = scale
+	return geckoftl.TrimSweep(opts)
+}
+
+func printTrimSweep(rows any) {
+	fmt.Println("Trim sweep: write-amplification of the sharded GeckoFTL engine vs host trim fraction")
+	fmt.Printf("%-9s %9s %9s %8s %8s %10s %8s %8s %8s %10s %10s\n",
+		"workload", "trim-frac", "writes", "trims", "trimmed", "WA", "user", "trans", "valid", "write-p99", "trim-p99")
+	for _, p := range rows.([]geckoftl.TrimPoint) {
+		fmt.Printf("%-9s %9.2f %9d %8d %8d %10.3f %8.3f %8.3f %8.3f %10s %10s\n",
+			p.Workload, p.TrimFraction, p.Writes, p.Trims, p.TrimmedPages,
+			p.WA, p.UserWA, p.TranslationWA, p.ValidityWA,
+			fmtDur(p.Write.P99), fmtDur(p.Trim.P99))
+	}
+}
+
+// parseGCModes parses the -gc-mode flag: a single geckoftl.GCMode name or "both".
+func parseGCModes(s string) ([]geckoftl.GCMode, error) {
+	if s == "" || s == "both" {
+		return []geckoftl.GCMode{geckoftl.GCInline, geckoftl.GCIncremental}, nil
+	}
+	m, err := geckoftl.ParseGCMode(s)
 	if err != nil {
 		return nil, err
 	}
-	return []ftl.GCMode{m}, nil
+	return []geckoftl.GCMode{m}, nil
 }
 
-// parsePolicies parses the -policy flag: a single ftl.VictimPolicy name or
+// parsePolicies parses the -policy flag: a single geckoftl.VictimPolicy name or
 // "both".
-func parsePolicies(s string) ([]ftl.VictimPolicy, error) {
+func parsePolicies(s string) ([]geckoftl.VictimPolicy, error) {
 	if s == "" || s == "both" {
-		return []ftl.VictimPolicy{ftl.VictimMetadataAware, ftl.VictimGreedy}, nil
+		return []geckoftl.VictimPolicy{geckoftl.VictimMetadataAware, geckoftl.VictimGreedy}, nil
 	}
-	p, err := ftl.ParseVictimPolicy(s)
+	p, err := geckoftl.ParseVictimPolicy(s)
 	if err != nil {
 		return nil, err
 	}
-	return []ftl.VictimPolicy{p}, nil
+	return []geckoftl.VictimPolicy{p}, nil
 }
 
-func latencySweepRows(scale sim.ExperimentScale) (any, error) {
+func latencySweepRows(scale geckoftl.ExperimentScale) (any, error) {
 	opts := latencyOpts
 	opts.Scale = scale
-	return sim.LatencySweep(opts)
+	return geckoftl.LatencySweep(opts)
 }
 
 func printLatencySweep(rows any) {
 	fmt.Println("Latency sweep: per-write service time of the sharded GeckoFTL engine, inline vs incremental GC")
 	fmt.Printf("%-9s %-15s %-12s %3s %10s %8s %9s %9s %9s %9s %8s %10s %10s %5s\n",
 		"workload", "policy", "gc-mode", "k", "WA", "p50", "p90", "p99", "p99.9", "max", "stalled", "max-stall", "bound", "fb")
-	for _, p := range rows.([]sim.LatencyPoint) {
+	for _, p := range rows.([]geckoftl.LatencyPoint) {
 		fmt.Printf("%-9s %-15s %-12s %3d %10.3f %8s %9s %9s %9s %9s %8d %10s %10s %5d\n",
 			p.Workload, p.Policy, p.GCMode, p.GCPagesPerWrite, p.WA,
 			fmtDur(p.Write.P50), fmtDur(p.Write.P90), fmtDur(p.Write.P99), fmtDur(p.Write.P999), fmtDur(p.Write.Max),
@@ -406,11 +458,11 @@ func parseSweep(s string) ([]int, error) {
 	return out, nil
 }
 
-func channelSweepRows(scale sim.ExperimentScale) (any, error) {
+func channelSweepRows(scale geckoftl.ExperimentScale) (any, error) {
 	opts := sweepOpts
 	opts.Scale = scale
 	opts.Scale.Device.DiesPerChannel = sweepDies
-	return sim.ChannelSweep(opts)
+	return geckoftl.ChannelSweep(opts)
 }
 
 func printChannelSweep(rows any) {
@@ -422,7 +474,7 @@ func printChannelSweep(rows any) {
 		wl, sweepDies)
 	fmt.Printf("%-9s %6s %12s %10s %10s %8s %12s %10s\n",
 		"channels", "dies", "writes/s", "speedup", "WA", "wall", "model-w/s", "imbalance")
-	for _, p := range rows.([]sim.ChannelPoint) {
+	for _, p := range rows.([]geckoftl.ChannelPoint) {
 		fmt.Printf("%-9d %6d %12.0f %9.2fx %10.3f %8s %12.0f %10.3f\n",
 			p.Channels, p.Dies, p.Throughput, p.Speedup, p.WA, fmtDur(p.WallTime), p.ModelThroughput, p.LoadImbalance)
 	}

@@ -3,14 +3,14 @@ package main
 import (
 	"testing"
 
-	"geckoftl/internal/ftl"
+	"geckoftl"
 )
 
-// TestGCModeFlagRoundTrip pins that every ftl.GCMode's String() is accepted
+// TestGCModeFlagRoundTrip pins that every geckoftl.GCMode's String() is accepted
 // verbatim by the -gc-mode flag parser, so option names printed in
 // experiment output can be pasted back into the command line.
 func TestGCModeFlagRoundTrip(t *testing.T) {
-	for _, m := range []ftl.GCMode{ftl.GCInline, ftl.GCIncremental} {
+	for _, m := range []geckoftl.GCMode{geckoftl.GCInline, geckoftl.GCIncremental} {
 		got, err := parseGCModes(m.String())
 		if err != nil {
 			t.Fatalf("-gc-mode %q rejected: %v", m.String(), err)
@@ -28,9 +28,9 @@ func TestGCModeFlagRoundTrip(t *testing.T) {
 }
 
 // TestVictimPolicyFlagRoundTrip pins the same for -policy and
-// ftl.VictimPolicy.String().
+// geckoftl.VictimPolicy.String().
 func TestVictimPolicyFlagRoundTrip(t *testing.T) {
-	for _, p := range []ftl.VictimPolicy{ftl.VictimGreedy, ftl.VictimMetadataAware} {
+	for _, p := range []geckoftl.VictimPolicy{geckoftl.VictimGreedy, geckoftl.VictimMetadataAware} {
 		got, err := parsePolicies(p.String())
 		if err != nil {
 			t.Fatalf("-policy %q rejected: %v", p.String(), err)

@@ -16,7 +16,7 @@ import (
 	"strings"
 	"time"
 
-	"geckoftl/internal/model"
+	"geckoftl"
 )
 
 func main() {
@@ -34,7 +34,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ramcalc: %v\n", err)
 		os.Exit(1)
 	}
-	p := model.Default()
+	p := geckoftl.DefaultModelParameters()
 	p.PageSize = *pageSize
 	p.PagesPerBlock = *pages
 	p.CacheEntries = *cacheEnt
@@ -50,21 +50,21 @@ func main() {
 
 	fmt.Println("integrated RAM requirement:")
 	fmt.Printf("  %-10s %12s %12s %12s %12s %14s %12s\n", "ftl", "cache", "GMD", "PVB", "BVC", "page-validity", "total")
-	for _, b := range model.RAMAll(p) {
+	for _, b := range geckoftl.RAMAll(p) {
 		fmt.Printf("  %-10s %12s %12s %12s %12s %14s %12s\n",
 			b.FTL, mb(b.Cache), mb(b.GMD), mb(b.PVB), mb(b.BVC), mb(b.PageValidity), mb(b.Total()))
 	}
 
 	fmt.Println("\nrecovery time after power failure:")
 	fmt.Printf("  %-10s %12s %12s %12s %14s %12s %12s %8s\n", "ftl", "block scan", "GMD", "PVB", "page-validity", "LRU cache", "total", "battery")
-	for _, b := range model.RecoveryAll(p) {
+	for _, b := range geckoftl.RecoveryAll(p) {
 		fmt.Printf("  %-10s %12s %12s %12s %14s %12s %12s %8v\n",
 			b.FTL, sec(b.BlockScan), sec(b.GMD), sec(b.PVB), sec(b.PageValidity), sec(b.LRUCache), sec(b.Total()), b.Battery)
 	}
 
 	fmt.Println("\nheadline reductions for GeckoFTL:")
-	fmt.Printf("  page-validity RAM vs RAM-resident PVB: %.1f%%\n", 100*model.RAMReductionVsPVB(model.GeckoFTL, p))
-	fmt.Printf("  recovery time vs LazyFTL:              %.1f%%\n", 100*model.RecoveryReductionVsLazyFTL(model.GeckoFTL, p))
+	fmt.Printf("  page-validity RAM vs RAM-resident PVB: %.1f%%\n", 100*geckoftl.RAMReductionVsPVB(geckoftl.ModelGeckoFTL, p))
+	fmt.Printf("  recovery time vs LazyFTL:              %.1f%%\n", 100*geckoftl.RecoveryReductionVsLazyFTL(geckoftl.ModelGeckoFTL, p))
 }
 
 func parseCapacity(s string) (int64, error) {

@@ -1,0 +1,337 @@
+package geckoftl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geckoftl/internal/flash"
+	"geckoftl/internal/ftl"
+)
+
+// LPN is a logical page number: the host-visible block-device address space
+// is the half-open range [0, Device.LogicalPages()).
+type LPN = flash.LPN
+
+// Device is a simulated flash block device: a multi-channel NAND device with
+// a sharded flash translation layer on top, opened by Open. All methods are
+// safe for concurrent use.
+//
+// The device is a simulator: operations execute synchronously under a
+// virtual device-time model (no wall-clock sleeping), and the latencies
+// Snapshot reports are simulated service times, deterministic for a given
+// request sequence. Contexts are honoured at operation boundaries: an
+// operation observed to be cancelled before dispatch returns the context's
+// error and performs no IO.
+type Device struct {
+	eng    *ftl.Engine
+	dev    *flash.Device
+	closed atomic.Bool
+
+	// base anchors Snapshot's windowed metrics (write-amplification) at Open
+	// or the last ResetStats; baseMu makes Snapshot and ResetStats safe to
+	// call from any goroutine.
+	baseMu       sync.Mutex
+	baseCounters flash.Counters
+	baseStats    ftl.Stats
+}
+
+// Open builds a device from functional options: geometry, topology, FTL
+// scheme, garbage-collection mode, cache budget, battery. Defaults: a
+// 256-block device of 32 pages of 1 KB at 70% over-provisioning, one
+// channel, GeckoFTL with a 1024-entry mapping cache, inline GC.
+//
+// Errors are classified under ErrInvalidConfig.
+func Open(opts ...Option) (*Device, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, wrapErr(err)
+		}
+	}
+	ftlOpts, err := cfg.ftlOptions()
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	dev, err := flash.NewDevice(cfg.flashConfig())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+	}
+	eng, err := ftl.NewEngine(dev, ftlOpts, cfg.shards)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+	}
+	return &Device{eng: eng, dev: dev}, nil
+}
+
+// guard rejects operations on closed devices and honours the context.
+func (d *Device) guard(ctx context.Context) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LogicalPages returns the number of logical pages the device exposes.
+func (d *Device) LogicalPages() int64 { return d.eng.LogicalPages() }
+
+// Geometry describes an open device: the physical layout and the logical
+// capacity derived from it.
+type Geometry struct {
+	Blocks, PagesPerBlock, PageSizeBytes int
+	Channels, DiesPerChannel             int
+	OverProvision                        float64
+	LogicalPages                         int64
+	FTL                                  string
+	Shards                               int
+}
+
+// Geometry reports the device's resolved configuration.
+func (d *Device) Geometry() Geometry {
+	cfg := d.dev.Config()
+	return Geometry{
+		Blocks:         cfg.Blocks,
+		PagesPerBlock:  cfg.PagesPerBlock,
+		PageSizeBytes:  cfg.PageSize,
+		Channels:       cfg.NumChannels(),
+		DiesPerChannel: cfg.Dies() / cfg.NumChannels(),
+		OverProvision:  cfg.OverProvision,
+		LogicalPages:   d.eng.LogicalPages(),
+		FTL:            d.eng.Shard(0).Name(),
+		Shards:         d.eng.Shards(),
+	}
+}
+
+// Write updates one logical page.
+func (d *Device) Write(ctx context.Context, lpn LPN) error {
+	if err := d.guard(ctx); err != nil {
+		return err
+	}
+	return wrapErr(d.eng.Write(lpn))
+}
+
+// Read reads one logical page. Reading a never-written or trimmed page
+// succeeds and returns zeroes without flash IO.
+func (d *Device) Read(ctx context.Context, lpn LPN) error {
+	if err := d.guard(ctx); err != nil {
+		return err
+	}
+	return wrapErr(d.eng.Read(lpn))
+}
+
+// Trim discards the logical page range [start, start+count): the host
+// declares the pages' contents dead. Trimmed pages read as zeroes and their
+// physical before-images become invalid pages the garbage collector reclaims
+// for free. Like writes, trims become durable at the next Flush (or natural
+// synchronization); a trim followed immediately by PowerFail may come back
+// mapped, matching a real device's non-flushed TRIM.
+func (d *Device) Trim(ctx context.Context, start LPN, count int) error {
+	if err := d.guard(ctx); err != nil {
+		return err
+	}
+	if count < 0 || start < 0 || int64(start)+int64(count) > d.eng.LogicalPages() {
+		return fmt.Errorf("%w: trim range [%d,%d) of %d logical pages", ErrOutOfRange, start, int64(start)+int64(count), d.eng.LogicalPages())
+	}
+	lpns := make([]LPN, count)
+	for i := range lpns {
+		lpns[i] = start + LPN(i)
+	}
+	return wrapErr(d.eng.TrimBatch(lpns))
+}
+
+// WriteBatch updates every logical page in lpns, fanning the requests out
+// across the engine's shards in parallel. Pages of the same shard are
+// written in slice order; ordering across shards is unspecified, as on a
+// real multi-channel controller.
+func (d *Device) WriteBatch(ctx context.Context, lpns []LPN) error {
+	if err := d.guard(ctx); err != nil {
+		return err
+	}
+	return wrapErr(d.eng.WriteBatch(lpns))
+}
+
+// ReadBatch reads every logical page in lpns in parallel across shards.
+func (d *Device) ReadBatch(ctx context.Context, lpns []LPN) error {
+	if err := d.guard(ctx); err != nil {
+		return err
+	}
+	return wrapErr(d.eng.ReadBatch(lpns))
+}
+
+// TrimBatch trims every logical page in lpns in parallel across shards.
+func (d *Device) TrimBatch(ctx context.Context, lpns []LPN) error {
+	if err := d.guard(ctx); err != nil {
+		return err
+	}
+	return wrapErr(d.eng.TrimBatch(lpns))
+}
+
+// Flush forces all dirty state — mapping entries, page-validity buffers — to
+// flash, making every completed write and trim durable against power
+// failure.
+func (d *Device) Flush(ctx context.Context) error {
+	if err := d.guard(ctx); err != nil {
+		return err
+	}
+	return wrapErr(d.eng.Flush())
+}
+
+// Mapped reports whether a logical page currently holds host data: false
+// for never-written and trimmed pages. It is an inspection helper (no
+// simulated IO is charged), useful in tests and audits.
+func (d *Device) Mapped(lpn LPN) (bool, error) {
+	if d.closed.Load() {
+		return false, ErrClosed
+	}
+	mapped, err := d.eng.Mapped(lpn)
+	return mapped, wrapErr(err)
+}
+
+// Close flushes dirty state and marks the device closed; subsequent
+// operations return ErrClosed. Closing a power-failed device skips the flush
+// (there is no power to flush with) and still closes.
+func (d *Device) Close(ctx context.Context) error {
+	// Honour the context before latching the closed state: a cancelled
+	// Close must stay retryable, or the promised final flush could never
+	// run.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if d.closed.Swap(true) {
+		return ErrClosed
+	}
+	if err := d.eng.Flush(); err != nil {
+		if wrapped := wrapErr(err); errors.Is(wrapped, ErrPowerFailed) {
+			return nil
+		}
+		return wrapErr(err)
+	}
+	return nil
+}
+
+// PowerFail simulates a power failure. Without a battery the rail is cut
+// abruptly: operations in flight fail with ErrPowerFailed, all RAM state is
+// lost, flash survives. With a battery (WithBattery, or the DFTL/µ-FTL
+// schemes) dirty state is flushed before the rail drops. A second PowerFail
+// before Recover returns ErrPowerFailed.
+func (d *Device) PowerFail() error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	if err := d.eng.PowerFail(); err != nil {
+		return fmt.Errorf("%w: %w", ErrPowerFailed, err)
+	}
+	return nil
+}
+
+// ShardRecovery is one engine shard's share of a recovery.
+type ShardRecovery struct {
+	// Shard is the shard index (the channel index under the default
+	// one-shard-per-channel layout).
+	Shard int
+	// Duration is the shard's simulated recovery time.
+	Duration time.Duration
+	// SpareReads, PageReads and PageWrites are the shard's recovery IO.
+	SpareReads, PageReads, PageWrites int64
+	// RecoveredMappingEntries counts the cached mapping entries the shard's
+	// backwards scan recreated.
+	RecoveredMappingEntries int
+}
+
+// RecoveryReport describes a completed Recover: the wall-clock of the
+// parallel per-shard recovery, what a serialized scan would have cost, and
+// the IO spent.
+type RecoveryReport struct {
+	// WallClock is the slowest shard's recovery duration: shards recover
+	// concurrently on disjoint dies, so the device resumes serving when the
+	// last shard finishes.
+	WallClock time.Duration
+	// SerialTime is the summed per-shard duration: the cost of the same
+	// recovery on a single serialized plane.
+	SerialTime time.Duration
+	// SlowestShard is the index of the shard on the critical path.
+	SlowestShard int
+	// SpareReads, PageReads and PageWrites total the recovery IO.
+	SpareReads, PageReads, PageWrites int64
+	// RecoveredMappingEntries totals the mapping entries recreated by the
+	// shards' backwards scans.
+	RecoveredMappingEntries int
+	// UsedBattery reports that dirty entries were synchronized on battery
+	// power at failure time instead of being recovered by scanning.
+	UsedBattery bool
+	// Shards holds the per-shard breakdowns, indexed by shard.
+	Shards []ShardRecovery
+}
+
+// Speedup returns SerialTime/WallClock: how much faster the parallel
+// recovery finished than a single-plane scan of the same flash.
+func (r *RecoveryReport) Speedup() float64 {
+	if r.WallClock <= 0 {
+		return 1
+	}
+	return float64(r.SerialTime) / float64(r.WallClock)
+}
+
+// Recover restores the device after PowerFail, running each shard's recovery
+// procedure (GeckoRec for GeckoFTL) concurrently across channels. It returns
+// a report of the work done, or an error when no PowerFail preceded it.
+// Synchronized (flushed) writes and trims are guaranteed to survive; dirty
+// state from the crash window is recovered by the bounded backwards scan
+// where possible.
+func (d *Device) Recover(ctx context.Context) (*RecoveryReport, error) {
+	if d.closed.Load() {
+		return nil, ErrClosed
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	rep, err := d.eng.Recover()
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	out := &RecoveryReport{
+		WallClock:               rep.WallClock,
+		SerialTime:              rep.SerialTime,
+		SlowestShard:            rep.SlowestShard,
+		SpareReads:              rep.SpareReads,
+		PageReads:               rep.PageReads,
+		PageWrites:              rep.PageWrites,
+		RecoveredMappingEntries: rep.RecoveredMappingEntries,
+		UsedBattery:             rep.UsedBattery,
+	}
+	for _, s := range rep.Shards {
+		out.Shards = append(out.Shards, ShardRecovery{
+			Shard:                   s.Shard,
+			Duration:                s.Duration,
+			SpareReads:              s.SpareReads,
+			PageReads:               s.PageReads,
+			PageWrites:              s.PageWrites,
+			RecoveredMappingEntries: s.RecoveredMappingEntries,
+		})
+	}
+	return out, nil
+}
+
+// CheckConsistency audits every shard's translation map against the flash
+// contents: every mapped logical page must point at a programmed physical
+// page that names it, and no two logical pages may share a physical page.
+// The device must be quiesced. Tests and the recovery examples run it after
+// crashes.
+func (d *Device) CheckConsistency() error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	return wrapErr(d.eng.CheckConsistency())
+}

@@ -1,0 +1,271 @@
+package geckoftl_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"geckoftl"
+)
+
+func open(t *testing.T, opts ...geckoftl.Option) *geckoftl.Device {
+	t.Helper()
+	dev, err := geckoftl.Open(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func TestOpenDefaults(t *testing.T) {
+	dev := open(t)
+	g := dev.Geometry()
+	if g.Blocks != 256 || g.PagesPerBlock != 32 || g.PageSizeBytes != 1024 {
+		t.Errorf("unexpected default geometry %+v", g)
+	}
+	if g.FTL != "GeckoFTL" || g.Shards != 1 {
+		t.Errorf("unexpected default FTL %q / shards %d", g.FTL, g.Shards)
+	}
+	if g.LogicalPages != dev.LogicalPages() || g.LogicalPages <= 0 {
+		t.Errorf("logical pages %d inconsistent", g.LogicalPages)
+	}
+}
+
+func TestOpenOptions(t *testing.T) {
+	dev := open(t,
+		geckoftl.WithGeometry(512, 16, 512),
+		geckoftl.WithChannels(4, 2),
+		geckoftl.WithOverProvision(0.6),
+		geckoftl.WithFTL("lazyftl"),
+		geckoftl.WithCacheEntries(512),
+		geckoftl.WithGCMode(geckoftl.GCIncremental),
+	)
+	g := dev.Geometry()
+	if g.Channels != 4 || g.DiesPerChannel != 2 || g.Shards != 4 {
+		t.Errorf("unexpected topology %+v", g)
+	}
+	if g.FTL != "LazyFTL/4" && g.FTL != "LazyFTL" {
+		t.Errorf("unexpected FTL name %q", g.FTL)
+	}
+}
+
+func TestOpenInvalidConfig(t *testing.T) {
+	cases := [][]geckoftl.Option{
+		{geckoftl.WithGeometry(0, 32, 1024)},
+		{geckoftl.WithOverProvision(1.5)},
+		{geckoftl.WithChannels(0, 1)},
+		{geckoftl.WithFTL("nope")},
+		{geckoftl.WithCacheEntries(0)},
+		{geckoftl.WithGCPagesPerWrite(-1)},
+		{geckoftl.WithShards(0)},
+		// A valid option set whose engine construction fails: more shards
+		// than blocks.
+		{geckoftl.WithGeometry(8, 16, 512), geckoftl.WithShards(16)},
+	}
+	for i, opts := range cases {
+		if _, err := geckoftl.Open(opts...); !errors.Is(err, geckoftl.ErrInvalidConfig) {
+			t.Errorf("case %d: Open returned %v, want errors.Is(..., ErrInvalidConfig)", i, err)
+		}
+	}
+}
+
+func TestClosedDevice(t *testing.T) {
+	ctx := context.Background()
+	dev := open(t)
+	if err := dev.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Close(ctx); !errors.Is(err, geckoftl.ErrClosed) {
+		t.Errorf("second Close returned %v, want ErrClosed", err)
+	}
+	if err := dev.Write(ctx, 0); !errors.Is(err, geckoftl.ErrClosed) {
+		t.Errorf("Write after Close returned %v, want ErrClosed", err)
+	}
+	if err := dev.Trim(ctx, 0, 1); !errors.Is(err, geckoftl.ErrClosed) {
+		t.Errorf("Trim after Close returned %v, want ErrClosed", err)
+	}
+	if _, err := dev.Mapped(0); !errors.Is(err, geckoftl.ErrClosed) {
+		t.Errorf("Mapped after Close returned %v, want ErrClosed", err)
+	}
+	if err := dev.PowerFail(); !errors.Is(err, geckoftl.ErrClosed) {
+		t.Errorf("PowerFail after Close returned %v, want ErrClosed", err)
+	}
+	if _, err := dev.Recover(ctx); !errors.Is(err, geckoftl.ErrClosed) {
+		t.Errorf("Recover after Close returned %v, want ErrClosed", err)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	ctx := context.Background()
+	dev := open(t)
+	end := geckoftl.LPN(dev.LogicalPages())
+	if err := dev.Write(ctx, end); !errors.Is(err, geckoftl.ErrOutOfRange) {
+		t.Errorf("Write(end) returned %v, want ErrOutOfRange", err)
+	}
+	if err := dev.Read(ctx, -1); !errors.Is(err, geckoftl.ErrOutOfRange) {
+		t.Errorf("Read(-1) returned %v, want ErrOutOfRange", err)
+	}
+	if err := dev.Trim(ctx, end-1, 2); !errors.Is(err, geckoftl.ErrOutOfRange) {
+		t.Errorf("Trim over the end returned %v, want ErrOutOfRange", err)
+	}
+	if err := dev.WriteBatch(ctx, []geckoftl.LPN{0, end}); !errors.Is(err, geckoftl.ErrOutOfRange) {
+		t.Errorf("WriteBatch with bad page returned %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestPowerFailTaxonomy(t *testing.T) {
+	ctx := context.Background()
+	dev := open(t)
+	if err := dev.Write(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.PowerFail(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Write(ctx, 1); !errors.Is(err, geckoftl.ErrPowerFailed) {
+		t.Errorf("Write while failed returned %v, want ErrPowerFailed", err)
+	}
+	if err := dev.Flush(ctx); !errors.Is(err, geckoftl.ErrPowerFailed) {
+		t.Errorf("Flush while failed returned %v, want ErrPowerFailed", err)
+	}
+	if err := dev.PowerFail(); !errors.Is(err, geckoftl.ErrPowerFailed) {
+		t.Errorf("second PowerFail returned %v, want ErrPowerFailed", err)
+	}
+	report, err := dev.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.UsedBattery {
+		t.Error("GeckoFTL recovery reported battery use")
+	}
+	if err := dev.Write(ctx, 1); err != nil {
+		t.Errorf("write after recovery: %v", err)
+	}
+	if _, err := dev.Recover(ctx); err == nil {
+		t.Error("Recover without PowerFail accepted")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	dev := open(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := dev.Write(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("Write with cancelled ctx returned %v, want context.Canceled", err)
+	}
+	if err := dev.Trim(ctx, 0, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("Trim with cancelled ctx returned %v, want context.Canceled", err)
+	}
+	if _, err := dev.Recover(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("Recover with cancelled ctx returned %v, want context.Canceled", err)
+	}
+}
+
+func TestTrimAndSnapshot(t *testing.T) {
+	ctx := context.Background()
+	dev := open(t, geckoftl.WithChannels(2, 1), geckoftl.WithCacheEntries(512))
+	lp := dev.LogicalPages()
+
+	var lpns []geckoftl.LPN
+	for i := int64(0); i < lp; i++ {
+		lpns = append(lpns, geckoftl.LPN(i))
+	}
+	if err := dev.WriteBatch(ctx, lpns); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Trim(ctx, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	for lpn := geckoftl.LPN(0); lpn < 64; lpn++ {
+		mapped, err := dev.Mapped(lpn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mapped {
+			t.Fatalf("page %d still mapped after Trim", lpn)
+		}
+		if err := dev.Read(ctx, lpn); err != nil {
+			t.Fatalf("read of trimmed page: %v", err)
+		}
+	}
+	if mapped, _ := dev.Mapped(64); !mapped {
+		t.Error("page 64 (outside the trimmed range) reads as unmapped")
+	}
+
+	snap := dev.Snapshot()
+	if snap.Ops.Writes != lp || snap.Ops.Trims != 64 {
+		t.Errorf("snapshot ops = %+v, want %d writes / 64 trims", snap.Ops, lp)
+	}
+	if snap.Ops.TrimmedPages == 0 && snap.Ops.Trims > 0 {
+		// Lazy identification may defer some, but a flush settles all.
+		if err := dev.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+		snap = dev.Snapshot()
+	}
+	if snap.Ops.TrimmedPages != 64 {
+		t.Errorf("TrimmedPages = %d, want 64", snap.Ops.TrimmedPages)
+	}
+	if snap.WriteAmplification < 1 {
+		t.Errorf("write-amplification %.3f below 1", snap.WriteAmplification)
+	}
+	if snap.WriteLatency.Count != lp {
+		t.Errorf("write latency count %d, want %d", snap.WriteLatency.Count, lp)
+	}
+	if snap.TrimLatency.Count != 64 {
+		t.Errorf("trim latency count %d, want 64", snap.TrimLatency.Count)
+	}
+	if snap.RAMBytes <= 0 || snap.SimulatedTime <= 0 {
+		t.Errorf("RAM %d / simulated time %v not positive", snap.RAMBytes, snap.SimulatedTime)
+	}
+
+	dev.ResetStats()
+	snap = dev.Snapshot()
+	if snap.WindowWrites != 0 || snap.WriteLatency.Count != 0 {
+		t.Errorf("ResetStats did not clear the window: %+v", snap)
+	}
+	if snap.Ops.Writes != lp {
+		t.Errorf("ResetStats cleared cumulative ops: %+v", snap.Ops)
+	}
+	if err := dev.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRewriteAfterTrim(t *testing.T) {
+	ctx := context.Background()
+	dev := open(t)
+	if err := dev.Write(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Trim(ctx, 7, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Write(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := dev.Mapped(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapped {
+		t.Error("page unmapped after rewrite")
+	}
+}
+
+func TestCloseWithCancelledContextIsRetryable(t *testing.T) {
+	dev := open(t)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := dev.Close(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Close with cancelled ctx returned %v, want context.Canceled", err)
+	}
+	// The device must not have latched closed: a retry with a live context
+	// still performs the final flush.
+	if err := dev.Write(context.Background(), 0); err != nil {
+		t.Fatalf("write after cancelled Close: %v", err)
+	}
+	if err := dev.Close(context.Background()); err != nil {
+		t.Fatalf("retried Close: %v", err)
+	}
+}

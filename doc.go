@@ -1,0 +1,46 @@
+// Package geckoftl is the public surface of a Go reproduction of GeckoFTL
+// (Dayan, Bonnet, Idreos: "GeckoFTL: Scalable Flash Translation Techniques
+// For Very Large Flash Devices", SIGMOD 2016), grown into a concurrent,
+// multi-channel flash-simulation engine.
+//
+// It is the only package external users — and this repository's own cmd/
+// binaries and examples — import; everything under internal/ is sealed off.
+// The package offers three things:
+//
+//   - A context-aware block-device API: Open builds a simulated flash device
+//     with a sharded FTL engine on top, configured with functional options
+//     (geometry, FTL scheme, GC mode, cache budget, battery). The returned
+//     Device serves Read/Write/Trim/Flush/Close plus batch variants, crashes
+//     and recovers with PowerFail/Recover, and reports statistics and
+//     latency percentiles through Snapshot. Failures are classified by the
+//     errors.Is-able taxonomy ErrClosed, ErrPowerFailed, ErrOutOfRange and
+//     ErrInvalidConfig.
+//
+//   - The experiment harness behind the paper's evaluation: the Figure and
+//     Table reproductions, the channel/recovery/latency/trim sweeps, and the
+//     workload generators that drive them, re-exported for the geckobench,
+//     ftlsim and ramcalc commands.
+//
+//   - The analytical models: integrated-RAM and recovery-time breakdowns at
+//     arbitrary device capacities, and Logarithmic Gecko's tuning math.
+//
+// # Quickstart
+//
+//	dev, err := geckoftl.Open(
+//		geckoftl.WithGeometry(256, 32, 1024),
+//		geckoftl.WithChannels(4, 1),
+//		geckoftl.WithCacheEntries(1024),
+//	)
+//	if err != nil { ... }
+//	defer dev.Close(ctx)
+//
+//	err = dev.Write(ctx, 42)      // update one logical page
+//	err = dev.Read(ctx, 42)       // read it back
+//	err = dev.Trim(ctx, 42, 8)    // discard pages [42, 50)
+//	snap := dev.Snapshot()        // WA, RAM, latency percentiles
+//
+// Trim is the host's way of supplying the garbage collector with invalid
+// pages for free: trimmed pages read as zeroes, their mapping entries are
+// dropped (durably at the next Flush), and write-amplification falls as the
+// trim fraction rises (see the trim sweep in geckobench).
+package geckoftl

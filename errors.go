@@ -1,0 +1,48 @@
+package geckoftl
+
+import (
+	"errors"
+	"fmt"
+
+	"geckoftl/internal/flash"
+)
+
+// The public error taxonomy. Every data-path failure a Device method returns
+// — closed device, lost power, bad address, rejected configuration — matches
+// exactly one of these sentinels under errors.Is (or is a context error from
+// the caller's ctx); the sentinels wrap the internal errors they classify,
+// so the full internal chain stays inspectable. Misuse and audit failures
+// outside the taxonomy (Recover without a preceding PowerFail, a failed
+// CheckConsistency) are returned as descriptive errors matching none of the
+// sentinels.
+var (
+	// ErrClosed is returned by operations on a Device after Close.
+	ErrClosed = errors.New("geckoftl: device is closed")
+	// ErrPowerFailed is returned while the device is in the power-failed
+	// state: by operations issued between PowerFail and a successful
+	// Recover, and by a second PowerFail.
+	ErrPowerFailed = errors.New("geckoftl: device is power-failed")
+	// ErrOutOfRange is returned for logical pages outside [0, LogicalPages).
+	ErrOutOfRange = errors.New("geckoftl: logical page out of range")
+	// ErrInvalidConfig is returned by Open for option combinations the
+	// device or FTL rejects.
+	ErrInvalidConfig = errors.New("geckoftl: invalid configuration")
+)
+
+// wrapErr classifies an internal error under the public taxonomy. Errors
+// already carrying a public sentinel pass through untouched.
+func wrapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrPowerFailed),
+		errors.Is(err, ErrOutOfRange), errors.Is(err, ErrInvalidConfig):
+		return err
+	case errors.Is(err, flash.ErrPowerFailed):
+		return fmt.Errorf("%w: %w", ErrPowerFailed, err)
+	case errors.Is(err, flash.ErrOutOfRange):
+		return fmt.Errorf("%w: %w", ErrOutOfRange, err)
+	default:
+		return err
+	}
+}

@@ -1,0 +1,105 @@
+package geckoftl_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"geckoftl"
+)
+
+// Example opens a small device, writes and reads a few pages, and inspects
+// the statistics snapshot.
+func Example() {
+	ctx := context.Background()
+	dev, err := geckoftl.Open(
+		geckoftl.WithGeometry(256, 32, 1024),
+		geckoftl.WithCacheEntries(1024),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dev.Close(ctx)
+
+	for lpn := geckoftl.LPN(0); lpn < 100; lpn++ {
+		if err := dev.Write(ctx, lpn); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := dev.Read(ctx, 42); err != nil {
+		log.Fatal(err)
+	}
+
+	snap := dev.Snapshot()
+	fmt.Printf("writes=%d reads=%d\n", snap.Ops.Writes, snap.Ops.Reads)
+	fmt.Printf("write latencies recorded: %d\n", snap.WriteLatency.Count)
+	// Output:
+	// writes=100 reads=1
+	// write latencies recorded: 100
+}
+
+// ExampleDevice_Trim shows the host discarding a page range: trimmed pages
+// read as zeroes and their before-images become free invalid space for the
+// garbage collector.
+func ExampleDevice_Trim() {
+	ctx := context.Background()
+	dev, err := geckoftl.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dev.Close(ctx)
+
+	if err := dev.Write(ctx, 7); err != nil {
+		log.Fatal(err)
+	}
+	if err := dev.Trim(ctx, 7, 1); err != nil {
+		log.Fatal(err)
+	}
+	mapped, err := dev.Mapped(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mapped after trim: %v\n", mapped)
+
+	// Reading a trimmed page succeeds and returns zeroes, like a
+	// never-written page.
+	fmt.Printf("read after trim: %v\n", dev.Read(ctx, 7))
+	// Output:
+	// mapped after trim: false
+	// read after trim: <nil>
+}
+
+// ExampleDevice_Recover crashes a device mid-workload and recovers it; the
+// typed error taxonomy classifies operations attempted while the power is
+// out.
+func ExampleDevice_Recover() {
+	ctx := context.Background()
+	dev, err := geckoftl.Open(geckoftl.WithChannels(2, 1), geckoftl.WithCacheEntries(512))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dev.Close(ctx)
+
+	for lpn := geckoftl.LPN(0); lpn < 500; lpn++ {
+		if err := dev.Write(ctx, lpn); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := dev.PowerFail(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("write while failed is ErrPowerFailed: %v\n",
+		errors.Is(dev.Write(ctx, 0), geckoftl.ErrPowerFailed))
+
+	report, err := dev.Recover(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered shards: %d, battery: %v\n", len(report.Shards), report.UsedBattery)
+	fmt.Printf("consistency: %v\n", dev.CheckConsistency())
+	// Output:
+	// write while failed is ErrPowerFailed: true
+	// recovered shards: 2, battery: false
+	// consistency: <nil>
+}

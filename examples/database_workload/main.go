@@ -1,7 +1,6 @@
 // Database workload: compare the five FTLs under an OLTP-style page-update
-// pattern (a Zipfian-skewed mix of reads and writes, the access pattern the
-// paper's introduction motivates with "more and more database systems and
-// installations utilizing flash devices").
+// pattern (a Zipfian-skewed mix of reads, writes and deletes forwarded as
+// trims), driven entirely through the public geckoftl device API.
 //
 // Run with:
 //
@@ -9,47 +8,28 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"geckoftl/internal/ftl"
-	"geckoftl/internal/sim"
-	"geckoftl/internal/workload"
+	"geckoftl"
 )
 
 func main() {
-	device := sim.DeviceSpec{Blocks: 256, PagesPerBlock: 32, PageSize: 1024, OverProvision: 0.7}
-	logical := int64(device.Config().LogicalPages())
 	const cacheEntries = 1024
 	const writes = 30000
+	const readRatio = 0.3
+	const trimFraction = 0.05 // dropped tables and deleted rows, discarded
 
-	configs := []ftl.Options{
-		ftl.DFTLOptions(cacheEntries),
-		ftl.LazyFTLOptions(cacheEntries),
-		ftl.MuFTLOptions(cacheEntries),
-		ftl.IBFTLOptions(cacheEntries),
-		ftl.GeckoFTLOptions(cacheEntries),
-	}
-
-	fmt.Printf("OLTP-style workload: zipfian updates (skew 1.2) with 30%% point reads, %d writes measured\n\n", writes)
-	var results []sim.Result
-	for _, opts := range configs {
-		// Each FTL gets its own generator with the same seed so the access
-		// patterns are identical.
-		zipf := workload.MustNewZipfian(logical, 1.2, 7)
-		mixed := workload.MustNewMixed(zipf, logical, 0.3, 8)
-		res, err := sim.Run(sim.RunOptions{
-			Device:        device,
-			FTLOptions:    opts,
-			Workload:      mixed,
-			MeasureWrites: writes,
-		})
-		if err != nil {
-			log.Fatalf("%s: %v", opts.Name, err)
+	fmt.Printf("OLTP-style workload: zipfian updates (skew 1.2), %.0f%% point reads, %.0f%% trims, %d writes measured\n\n",
+		readRatio*100, trimFraction*100, writes)
+	fmt.Printf("%-12s %10s %10s %12s %10s %12s %8s %8s\n",
+		"ftl", "WA", "user", "translation", "validity", "RAM(bytes)", "GC-ops", "trims")
+	for _, name := range []string{"dftl", "lazyftl", "muftl", "ibftl", "geckoftl"} {
+		if err := runOne(name, cacheEntries, writes, readRatio, trimFraction); err != nil {
+			log.Fatalf("%s: %v", name, err)
 		}
-		results = append(results, res)
 	}
-	fmt.Print(sim.FormatTable("write-amplification and RAM per FTL:", results))
 
 	fmt.Println("\ninterpretation:")
 	fmt.Println("  - DFTL and LazyFTL avoid page-validity IO entirely but need the 64 MB-class")
@@ -57,4 +37,73 @@ func main() {
 	fmt.Println("  - uFTL pays roughly one extra flash read+write per update for its flash PVB.")
 	fmt.Println("  - GeckoFTL keeps page-validity IO close to IB-FTL's log while needing far less")
 	fmt.Println("    RAM and recovering much faster after power failure (see the powerfail example).")
+	fmt.Println("  - trims lower everyone's write-amplification: invalid pages the host identifies")
+	fmt.Println("    are pages the garbage collector never migrates.")
+}
+
+func runOne(name string, cacheEntries int, writes int64, readRatio, trimFraction float64) error {
+	ctx := context.Background()
+	dev, err := geckoftl.Open(
+		geckoftl.WithGeometry(256, 32, 1024),
+		geckoftl.WithFTL(name),
+		geckoftl.WithCacheEntries(cacheEntries),
+	)
+	if err != nil {
+		return err
+	}
+	defer dev.Close(ctx)
+
+	// Each FTL gets its own generators with the same seeds so the access
+	// patterns are identical.
+	zipf, err := geckoftl.NewZipfian(dev.LogicalPages(), 1.2, 7)
+	if err != nil {
+		return err
+	}
+	mixed, err := geckoftl.NewMixed(zipf, dev.LogicalPages(), readRatio, 8)
+	if err != nil {
+		return err
+	}
+	gen, err := geckoftl.NewTrimming(mixed, dev.LogicalPages(), trimFraction, 9)
+	if err != nil {
+		return err
+	}
+
+	// Warm up with two full overwrites, then measure.
+	if err := drive(ctx, dev, gen, 2*dev.LogicalPages()); err != nil {
+		return err
+	}
+	dev.ResetStats()
+	if err := drive(ctx, dev, gen, writes); err != nil {
+		return err
+	}
+
+	snap := dev.Snapshot()
+	fmt.Printf("%-12s %10.3f %10.3f %12.3f %10.3f %12d %8d %8d\n",
+		dev.Geometry().FTL, snap.WriteAmplification, snap.UserWA, snap.TranslationWA, snap.ValidityWA,
+		snap.RAMBytes, snap.GC.Collections, snap.Ops.Trims)
+	return nil
+}
+
+// drive pushes operations into the device until n writes have been served.
+func drive(ctx context.Context, dev *geckoftl.Device, gen geckoftl.Workload, n int64) error {
+	var done int64
+	for done < n {
+		op := gen.Next()
+		switch op.Kind {
+		case geckoftl.OpRead:
+			if err := dev.Read(ctx, op.Page); err != nil {
+				return err
+			}
+		case geckoftl.OpTrim:
+			if err := dev.TrimBatch(ctx, []geckoftl.LPN{op.Page}); err != nil {
+				return err
+			}
+		default:
+			if err := dev.Write(ctx, op.Page); err != nil {
+				return err
+			}
+			done++
+		}
+	}
+	return nil
 }

@@ -1,5 +1,5 @@
-// Quickstart: create a simulated flash device, mount GeckoFTL on it, issue
-// reads and writes, and inspect the write-amplification and RAM statistics.
+// Quickstart: open a simulated flash device through the public geckoftl
+// API, issue writes, reads and trims, and inspect the statistics snapshot.
 //
 // Run with:
 //
@@ -7,68 +7,79 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"geckoftl/internal/flash"
-	"geckoftl/internal/ftl"
-	"geckoftl/internal/workload"
+	"geckoftl"
 )
 
 func main() {
-	// A small simulated device: 256 blocks of 32 pages of 1 KB, with the
-	// paper's default 70% logical-to-physical ratio and latency model.
-	cfg := flash.ScaledConfig(256)
-	cfg.PagesPerBlock = 32
-	cfg.PageSize = 1024
-	dev, err := flash.NewDevice(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	ctx := context.Background()
 
-	// Mount GeckoFTL with a 1024-entry mapping cache.
-	f, err := ftl.NewGeckoFTL(dev, 1024)
+	// A small simulated device: 256 blocks of 32 pages of 1 KB, the paper's
+	// default 70% logical-to-physical ratio, GeckoFTL with a 1024-entry
+	// mapping cache.
+	dev, err := geckoftl.Open(
+		geckoftl.WithGeometry(256, 32, 1024),
+		geckoftl.WithCacheEntries(1024),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("device: %s, %d logical pages exposed to the application\n", cfg, f.LogicalPages())
+	defer dev.Close(ctx)
+
+	g := dev.Geometry()
+	fmt.Printf("device: %d blocks x %d pages x %dB (%s, %d shard), %d logical pages\n",
+		g.Blocks, g.PagesPerBlock, g.PageSizeBytes, g.FTL, g.Shards, g.LogicalPages)
 
 	// Write every logical page once, then update random pages for a while so
 	// that garbage-collection kicks in.
-	for lpn := int64(0); lpn < f.LogicalPages(); lpn++ {
-		if err := f.Write(flash.LPN(lpn)); err != nil {
+	for lpn := geckoftl.LPN(0); int64(lpn) < dev.LogicalPages(); lpn++ {
+		if err := dev.Write(ctx, lpn); err != nil {
 			log.Fatal(err)
 		}
 	}
-	gen := workload.MustNewUniform(f.LogicalPages(), 42)
-	dev.ResetCounters()
+	gen, err := geckoftl.NewUniform(dev.LogicalPages(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev.ResetStats()
 	const updates = 20000
 	for i := 0; i < updates; i++ {
-		if err := f.Write(gen.Next().Page); err != nil {
-			log.Fatal(err)
-		}
-	}
-	// Read a few pages back.
-	for lpn := flash.LPN(0); lpn < 10; lpn++ {
-		if err := f.Read(lpn); err != nil {
+		if err := dev.Write(ctx, gen.Next().Page); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	counters := dev.Counters()
-	delta := cfg.Latency.WriteReadRatio()
-	fmt.Printf("\nafter %d random updates:\n", updates)
-	fmt.Printf("  write-amplification:        %.3f\n", counters.WriteAmplification(updates, delta))
-	fmt.Printf("    user data:                %.3f\n",
-		counters.PurposeWriteAmplification(flash.PurposeUserWrite, updates, delta)+
-			counters.PurposeWriteAmplification(flash.PurposeGCMigration, updates, delta))
-	fmt.Printf("    translation metadata:     %.3f\n",
-		counters.PurposeWriteAmplification(flash.PurposeTranslation, updates, delta))
-	fmt.Printf("    page-validity metadata:   %.3f\n",
-		counters.PurposeWriteAmplification(flash.PurposePageValidity, updates, delta))
-	fmt.Printf("  integrated RAM:             %d bytes\n", f.RAMBytes())
-	fmt.Printf("  garbage-collections:        %d\n", f.Stats().GCOperations)
-	fmt.Printf("  checkpoints:                %d\n", f.Stats().Checkpoints)
-	fmt.Printf("  simulated device time:      %s\n", dev.SimulatedTime().Round(time.Millisecond))
+	// Read a few pages back, and trim a range the host no longer needs:
+	// trimmed pages read as zeroes and their old versions become free
+	// invalid space for the garbage collector.
+	for lpn := geckoftl.LPN(0); lpn < 10; lpn++ {
+		if err := dev.Read(ctx, lpn); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := dev.Trim(ctx, 100, 64); err != nil {
+		log.Fatal(err)
+	}
+	mapped, err := dev.Mapped(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	snap := dev.Snapshot()
+	fmt.Printf("\nafter %d random updates and a 64-page trim:\n", updates)
+	fmt.Printf("  write-amplification:        %.3f\n", snap.WriteAmplification)
+	fmt.Printf("    user data:                %.3f\n", snap.UserWA)
+	fmt.Printf("    translation metadata:     %.3f\n", snap.TranslationWA)
+	fmt.Printf("    page-validity metadata:   %.3f\n", snap.ValidityWA)
+	fmt.Printf("  trims served:               %d (page 100 mapped: %v)\n", snap.Ops.Trims, mapped)
+	fmt.Printf("  integrated RAM:             %d bytes\n", snap.RAMBytes)
+	fmt.Printf("  garbage-collections:        %d\n", snap.GC.Collections)
+	fmt.Printf("  checkpoints:                %d\n", snap.Checkpoints)
+	fmt.Printf("  write latency p50/p99/max:  %s / %s / %s\n",
+		snap.WriteLatency.P50, snap.WriteLatency.P99, snap.WriteLatency.Max)
+	fmt.Printf("  simulated device time:      %s\n", snap.SimulatedTime.Round(time.Millisecond))
 }

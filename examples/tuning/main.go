@@ -1,6 +1,6 @@
 // Tuning: explore Logarithmic Gecko's two tuning knobs -- the size ratio T
-// and the entry-partitioning factor S -- in isolation from a full FTL, the
-// way Sections 3.2, 3.3, 5.1 and 5.2 of the paper analyze them.
+// and the entry-partitioning factor S -- through the public geckoftl API,
+// the way Sections 3.2, 3.3, 5.1 and 5.2 of the paper analyze them.
 //
 // Run with:
 //
@@ -11,13 +11,12 @@ import (
 	"fmt"
 	"log"
 
-	"geckoftl/internal/gecko"
-	"geckoftl/internal/sim"
+	"geckoftl"
 )
 
 func main() {
-	scale := sim.ExperimentScale{
-		Device:        sim.DeviceSpec{Blocks: 256, PagesPerBlock: 32, PageSize: 1024, OverProvision: 0.7},
+	scale := geckoftl.ExperimentScale{
+		Device:        geckoftl.DeviceSpec{Blocks: 256, PagesPerBlock: 32, PageSize: 1024, OverProvision: 0.7},
 		MeasureWrites: 20000,
 		Seed:          3,
 	}
@@ -26,18 +25,18 @@ func main() {
 	fmt.Println("analytical per-operation costs (K=2^22, B=128, P=4KB):")
 	fmt.Printf("  %-6s %16s %16s %12s\n", "T", "update writes", "GC query reads", "levels")
 	for _, t := range []int{2, 4, 8, 16, 32} {
-		cfg := gecko.DefaultConfig(1<<22, 128, 4096)
+		cfg := geckoftl.DefaultGeckoConfig(1<<22, 128, 4096)
 		cfg.SizeRatio = t
 		m := cfg.AnalyticalCost()
 		fmt.Printf("  %-6d %16.5f %16.1f %12d\n", t, m.UpdateWrites, m.QueryReads, cfg.Levels())
 	}
-	best := gecko.OptimalSizeRatio(gecko.DefaultConfig(1<<22, 128, 4096), 0.01, 10, 32)
+	best := geckoftl.OptimalGeckoSizeRatio(geckoftl.DefaultGeckoConfig(1<<22, 128, 4096), 0.01, 10, 32)
 	fmt.Printf("  analytically best T for the paper's workload regime: %d\n\n", best)
 
 	// 2. Simulated view (Figure 9): write-amplification per T against the
 	// flash-resident PVB baseline.
 	fmt.Println("simulated write-amplification of the page-validity structure (uniform updates):")
-	rows, err := sim.Figure9(scale)
+	rows, err := geckoftl.Figure9(scale)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +47,7 @@ func main() {
 
 	// 3. Entry-partitioning (Figure 10): the effect of S as B grows.
 	fmt.Println("entry-partitioning: write-amplification for different block sizes:")
-	partRows, err := sim.Figure10(scale)
+	partRows, err := geckoftl.Figure10(scale)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,152 @@
+package geckoftl
+
+import (
+	"geckoftl/internal/sim"
+)
+
+// The experiment harness behind the paper's evaluation, re-exported so that
+// the cmd/ binaries (and external users) never import internal packages.
+// Types are aliases — rows returned here are the same values the internal
+// harness produces — and functions are thin forwarding wrappers.
+
+// ExperimentScale controls how much work the simulation experiments do.
+type ExperimentScale = sim.ExperimentScale
+
+// DeviceSpec describes the simulated device used by an experiment.
+type DeviceSpec = sim.DeviceSpec
+
+// QuickScale is the small test-sized scale.
+func QuickScale() ExperimentScale { return sim.QuickScale() }
+
+// FullScale is the default scale of geckobench and the benchmarks.
+func FullScale() ExperimentScale { return sim.FullScale() }
+
+// DefaultDeviceSpec is the scaled-down device used by the simulation
+// experiments.
+func DefaultDeviceSpec() DeviceSpec { return sim.DefaultDeviceSpec() }
+
+// Result is the outcome of running one FTL configuration under a workload.
+type Result = sim.Result
+
+// RunOptions controls a single simulation run.
+type RunOptions = sim.RunOptions
+
+// Run executes one FTL-under-workload simulation and returns its result.
+func Run(opts RunOptions) (Result, error) { return sim.Run(opts) }
+
+// FormatTable renders results as an aligned text table with a header.
+func FormatTable(header string, results []Result) string { return sim.FormatTable(header, results) }
+
+// IsolatedResult is the outcome of driving a page-validity scheme in
+// isolation from a full FTL (the Section 5.1/5.2 methodology).
+type IsolatedResult = sim.IsolatedResult
+
+// Rows of the reproduced figures and tables.
+type (
+	Figure9Row  = sim.Figure9Row
+	Figure10Row = sim.Figure10Row
+	Figure11Row = sim.Figure11Row
+	Figure12Row = sim.Figure12Row
+	Figure14Row = sim.Figure14Row
+)
+
+// Figure9 compares Logarithmic Gecko under size ratios T = 2..32 against the
+// flash-resident PVB baseline (Section 5.1).
+func Figure9(scale ExperimentScale) ([]Figure9Row, error) { return sim.Figure9(scale) }
+
+// Figure10 shows entry-partitioning making write-amplification independent
+// of the block size (Section 5.2).
+func Figure10(scale ExperimentScale) ([]Figure10Row, error) { return sim.Figure10(scale) }
+
+// Figure11 scales capacity and compares Logarithmic Gecko against the
+// flash-resident PVB (Section 5.2, "Capacity").
+func Figure11(scale ExperimentScale) ([]Figure11Row, error) { return sim.Figure11(scale) }
+
+// Figure12 varies over-provisioning (Section 5.2, "Over-Provisioning").
+func Figure12(scale ExperimentScale) ([]Figure12Row, error) { return sim.Figure12(scale) }
+
+// Figure13WA runs the five FTLs under uniformly random writes and reports
+// the write-amplification breakdown of Figure 13 (bottom).
+func Figure13WA(scale ExperimentScale) ([]Result, error) { return sim.Figure13WA(scale) }
+
+// Figure13RAM returns the analytical integrated-RAM breakdown (Figure 13
+// top) at the paper's full 2 TB scale.
+func Figure13RAM() []RAMBreakdown { return sim.Figure13RAM() }
+
+// Figure13Recovery returns the analytical recovery-time breakdown (Figure 13
+// middle) at the paper's full 2 TB scale.
+func Figure13Recovery() []RecoveryBreakdown { return sim.Figure13Recovery() }
+
+// Figure14 reproduces the equal-RAM-budget experiment of Section 5.4.
+func Figure14(scale ExperimentScale) ([]Figure14Row, error) { return sim.Figure14(scale) }
+
+// Figure1 returns the capacity sweep of Figure 1 (LazyFTL RAM requirement
+// and recovery time versus device capacity).
+func Figure1() []CapacityPoint { return sim.Figure1() }
+
+// Table1 returns the evaluated Table 1 at the paper's full 2 TB scale.
+func Table1() []Table1Row { return sim.Table1() }
+
+// RecoveryResult is the measured recovery cost of one FTL.
+type RecoveryResult = sim.RecoveryResult
+
+// RecoverySimulation crashes each FTL mid-workload and measures its
+// recovery.
+func RecoverySimulation(scale ExperimentScale) ([]RecoveryResult, error) {
+	return sim.RecoverySimulation(scale)
+}
+
+// RecoverySweepOptions parameterizes RecoverySweep; RecoveryPoint is one of
+// its rows.
+type (
+	RecoverySweepOptions = sim.RecoverySweepOptions
+	RecoveryPoint        = sim.RecoveryPoint
+)
+
+// RecoverySweep crashes the sharded engine across channel counts, checkpoint
+// intervals and capacities, and measures parallel recovery wall-clock.
+func RecoverySweep(opts RecoverySweepOptions) ([]RecoveryPoint, error) {
+	return sim.RecoverySweep(opts)
+}
+
+// ChannelSweepOptions parameterizes ChannelSweep; ChannelPoint is one of its
+// rows.
+type (
+	ChannelSweepOptions = sim.ChannelSweepOptions
+	ChannelPoint        = sim.ChannelPoint
+)
+
+// ChannelSweep measures write throughput of the sharded engine across
+// channel counts.
+func ChannelSweep(opts ChannelSweepOptions) ([]ChannelPoint, error) {
+	return sim.ChannelSweep(opts)
+}
+
+// LatencySweepOptions parameterizes LatencySweep; LatencyPoint is one of its
+// rows.
+type (
+	LatencySweepOptions = sim.LatencySweepOptions
+	LatencyPoint        = sim.LatencyPoint
+)
+
+// LatencySweep measures per-write tail latency across GC modes, victim
+// policies and workloads.
+func LatencySweep(opts LatencySweepOptions) ([]LatencyPoint, error) {
+	return sim.LatencySweep(opts)
+}
+
+// TrimSweepOptions parameterizes TrimSweep; TrimPoint is one of its rows.
+type (
+	TrimSweepOptions = sim.TrimSweepOptions
+	TrimPoint        = sim.TrimPoint
+)
+
+// TrimSweep measures write-amplification as the host supplies an increasing
+// fraction of trims; WA falls monotonically with the trim fraction.
+func TrimSweep(opts TrimSweepOptions) ([]TrimPoint, error) { return sim.TrimSweep(opts) }
+
+// HeadlineSummary evaluates the paper's three headline claims.
+type HeadlineSummary = sim.HeadlineSummary
+
+// Headlines computes the headline-claim summary.
+func Headlines(scale ExperimentScale) (HeadlineSummary, error) { return sim.Headlines(scale) }

@@ -37,6 +37,10 @@ const (
 	// PurposeWearLeveling covers the background spare-area scans and
 	// migrations of the wear-leveler.
 	PurposeWearLeveling
+	// PurposeTrim covers work done on behalf of host trim (discard)
+	// commands: the zero-latency invalidation records themselves (OpTrim)
+	// and any translation reads a trim needs to identify its before-image.
+	PurposeTrim
 	numPurposes
 )
 
@@ -50,6 +54,7 @@ var purposeNames = [...]string{
 	PurposePageValidity: "page-validity",
 	PurposeRecovery:     "recovery",
 	PurposeWearLeveling: "wear-leveling",
+	PurposeTrim:         "trim",
 }
 
 // String returns a stable, human-readable name for the purpose.
@@ -81,6 +86,12 @@ const (
 	OpSpareRead
 	// OpErase is a block erase.
 	OpErase
+	// OpTrim is a host-initiated page invalidation (trim/discard). It is an
+	// accounting event, not an IO: NAND has no trim primitive, so the record
+	// carries zero latency. The counters keep it so experiments can report
+	// how much invalid space the host supplied for free, next to the IO the
+	// garbage collector would otherwise have spent discovering it.
+	OpTrim
 	numOps
 )
 
@@ -89,6 +100,7 @@ var opNames = [...]string{
 	OpPageWrite: "page-write",
 	OpSpareRead: "spare-read",
 	OpErase:     "erase",
+	OpTrim:      "trim",
 }
 
 // String returns a stable, human-readable name for the operation.

@@ -226,6 +226,30 @@ func (d *Device) readSpare(ppn PPN, p Purpose, floor time.Duration) (SpareArea, 
 	return blk.spares[addr.Offset], true, nil
 }
 
+// NoteTrim records a host trim (discard) of the page at ppn: the page's
+// contents are no longer needed by the host and the FTL has marked them
+// invalid. NAND has no trim primitive, so the record costs no device time; it
+// exists so the invalidation counters can report how much invalid space the
+// host supplied next to the IO the FTL spent on it (Counters, OpTrim). The
+// page itself is untouched — only an erase of its block reclaims it.
+func (d *Device) NoteTrim(ppn PPN, p Purpose) error {
+	return d.noteTrim(ppn, p, 0)
+}
+
+// noteTrim is NoteTrim with a caller-supplied start floor (unused by the
+// zero-cost record, kept for symmetry with the IO paths).
+func (d *Device) noteTrim(ppn PPN, p Purpose, floor time.Duration) error {
+	addr := Decompose(ppn, d.cfg.PagesPerBlock)
+	if err := d.checkPage(addr.Block, addr.Offset); err != nil {
+		return err
+	}
+	die := d.die(addr.Block)
+	die.mu.Lock()
+	defer die.mu.Unlock()
+	d.record(die, OpTrim, p, 0, floor)
+	return nil
+}
+
 // EraseBlock erases a block, freeing all of its pages.
 func (d *Device) EraseBlock(block BlockID, p Purpose) error {
 	return d.eraseBlock(block, p, 0)

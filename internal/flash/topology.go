@@ -71,6 +71,9 @@ type Plane interface {
 	ReadPage(ppn PPN, p Purpose) error
 	ReadSpare(ppn PPN, p Purpose) (SpareArea, bool, error)
 	EraseBlock(block BlockID, p Purpose) error
+	// NoteTrim records a host trim of the page at ppn in the invalidation
+	// counters (OpTrim). It is a zero-latency accounting event, not an IO.
+	NoteTrim(ppn PPN, p Purpose) error
 	WritePointer(block BlockID) (int, error)
 	EraseCount(block BlockID) (int, error)
 	BlocksEndurance() (min, max int, mean float64)
@@ -227,6 +230,14 @@ func (p *Partition) ReadSpare(ppn PPN, pu Purpose) (SpareArea, bool, error) {
 		return SpareArea{}, false, err
 	}
 	return p.dev.readSpare(ppn+p.ppnOffset(), pu, p.floor())
+}
+
+// NoteTrim records a host trim of the partition-relative page ppn.
+func (p *Partition) NoteTrim(ppn PPN, pu Purpose) error {
+	if err := p.checkPPN(ppn); err != nil {
+		return err
+	}
+	return p.dev.noteTrim(ppn+p.ppnOffset(), pu, p.floor())
 }
 
 // EraseBlock erases the partition-relative block.

@@ -90,6 +90,14 @@ type blockManager struct {
 	// must run before further allocations.
 	gcReserve int
 
+	// lastSeq is the device write sequence of the most recent page this
+	// manager programmed (bumped opportunistically during recovery scans).
+	// Synchronization operations stamp it into translation-page spares as
+	// the content sequence: the instant up to which the page's mapping
+	// content is known current. Unlike the page's own WriteSeq it survives
+	// garbage-collection copies, which refresh WriteSeq but not content.
+	lastSeq uint64
+
 	erases int64
 }
 
@@ -184,12 +192,26 @@ func (bm *blockManager) AllocatePage(g Group, spare flash.SpareArea, p flash.Pur
 	if err != nil {
 		return flash.InvalidPPN, err
 	}
+	bm.NoteWriteSeq(seq)
 	if info.writePointer == 0 {
 		info.firstWriteSeq = seq
 	}
 	info.writePointer++
 	info.valid++
 	return ppn, nil
+}
+
+// LastWriteSeq returns the newest device write sequence the manager has
+// observed (see lastSeq).
+func (bm *blockManager) LastWriteSeq() uint64 { return bm.lastSeq }
+
+// NoteWriteSeq ratchets lastSeq forward; recovery calls it with the sequence
+// numbers of the spares it scans so post-recovery synchronizations stamp
+// content sequences no older than the flash they recovered from.
+func (bm *blockManager) NoteWriteSeq(seq uint64) {
+	if seq > bm.lastSeq {
+		bm.lastSeq = seq
+	}
 }
 
 // InvalidatePage decrements the BVC entry of the page's block.
@@ -324,6 +346,9 @@ func (bm *blockManager) CrashRAM() {
 	for g := range bm.active {
 		bm.active[g] = flash.InvalidBlock
 	}
+	// The write-sequence high-water mark is RAM too; recovery re-learns it
+	// from the spares it scans (NoteWriteSeq).
+	bm.lastSeq = 0
 }
 
 // userBlocksByRecency returns the allocated user blocks ordered from most

@@ -49,27 +49,44 @@ type engineShard struct {
 	// path free of cross-shard contention.
 	readLat  *stats.Histogram
 	writeLat *stats.Histogram
-	// stallLat records the full service time of writes that performed any
-	// garbage-collection work; maxStall tracks the largest GC-only stall
-	// component (FTL.LastWriteGCStall) any single write absorbed.
+	trimLat  *stats.Histogram
+	// stallLat records the full service time of host operations (writes or
+	// trims) that performed any garbage-collection work; maxStall tracks the
+	// largest GC-only stall component (FTL.LastWriteGCStall) any single
+	// operation absorbed.
 	stallLat *stats.Histogram
 	maxStall time.Duration
 }
+
+// opKind distinguishes the host operations the engine instruments.
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+	opTrim
+)
 
 // observe records the service time of the operation that just completed on
 // the shard: the completion instant of the shard's dies minus the round's
 // arrival instant, which includes queueing behind earlier operations of the
 // same round on the same dies. Callers hold the shard lock.
-func (sh *engineShard) observe(arrival time.Duration, write bool) {
+func (sh *engineShard) observe(arrival time.Duration, kind opKind) {
 	latency := sh.ftl.Device().BusyUntil() - arrival
 	if latency < 0 {
 		latency = 0
 	}
-	if !write {
+	if kind == opRead {
 		sh.readLat.Record(latency)
 		return
 	}
-	sh.writeLat.Record(latency)
+	if kind == opTrim {
+		sh.trimLat.Record(latency)
+	} else {
+		sh.writeLat.Record(latency)
+	}
+	// Writes and trims both run the garbage-collection scheduler, so both
+	// can absorb a GC stall.
 	if stall, _ := sh.ftl.LastWriteGCStall(); stall > 0 {
 		sh.stallLat.Record(latency)
 		if stall > sh.maxStall {
@@ -114,6 +131,7 @@ func NewEngine(dev *flash.Device, opts Options, shards int) (*Engine, error) {
 			ftl:      f,
 			readLat:  stats.NewHistogram(),
 			writeLat: stats.NewHistogram(),
+			trimLat:  stats.NewHistogram(),
 			stallLat: stats.NewHistogram(),
 		})
 	}
@@ -150,7 +168,7 @@ func (e *Engine) LogicalPages() int64 { return e.logicalPages }
 // channels), which spreads both sequential and uniform workloads.
 func (e *Engine) shardOf(lpn flash.LPN) (int, flash.LPN, error) {
 	if lpn < 0 || int64(lpn) >= e.logicalPages {
-		return 0, 0, fmt.Errorf("ftl: logical page %d out of range [0,%d)", lpn, e.logicalPages)
+		return 0, 0, fmt.Errorf("ftl: logical page %d out of range [0,%d): %w", lpn, e.logicalPages, flash.ErrOutOfRange)
 	}
 	n := int64(len(e.shards))
 	return int(int64(lpn) % n), flash.LPN(int64(lpn) / n), nil
@@ -176,7 +194,7 @@ func (e *Engine) Write(lpn flash.LPN) error {
 	if err := sh.ftl.Write(local); err != nil {
 		return err
 	}
-	sh.observe(arrival, true)
+	sh.observe(arrival, opWrite)
 	return nil
 }
 
@@ -194,7 +212,26 @@ func (e *Engine) Read(lpn flash.LPN) error {
 	if err := sh.ftl.Read(local); err != nil {
 		return err
 	}
-	sh.observe(arrival, false)
+	sh.observe(arrival, opRead)
+	return nil
+}
+
+// Trim serves one host trim (discard) of a logical page. Safe for concurrent
+// use; arrival semantics as for Write. See FTL.Trim for the durability
+// contract (a trim is durable once synchronized, e.g. by Flush).
+func (e *Engine) Trim(lpn flash.LPN) error {
+	s, local, err := e.shardOf(lpn)
+	if err != nil {
+		return err
+	}
+	sh := e.shards[s]
+	arrival := sh.ftl.Device().SyncArrival()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.ftl.Trim(local); err != nil {
+		return err
+	}
+	sh.observe(arrival, opTrim)
 	return nil
 }
 
@@ -207,7 +244,7 @@ func (e *Engine) WriteBatch(lpns []flash.LPN) error {
 	if err != nil {
 		return err
 	}
-	return e.fanOut(buckets, (*FTL).Write, true)
+	return e.fanOut(buckets, (*FTL).Write, opWrite)
 }
 
 // ReadBatch reads every logical page in lpns, fanning the requests out
@@ -217,7 +254,31 @@ func (e *Engine) ReadBatch(lpns []flash.LPN) error {
 	if err != nil {
 		return err
 	}
-	return e.fanOut(buckets, (*FTL).Read, false)
+	return e.fanOut(buckets, (*FTL).Read, opRead)
+}
+
+// TrimBatch trims every logical page in lpns, fanning the requests out
+// across shards in parallel.
+func (e *Engine) TrimBatch(lpns []flash.LPN) error {
+	buckets, err := e.bucket(lpns)
+	if err != nil {
+		return err
+	}
+	return e.fanOut(buckets, (*FTL).Trim, opTrim)
+}
+
+// Mapped reports whether a logical page currently maps to flash-resident
+// data: false for never-written and trimmed pages. Like FTL.Mapped it issues
+// no simulated IO; it serves tests, examples and audits.
+func (e *Engine) Mapped(lpn flash.LPN) (bool, error) {
+	s, local, err := e.shardOf(lpn)
+	if err != nil {
+		return false, err
+	}
+	sh := e.shards[s]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.ftl.Mapped(local)
 }
 
 // bucket groups a batch into per-shard slices of shard-local LPNs. Routing
@@ -248,7 +309,7 @@ func (e *Engine) bucket(lpns []flash.LPN) ([][]flash.LPN, error) {
 // goroutine scheduling; overlapping batches from concurrent callers ratchet
 // the shared arrival clock and so charge each other's queueing, as
 // overlapping arrivals at a real device would.
-func (e *Engine) fanOut(buckets [][]flash.LPN, op func(*FTL, flash.LPN) error, write bool) error {
+func (e *Engine) fanOut(buckets [][]flash.LPN, op func(*FTL, flash.LPN) error, kind opKind) error {
 	arrival := e.dev.SyncArrival()
 	var wg sync.WaitGroup
 	errs := make([]error, len(buckets))
@@ -267,7 +328,7 @@ func (e *Engine) fanOut(buckets [][]flash.LPN, op func(*FTL, flash.LPN) error, w
 					errs[i] = fmt.Errorf("shard %d: %w", i, err)
 					return
 				}
-				sh.observe(arrival, write)
+				sh.observe(arrival, kind)
 			}
 		}(i, bucket)
 	}
@@ -275,8 +336,16 @@ func (e *Engine) fanOut(buckets [][]flash.LPN, op func(*FTL, flash.LPN) error, w
 	return errors.Join(errs...)
 }
 
-// Flush forces all dirty state of every shard to flash.
+// Flush forces all dirty state of every shard to flash. On a power-failed
+// engine it fails fast with flash.ErrPowerFailed rather than vacuously
+// succeeding over the crash-emptied RAM state.
 func (e *Engine) Flush() error {
+	e.powerMu.Lock()
+	failed := e.failed
+	e.powerMu.Unlock()
+	if failed {
+		return flash.ErrPowerFailed
+	}
 	for i, sh := range e.shards {
 		sh.mu.Lock()
 		err := sh.ftl.Flush()
@@ -297,16 +366,17 @@ func (e *Engine) Flush() error {
 type EngineStats struct {
 	// Ops is the shards' logical operation counters summed.
 	Ops Stats
-	// Reads and Writes are the service-time distributions of successful
-	// single-page and batched operations since the last reset.
-	Reads, Writes stats.Summary
-	// GCStalledWrites is the service-time distribution of the subset of
-	// writes that performed garbage-collection work (migrations or erases).
+	// Reads, Writes and Trims are the service-time distributions of
+	// successful single-page and batched operations since the last reset.
+	Reads, Writes, Trims stats.Summary
+	// GCStalledWrites is the service-time distribution of the subset of host
+	// operations (writes and trims) that performed garbage-collection work
+	// (migrations or erases).
 	GCStalledWrites stats.Summary
-	// MaxGCStall is the largest GC stall any single write absorbed: the
-	// device time its GC migrations and erases consumed, excluding the
-	// write's own IO. Under GCIncremental this is the quantity bounded by
-	// model.IncrementalGCStallBound.
+	// MaxGCStall is the largest GC stall any single host operation absorbed:
+	// the device time its GC migrations and erases consumed, excluding the
+	// operation's own IO. Under GCIncremental this is the quantity bounded
+	// by model.IncrementalGCStallBound.
 	MaxGCStall time.Duration
 }
 
@@ -314,12 +384,13 @@ type EngineStats struct {
 // counters) into an engine-wide report. It may run concurrently with
 // batches; like Stats, the snapshot is per-shard consistent.
 func (e *Engine) LatencyStats() EngineStats {
-	reads, writes, stalled := stats.NewHistogram(), stats.NewHistogram(), stats.NewHistogram()
+	reads, writes, trims, stalled := stats.NewHistogram(), stats.NewHistogram(), stats.NewHistogram(), stats.NewHistogram()
 	var out EngineStats
 	for _, sh := range e.shards {
 		sh.mu.Lock()
 		reads.Merge(sh.readLat)
 		writes.Merge(sh.writeLat)
+		trims.Merge(sh.trimLat)
 		stalled.Merge(sh.stallLat)
 		if sh.maxStall > out.MaxGCStall {
 			out.MaxGCStall = sh.maxStall
@@ -329,6 +400,7 @@ func (e *Engine) LatencyStats() EngineStats {
 	}
 	out.Reads = reads.Summary()
 	out.Writes = writes.Summary()
+	out.Trims = trims.Summary()
 	out.GCStalledWrites = stalled.Summary()
 	return out
 }
@@ -341,6 +413,7 @@ func (e *Engine) ResetLatencyStats() {
 		sh.mu.Lock()
 		sh.readLat.Reset()
 		sh.writeLat.Reset()
+		sh.trimLat.Reset()
 		sh.stallLat.Reset()
 		sh.maxStall = 0
 		sh.mu.Unlock()
@@ -387,6 +460,8 @@ func (e *Engine) CheckConsistency() error {
 func (s *Stats) add(other Stats) {
 	s.LogicalWrites += other.LogicalWrites
 	s.LogicalReads += other.LogicalReads
+	s.LogicalTrims += other.LogicalTrims
+	s.TrimmedPages += other.TrimmedPages
 	s.GCOperations += other.GCOperations
 	s.GCMigrations += other.GCMigrations
 	s.UIPSkips += other.UIPSkips

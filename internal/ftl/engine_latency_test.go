@@ -38,7 +38,7 @@ func TestEngineLatencyStats(t *testing.T) {
 	batch := 4 * cfg.Dies()
 	var writes int64
 	for writes < 2*eng.LogicalPages() {
-		_, targets := workload.SplitBatch(workload.TakeBatch(gen, batch))
+		_, targets, _ := workload.SplitBatch(workload.TakeBatch(gen, batch))
 		if err := eng.WriteBatch(targets); err != nil {
 			t.Fatal(err)
 		}
@@ -144,7 +144,7 @@ func TestEngineLatencyDeterministic(t *testing.T) {
 		batch := 4 * eng.Device().Config().Dies()
 		var writes int64
 		for writes < 2*eng.LogicalPages() {
-			_, targets := workload.SplitBatch(workload.TakeBatch(gen, batch))
+			_, targets, _ := workload.SplitBatch(workload.TakeBatch(gen, batch))
 			if err := eng.WriteBatch(targets); err != nil {
 				t.Fatal(err)
 			}

@@ -92,8 +92,12 @@ func (f *FTL) Recover() (*RecoveryReport, error) {
 	}
 
 	// Step 2: recover the GMD by scanning the spare areas of all translation
-	// pages and keeping the newest version of each.
-	if err := f.recoverGMD(); err != nil {
+	// pages and keeping the newest version of each. The content sequences of
+	// the recovered versions are kept: the backwards scan of step 6 uses
+	// them to recognize user pages whose invalidation (by a synchronized
+	// overwrite or trim) is already durable.
+	tpContentSeq, err := f.recoverGMD()
+	if err != nil {
 		return nil, err
 	}
 
@@ -122,7 +126,7 @@ func (f *FTL) Recover() (*RecoveryReport, error) {
 	// backwards scan (Section 4.3), unless a battery already synchronized
 	// them before power ran out.
 	if !f.opts.Battery {
-		recovered, err := f.recoverDirtyEntries()
+		recovered, err := f.recoverDirtyEntries(tpContentSeq)
 		if err != nil {
 			return nil, err
 		}
@@ -195,6 +199,7 @@ func (f *FTL) recoverBlockManager() error {
 		}
 		info.allocated = true
 		info.firstWriteSeq = spare.WriteSeq
+		bm.NoteWriteSeq(spare.WriteSeq)
 		switch spare.BlockType {
 		case flash.BlockTranslation:
 			info.group = GroupTranslation
@@ -236,32 +241,41 @@ func (f *FTL) recoverBlockManager() error {
 
 // recoverGMD rebuilds the Global Mapping Directory (GeckoRec step 2) by
 // scanning the spare areas of all pages in translation blocks and keeping the
-// most recently written version of each translation page.
-func (f *FTL) recoverGMD() error {
+// most recently written version of each translation page. It returns each
+// recovered translation page's content sequence (the Aux stamp written by
+// Synchronize and preserved across garbage-collection copies): the newest
+// write sequence whose effect the durable mapping content is known to
+// reflect. The dirty-entry scan uses it to date the durable mapping state —
+// the page's own WriteSeq will not do, because a garbage-collection copy
+// refreshes it without refreshing the content.
+func (f *FTL) recoverGMD() (map[int]uint64, error) {
 	f.table.CrashRAM()
 	newest := make(map[int]uint64)
+	contentSeq := make(map[int]uint64)
 	for _, block := range f.bm.BlocksInGroup(GroupTranslation) {
 		written := f.bm.WritePointer(block)
 		for offset := 0; offset < written; offset++ {
 			ppn := flash.PPNOf(block, offset, f.cfg.PagesPerBlock)
 			spare, ok, err := f.dev.ReadSpare(ppn, flash.PurposeRecovery)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if !ok {
 				continue
 			}
+			f.bm.NoteWriteSeq(spare.WriteSeq)
 			tp := int(spare.Tag)
 			if tp < 0 || tp >= f.table.Pages() {
 				continue
 			}
 			if seq, seen := newest[tp]; !seen || spare.WriteSeq > seq {
 				newest[tp] = spare.WriteSeq
+				contentSeq[tp] = spare.Aux
 				f.table.SetGMDLocation(tp, ppn)
 			}
 		}
 	}
-	return nil
+	return contentSeq, nil
 }
 
 // recoverGeckoBuffer rebuilds the content of Logarithmic Gecko's buffer that
@@ -480,7 +494,20 @@ func (f *FTL) rebuildBVC() error {
 // entry for every new logical page encountered, until C entries exist or the
 // 2C spare-read bound is reached. Recreated entries get dirty = true,
 // UIP = true and the uncertainty marker of Appendix C.3.
-func (f *FTL) recoverDirtyEntries() (int, error) {
+//
+// tpContentSeq dates the durable translation state: each translation page's
+// content sequence as recovered by recoverGMD. Every synchronization of a
+// translation page includes all of the page's dirty cached entries, so a
+// candidate user page written no later than the content sequence, which the
+// durable page does not map, is a stale before-image whose invalidation was
+// already synchronized — by an overwrite (whose newer version the scan
+// recovers separately) or by a trim, which leaves no newer user page at all.
+// Such candidates are skipped: recreating a mapping entry for one would
+// resurrect overwritten or trimmed data. (When the durable page still maps
+// the candidate, the candidate is the current version; it is recovered as
+// uncertain and Appendix C.3.1's first synchronization aborts it at no
+// cost.)
+func (f *FTL) recoverDirtyEntries(tpContentSeq map[int]uint64) (int, error) {
 	capacity := f.cache.Capacity()
 	maxSpareReads := 2 * capacity
 	spareReads := 0
@@ -499,11 +526,21 @@ func (f *FTL) recoverDirtyEntries() (int, error) {
 				return recovered, err
 			}
 			spareReads++
-			if !ok || spare.Logical == flash.InvalidLPN {
+			if !ok {
+				continue
+			}
+			f.bm.NoteWriteSeq(spare.WriteSeq)
+			if spare.Logical == flash.InvalidLPN {
 				continue
 			}
 			lpn := spare.Logical
 			if seen[lpn] {
+				continue
+			}
+			if seq, ok := tpContentSeq[f.table.pageOf(lpn)]; ok && seq >= spare.WriteSeq && f.table.FlashEntry(lpn) != ppn {
+				// Durably invalidated (see above); a newer version of lpn, if
+				// any, may still appear later in the scan, so lpn is not
+				// marked seen.
 				continue
 			}
 			seen[lpn] = true

@@ -163,7 +163,13 @@ func (t *translationTable) Synchronize(tp int, updates []dirtyUpdate) (beforeIma
 		t.flashMapping[u.Logical] = u.Physical
 	}
 
-	spare := flash.SpareArea{Logical: flash.InvalidLPN, Tag: uint64(tp)}
+	// Aux carries the content sequence: the newest write sequence the
+	// mapping content of this version reflects. Synchronize includes every
+	// dirty cached entry of the translation page, so the content is current
+	// up to this instant. Garbage-collection copies of the page refresh its
+	// WriteSeq but preserve Aux, which is what lets recovery date the
+	// durable mapping state (see recoverDirtyEntries).
+	spare := flash.SpareArea{Logical: flash.InvalidLPN, Tag: uint64(tp), Aux: t.bm.LastWriteSeq()}
 	loc, err := t.bm.AllocatePage(GroupTranslation, spare, flash.PurposeTranslation)
 	if err != nil {
 		return nil, err

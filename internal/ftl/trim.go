@@ -1,0 +1,126 @@
+package ftl
+
+import (
+	"fmt"
+
+	"geckoftl/internal/flash"
+	"geckoftl/internal/mapcache"
+)
+
+// Trim serves a host trim (discard) of a logical page: the page's contents
+// are dropped, its cached mapping entry is unmapped (and the durable one at
+// the next synchronization), and its physical before-image is reported
+// invalid so that the garbage collector never migrates it — trims are the
+// host's way of supplying invalid pages for free. Reading a trimmed page
+// afterwards returns zeroes without IO, exactly like a never-written page.
+//
+// GeckoFTL trims lazily, mirroring its write path (Section 4.1): on a cache
+// miss the flash-resident before-image is not looked up — the UIP flag
+// records that an unidentified invalid page may exist, and the next
+// synchronization (or the garbage collector, for free) identifies it. A trim
+// therefore costs no flash IO at all under GeckoFTL. The comparison FTLs
+// identify the before-image eagerly, paying a translation-page read on a
+// cache miss, just as their writes do.
+//
+// Like a write, a trim is durable only once the mapping entry it dirties has
+// been synchronized (Flush forces this): a trim followed immediately by a
+// power failure may come back mapped after recovery, which matches the
+// contract of a real device's non-flushed TRIM.
+func (f *FTL) Trim(lpn flash.LPN) error {
+	if lpn < 0 || int64(lpn) >= f.logicalPages {
+		return fmt.Errorf("ftl: logical page %d out of range [0,%d): %w", lpn, f.logicalPages, flash.ErrOutOfRange)
+	}
+	if !f.dev.Powered() {
+		return flash.ErrPowerFailed
+	}
+	f.stats.LogicalTrims++
+	f.opGCTime, f.opGCSteps = 0, 0
+
+	// Trims allocate no user page, but the synchronizations they can trigger
+	// (dirty eviction, checkpoint, dirty bound) do allocate translation
+	// pages; keep the free pool above the reserve exactly as Write does.
+	if err := f.garbageCollect(); err != nil {
+		return err
+	}
+
+	cached, isCached := f.cache.Peek(lpn)
+	if isCached && cached.Physical == flash.InvalidPPN {
+		// Already unmapped (trimmed or never written): nothing to drop. The
+		// entry keeps its flags — a pending UIP identification from an
+		// earlier trim must still run at its next synchronization.
+		f.cache.Put(cached)
+		return nil
+	}
+
+	entry := mapcache.Entry{Logical: lpn, Physical: flash.InvalidPPN, Dirty: true}
+	switch {
+	case isCached:
+		// The before-image is known from the cache: report it invalid
+		// immediately, as the write path does.
+		if err := f.reportTrimmed(cached.Physical); err != nil {
+			return err
+		}
+		entry.UIP = cached.UIP
+		entry.Uncertain = cached.Uncertain
+		entry.Trimmed = cached.Trimmed
+		if !cached.Dirty {
+			f.dirtyCount++
+		}
+	case f.opts.Scheme == SchemeGecko:
+		// Lazy invalid-page identification: defer looking up the flash
+		// before-image. Trimmed attributes the eventual report to this trim.
+		entry.UIP = true
+		entry.Trimmed = true
+		f.dirtyCount++
+	default:
+		// Eager identification, like the comparison FTLs' write-miss path.
+		prev, err := f.table.ReadEntry(lpn, flash.PurposeTrim)
+		if err != nil {
+			return err
+		}
+		if err := f.reportTrimmed(prev); err != nil {
+			return err
+		}
+		f.dirtyCount++
+	}
+
+	if err := f.putCacheEntry(entry); err != nil {
+		return err
+	}
+	if err := f.maybeCheckpoint(); err != nil {
+		return err
+	}
+	return f.enforceDirtyBound()
+}
+
+// reportTrimmed reports a page invalidated by a host trim: the regular
+// invalid-page report plus the device's invalidation counter and the trim
+// statistics. A trim of an unmapped page (InvalidPPN) is a no-op.
+func (f *FTL) reportTrimmed(ppn flash.PPN) error {
+	if ppn == flash.InvalidPPN {
+		return nil
+	}
+	if err := f.reportInvalid(ppn); err != nil {
+		return err
+	}
+	if err := f.dev.NoteTrim(ppn, flash.PurposeTrim); err != nil {
+		return err
+	}
+	f.stats.TrimmedPages++
+	return nil
+}
+
+// Mapped reports whether a logical page currently maps to flash-resident
+// data: false for never-written and trimmed pages. It consults the mapping
+// cache and the FTL's RAM mirror of the translation table and issues no
+// simulated IO, so it exists for tests, examples and consistency audits
+// rather than for the modeled data path.
+func (f *FTL) Mapped(lpn flash.LPN) (bool, error) {
+	if lpn < 0 || int64(lpn) >= f.logicalPages {
+		return false, fmt.Errorf("ftl: logical page %d out of range [0,%d): %w", lpn, f.logicalPages, flash.ErrOutOfRange)
+	}
+	if e, ok := f.cache.Peek(lpn); ok {
+		return e.Physical != flash.InvalidPPN, nil
+	}
+	return f.table.FlashEntry(lpn) != flash.InvalidPPN, nil
+}

@@ -25,6 +25,11 @@ type Entry struct {
 	// synchronization operation involving the entry performs the extra
 	// checks and clears the flag.
 	Uncertain bool
+	// Trimmed rides along with UIP when the pending before-image
+	// identification was caused by a host trim rather than an overwrite, so
+	// that the eventual report is attributed to the trim statistics. It is
+	// cleared together with UIP.
+	Trimmed bool
 }
 
 // element is what the LRU list stores: either a real mapping entry or a

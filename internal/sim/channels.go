@@ -150,7 +150,7 @@ func channelPoint(opts ChannelSweepOptions, channels int) (ChannelPoint, error) 
 	pump := func(writes int64) error {
 		var done int64
 		for done < writes {
-			_, targets := workload.SplitBatch(workload.TakeBatch(gen, batchSize))
+			_, targets, _ := workload.SplitBatch(workload.TakeBatch(gen, batchSize))
 			if len(targets) == 0 {
 				continue
 			}

@@ -160,7 +160,7 @@ func latencyPoint(opts LatencySweepOptions, channels int, wl string, policy ftl.
 	pump := func(writes int64) error {
 		var done int64
 		for done < writes {
-			_, targets := workload.SplitBatch(workload.TakeBatch(gen, batchSize))
+			_, targets, _ := workload.SplitBatch(workload.TakeBatch(gen, batchSize))
 			if len(targets) == 0 {
 				continue
 			}

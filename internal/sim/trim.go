@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"fmt"
+
+	"geckoftl/internal/flash"
+	"geckoftl/internal/ftl"
+	"geckoftl/internal/stats"
+	"geckoftl/internal/workload"
+)
+
+// TrimPoint is one row of the trim sweep: the sharded GeckoFTL engine run
+// under the same write workload with an increasing fraction of host trims
+// interleaved. Trims supply the garbage collector with invalid pages for
+// free, so write-amplification must fall as the trim fraction rises — the
+// host-visible half of the paper's GC cost model.
+type TrimPoint struct {
+	// Workload names the write pattern the trims are interleaved with.
+	Workload string
+	// TrimFraction is the fraction of host operations that are trims.
+	TrimFraction float64
+	// Channels is the engine width.
+	Channels int
+	// Writes and Trims count the logical operations of the measured window.
+	Writes, Trims int64
+	// TrimmedPages counts the physical before-images invalidated on behalf
+	// of the window's trims (identified eagerly or by GeckoFTL's lazy path).
+	TrimmedPages int64
+	// WA is the measured write-amplification of the window, per logical
+	// write. The trim sweep's acceptance bar: strictly decreasing in
+	// TrimFraction at a fixed workload.
+	WA float64
+	// UserWA, TranslationWA and ValidityWA break WA down by purpose.
+	UserWA, TranslationWA, ValidityWA float64
+	// Write is the per-write service-time distribution of the window.
+	Write stats.Summary
+	// Trim is the per-trim service-time distribution of the window. Under
+	// GeckoFTL trims are RAM-only until the next synchronization, so the
+	// distribution is dominated by zeroes plus the occasional eviction sync
+	// or GC step.
+	Trim stats.Summary
+}
+
+// TrimSweepOptions parameterizes TrimSweep.
+type TrimSweepOptions struct {
+	// Scale sizes the device, cache budget and measured window; the device
+	// and cache grow until every shard stays workable, as in ChannelSweep.
+	Scale ExperimentScale
+	// Channels is the engine width of every point. Zero means 2.
+	Channels int
+	// BatchSize is the number of operations dispatched per engine batch.
+	// Zero means 2 per die.
+	BatchSize int
+	// Workload names the write pattern ("uniform" when empty).
+	Workload string
+	// TrimFractions lists the trim fractions to sweep. Empty means
+	// 0, 0.1, 0.2, 0.3.
+	TrimFractions []float64
+}
+
+// TrimSweep measures write-amplification of the sharded GeckoFTL engine as
+// the host supplies an increasing fraction of trims. Every point runs the
+// same measured window (counted in logical writes) after a
+// two-full-overwrite warm-up at the point's own trim fraction, so each
+// point is measured in its steady state.
+func TrimSweep(opts TrimSweepOptions) ([]TrimPoint, error) {
+	if opts.Scale.MeasureWrites <= 0 {
+		return nil, fmt.Errorf("sim: measure writes %d must be positive", opts.Scale.MeasureWrites)
+	}
+	channels := opts.Channels
+	if channels <= 0 {
+		channels = 2
+	}
+	wl := opts.Workload
+	if wl == "" {
+		wl = "uniform"
+	}
+	fractions := opts.TrimFractions
+	if len(fractions) == 0 {
+		fractions = []float64{0, 0.1, 0.2, 0.3}
+	}
+	for _, f := range fractions {
+		if f < 0 || f >= 1 {
+			return nil, fmt.Errorf("sim: trim fraction %g out of range [0,1)", f)
+		}
+	}
+	// Grow the device and cache once so every shard stays workable; the
+	// grown geometry applies to every point (see ChannelSweep).
+	if min := MinSweepShardBlocks * channels; opts.Scale.Device.Blocks < min {
+		opts.Scale.Device.Blocks = min
+	}
+	if min := minSweepShardCache * channels; opts.Scale.CacheEntries < min {
+		opts.Scale.CacheEntries = min
+	}
+
+	var points []TrimPoint
+	for _, f := range fractions {
+		p, err := trimPoint(opts, channels, wl, f)
+		if err != nil {
+			return nil, fmt.Errorf("sim: trim sweep (%s, f=%.2f): %w", wl, f, err)
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// trimPoint measures one trim fraction.
+func trimPoint(opts TrimSweepOptions, channels int, wl string, fraction float64) (TrimPoint, error) {
+	scale := opts.Scale
+	spec := scale.Device
+	spec.Channels = channels
+	dev, err := spec.NewDevice()
+	if err != nil {
+		return TrimPoint{}, err
+	}
+	cfg := dev.Config()
+
+	eng, err := ftl.NewEngine(dev, ftl.GeckoFTLOptions(scale.CacheEntries/channels), 0)
+	if err != nil {
+		return TrimPoint{}, err
+	}
+	writes, err := workload.ByName(wl, eng.LogicalPages(), scale.Seed)
+	if err != nil {
+		return TrimPoint{}, err
+	}
+	gen, err := workload.NewTrimming(writes, eng.LogicalPages(), fraction, scale.Seed+1)
+	if err != nil {
+		return TrimPoint{}, err
+	}
+	batchSize := opts.BatchSize
+	if batchSize <= 0 {
+		batchSize = 2 * cfg.Dies()
+	}
+
+	// pump dispatches batches until the target number of logical writes has
+	// been served; interleaved trims ride along without counting.
+	pump := func(target int64) error {
+		var done int64
+		for done < target {
+			_, targets, trims := workload.SplitBatch(workload.TakeBatch(gen, batchSize))
+			if len(trims) > 0 {
+				if err := eng.TrimBatch(trims); err != nil {
+					return err
+				}
+			}
+			if len(targets) == 0 {
+				continue
+			}
+			if err := eng.WriteBatch(targets); err != nil {
+				return err
+			}
+			done += int64(len(targets))
+		}
+		return nil
+	}
+
+	if err := pump(2 * eng.LogicalPages()); err != nil {
+		return TrimPoint{}, fmt.Errorf("warm-up: %w", err)
+	}
+	eng.ResetLatencyStats()
+	countersBefore := dev.Counters()
+	statsBefore := eng.Stats()
+	if err := pump(scale.MeasureWrites); err != nil {
+		return TrimPoint{}, fmt.Errorf("measurement: %w", err)
+	}
+
+	es := eng.LatencyStats()
+	after := eng.Stats()
+	nWrites := after.LogicalWrites - statsBefore.LogicalWrites
+	counters := dev.Counters().Sub(countersBefore)
+	delta := cfg.Latency.WriteReadRatio()
+	return TrimPoint{
+		Workload:     wl,
+		TrimFraction: fraction,
+		Channels:     channels,
+		Writes:       nWrites,
+		Trims:        after.LogicalTrims - statsBefore.LogicalTrims,
+		TrimmedPages: after.TrimmedPages - statsBefore.TrimmedPages,
+		WA:           counters.WriteAmplification(nWrites, delta),
+		UserWA: counters.PurposeWriteAmplification(flash.PurposeUserWrite, nWrites, delta) +
+			counters.PurposeWriteAmplification(flash.PurposeGCMigration, nWrites, delta),
+		TranslationWA: counters.PurposeWriteAmplification(flash.PurposeTranslation, nWrites, delta),
+		ValidityWA:    counters.PurposeWriteAmplification(flash.PurposePageValidity, nWrites, delta),
+		Write:         es.Writes,
+		Trim:          es.Trims,
+	}, nil
+}

@@ -13,15 +13,19 @@ func TakeBatch(g Generator, n int) []Op {
 	return ops
 }
 
-// SplitBatch partitions a batch into read and write target pages, preserving
-// order within each kind, ready to hand to Engine.ReadBatch/WriteBatch.
-func SplitBatch(ops []Op) (reads, writes []flash.LPN) {
+// SplitBatch partitions a batch into read, write and trim target pages,
+// preserving order within each kind, ready to hand to the engine's
+// ReadBatch/WriteBatch/TrimBatch.
+func SplitBatch(ops []Op) (reads, writes, trims []flash.LPN) {
 	for _, op := range ops {
-		if op.Kind == OpRead {
+		switch op.Kind {
+		case OpRead:
 			reads = append(reads, op.Page)
-		} else {
+		case OpTrim:
+			trims = append(trims, op.Page)
+		default:
 			writes = append(writes, op.Page)
 		}
 	}
-	return reads, writes
+	return reads, writes, trims
 }

@@ -20,14 +20,20 @@ const (
 	OpWrite OpKind = iota
 	// OpRead is a logical page read.
 	OpRead
+	// OpTrim is a host trim (discard) of a logical page.
+	OpTrim
 )
 
-// String returns "write" or "read".
+// String returns "write", "read" or "trim".
 func (k OpKind) String() string {
-	if k == OpRead {
+	switch k {
+	case OpRead:
 		return "read"
+	case OpTrim:
+		return "trim"
+	default:
+		return "write"
 	}
-	return "write"
 }
 
 // Op is one logical operation of a workload.
@@ -249,6 +255,60 @@ func MustNewMixed(writes Generator, logicalPages int64, readRatio float64, seed 
 		panic(err)
 	}
 	return m
+}
+
+// Trimming wraps a write-pattern generator and interleaves host trims at a
+// given fraction of the operation stream, drawing trim targets uniformly
+// from the logical address space. It models a filesystem forwarding deletes
+// as discards: every trimmed page is an invalid page the garbage collector
+// gets for free, which is the knob the trim-sweep experiment turns.
+type Trimming struct {
+	inner        Generator
+	pages        flash.LPN
+	trimFraction float64
+	rng          *rand.Rand
+}
+
+// NewTrimming creates a trimming workload: trimFraction of the operations
+// are trims (0 <= trimFraction < 1), the rest come from the wrapped
+// generator. It returns an error for a non-positive page count or a fraction
+// outside [0,1).
+func NewTrimming(inner Generator, logicalPages int64, trimFraction float64, seed int64) (*Trimming, error) {
+	if logicalPages <= 0 {
+		return nil, fmt.Errorf("workload: logical pages %d must be positive", logicalPages)
+	}
+	if trimFraction < 0 || trimFraction >= 1 {
+		return nil, fmt.Errorf("workload: trim fraction %g must be in [0,1)", trimFraction)
+	}
+	return &Trimming{
+		inner:        inner,
+		pages:        flash.LPN(logicalPages),
+		trimFraction: trimFraction,
+		rng:          rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// MustNewTrimming is NewTrimming that panics on invalid parameters.
+func MustNewTrimming(inner Generator, logicalPages int64, trimFraction float64, seed int64) *Trimming {
+	tr, err := NewTrimming(inner, logicalPages, trimFraction, seed)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// Next returns either a trim of a uniformly random page or the next
+// operation of the wrapped generator.
+func (tr *Trimming) Next() Op {
+	if tr.trimFraction > 0 && tr.rng.Float64() < tr.trimFraction {
+		return Op{Kind: OpTrim, Page: flash.LPN(tr.rng.Int63n(int64(tr.pages)))}
+	}
+	return tr.inner.Next()
+}
+
+// Name implements Generator.
+func (tr *Trimming) Name() string {
+	return fmt.Sprintf("trim(%s,f=%.0f%%)", tr.inner.Name(), tr.trimFraction*100)
 }
 
 // ByName constructs one of the named write workloads: "uniform" (or ""),

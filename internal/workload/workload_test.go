@@ -286,3 +286,53 @@ func TestQuickGeneratorsStayInRange(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestTrimmingGenerator(t *testing.T) {
+	inner := MustNewUniform(1024, 1)
+	tr := MustNewTrimming(inner, 1024, 0.25, 2)
+	trims, writes := 0, 0
+	for i := 0; i < 10000; i++ {
+		op := tr.Next()
+		switch op.Kind {
+		case OpTrim:
+			trims++
+		case OpWrite:
+			writes++
+		default:
+			t.Fatalf("unexpected op kind %v", op.Kind)
+		}
+		if op.Page < 0 || op.Page >= 1024 {
+			t.Fatalf("page %d out of range", op.Page)
+		}
+	}
+	frac := float64(trims) / float64(trims+writes)
+	if frac < 0.2 || frac > 0.3 {
+		t.Errorf("trim fraction %.3f far from configured 0.25", frac)
+	}
+	if _, err := NewTrimming(inner, 1024, 1.0, 3); err == nil {
+		t.Error("trim fraction 1.0 accepted")
+	}
+	if _, err := NewTrimming(inner, 0, 0.1, 3); err == nil {
+		t.Error("zero logical pages accepted")
+	}
+}
+
+func TestSplitBatchThreeWay(t *testing.T) {
+	ops := []Op{
+		{Kind: OpWrite, Page: 1},
+		{Kind: OpRead, Page: 2},
+		{Kind: OpTrim, Page: 3},
+		{Kind: OpWrite, Page: 4},
+		{Kind: OpTrim, Page: 5},
+	}
+	reads, writes, trims := SplitBatch(ops)
+	if len(reads) != 1 || reads[0] != 2 {
+		t.Errorf("reads = %v", reads)
+	}
+	if len(writes) != 2 || writes[0] != 1 || writes[1] != 4 {
+		t.Errorf("writes = %v", writes)
+	}
+	if len(trims) != 2 || trims[0] != 3 || trims[1] != 5 {
+		t.Errorf("trims = %v", trims)
+	}
+}

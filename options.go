@@ -1,0 +1,295 @@
+package geckoftl
+
+import (
+	"fmt"
+
+	"geckoftl/internal/flash"
+	"geckoftl/internal/ftl"
+)
+
+// FTLOptions is the full FTL configuration; the paper's five schemes are
+// built by GeckoFTLOptions, DFTLOptions, LazyFTLOptions, MuFTLOptions and
+// IBFTLOptions, and WithFTLOptions hands a tweaked copy to Open.
+type FTLOptions = ftl.Options
+
+// GCMode selects how the garbage collector schedules its work relative to
+// host writes; see GCInline and GCIncremental.
+type GCMode = ftl.GCMode
+
+// VictimPolicy selects garbage-collection victims; see VictimGreedy and
+// VictimMetadataAware.
+type VictimPolicy = ftl.VictimPolicy
+
+// The garbage-collection scheduling modes and victim policies.
+const (
+	// GCInline reclaims whole victims synchronously inside the write that
+	// found the free pool at the reserve: throughput-optimal, but one write
+	// can absorb an entire victim's relocation cost as a stall.
+	GCInline = ftl.GCInline
+	// GCIncremental bounds the garbage-collection work charged to any
+	// single write, draining victims across consecutive writes.
+	GCIncremental = ftl.GCIncremental
+	// VictimGreedy always reclaims the block with the fewest valid pages.
+	VictimGreedy = ftl.VictimGreedy
+	// VictimMetadataAware never migrates translation or metadata blocks
+	// (Section 4.2 of the paper); GeckoFTL's policy.
+	VictimMetadataAware = ftl.VictimMetadataAware
+)
+
+// DefaultGCPagesPerWrite is the incremental garbage collector's default
+// per-write step budget.
+const DefaultGCPagesPerWrite = ftl.DefaultGCPagesPerWrite
+
+// ParseGCMode maps "inline" or "incremental" to the GCMode; anything else is
+// an error. Command-line tools route their flags through it.
+func ParseGCMode(s string) (GCMode, error) { return ftl.ParseGCMode(s) }
+
+// ParseVictimPolicy maps "greedy" or "metadata-aware" to the VictimPolicy.
+func ParseVictimPolicy(s string) (VictimPolicy, error) { return ftl.ParseVictimPolicy(s) }
+
+// GeckoFTLOptions returns the paper's GeckoFTL configuration with the given
+// mapping-cache capacity.
+func GeckoFTLOptions(cacheEntries int) FTLOptions { return ftl.GeckoFTLOptions(cacheEntries) }
+
+// DFTLOptions returns the DFTL configuration.
+func DFTLOptions(cacheEntries int) FTLOptions { return ftl.DFTLOptions(cacheEntries) }
+
+// LazyFTLOptions returns the LazyFTL configuration.
+func LazyFTLOptions(cacheEntries int) FTLOptions { return ftl.LazyFTLOptions(cacheEntries) }
+
+// MuFTLOptions returns the µ-FTL configuration.
+func MuFTLOptions(cacheEntries int) FTLOptions { return ftl.MuFTLOptions(cacheEntries) }
+
+// IBFTLOptions returns the IB-FTL configuration.
+func IBFTLOptions(cacheEntries int) FTLOptions { return ftl.IBFTLOptions(cacheEntries) }
+
+// FTLOptionsByName returns the named scheme's configuration: "geckoftl" (or
+// "gecko"), "dftl", "lazyftl" (or "lazy"), "muftl" (or "mu", "uftl"),
+// "ibftl" (or "ib").
+func FTLOptionsByName(name string, cacheEntries int) (FTLOptions, error) {
+	switch name {
+	case "", "gecko", "geckoftl":
+		return ftl.GeckoFTLOptions(cacheEntries), nil
+	case "dftl":
+		return ftl.DFTLOptions(cacheEntries), nil
+	case "lazy", "lazyftl":
+		return ftl.LazyFTLOptions(cacheEntries), nil
+	case "mu", "uftl", "muftl", "mu-ftl":
+		return ftl.MuFTLOptions(cacheEntries), nil
+	case "ib", "ibftl", "ib-ftl":
+		return ftl.IBFTLOptions(cacheEntries), nil
+	default:
+		return FTLOptions{}, fmt.Errorf("%w: unknown FTL %q (want geckoftl, dftl, lazyftl, muftl or ibftl)", ErrInvalidConfig, name)
+	}
+}
+
+// config collects what the options build before Open turns it into a device
+// and an engine.
+type config struct {
+	blocks, pagesPerBlock, pageSize int
+	overProvision                   float64
+	channels, diesPerChannel        int
+	shards                          int
+
+	ftlName      string
+	cacheEntries int
+
+	// explicit, when set by WithFTLOptions, wins over the named knobs.
+	explicit    *FTLOptions
+	gcMode      *GCMode
+	gcPages     *int
+	policy      *VictimPolicy
+	battery     *bool
+	wearLevel   *bool
+	checkpoints *bool
+}
+
+// defaultConfig sizes a small device that exercises every subsystem quickly:
+// 256 blocks of 32 pages of 1 KB at the paper's 70% logical-to-physical
+// ratio, one channel, GeckoFTL with a 1024-entry mapping cache.
+func defaultConfig() config {
+	return config{
+		blocks:        256,
+		pagesPerBlock: 32,
+		pageSize:      1024,
+		overProvision: flash.DefaultOverProvision,
+		cacheEntries:  1024,
+	}
+}
+
+// An Option configures Open.
+type Option func(*config) error
+
+// WithGeometry sets the device geometry: the number of blocks, pages per
+// block, and the page size in bytes.
+func WithGeometry(blocks, pagesPerBlock, pageSizeBytes int) Option {
+	return func(c *config) error {
+		if blocks <= 0 || pagesPerBlock <= 0 || pageSizeBytes <= 0 {
+			return fmt.Errorf("%w: geometry %dx%dx%d must be positive", ErrInvalidConfig, blocks, pagesPerBlock, pageSizeBytes)
+		}
+		c.blocks, c.pagesPerBlock, c.pageSize = blocks, pagesPerBlock, pageSizeBytes
+		return nil
+	}
+}
+
+// WithOverProvision sets R, the logical-to-physical capacity ratio in (0,1);
+// the paper's default is 0.70.
+func WithOverProvision(r float64) Option {
+	return func(c *config) error {
+		if r <= 0 || r >= 1 {
+			return fmt.Errorf("%w: over-provision ratio %g out of range (0,1)", ErrInvalidConfig, r)
+		}
+		c.overProvision = r
+		return nil
+	}
+}
+
+// WithChannels sets the device topology: channels times diesPerChannel
+// independently latching dies. The engine runs one FTL shard per channel by
+// default, which is what scales throughput and recovery with the channel
+// count.
+func WithChannels(channels, diesPerChannel int) Option {
+	return func(c *config) error {
+		if channels < 1 || diesPerChannel < 1 {
+			return fmt.Errorf("%w: topology %dx%d must be at least 1x1", ErrInvalidConfig, channels, diesPerChannel)
+		}
+		c.channels, c.diesPerChannel = channels, diesPerChannel
+		return nil
+	}
+}
+
+// WithShards overrides the engine's shard count (default: one per channel).
+func WithShards(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("%w: shard count %d must be at least 1", ErrInvalidConfig, n)
+		}
+		c.shards = n
+		return nil
+	}
+}
+
+// WithFTL selects the FTL scheme by name: "geckoftl" (the default), "dftl",
+// "lazyftl", "muftl" or "ibftl".
+func WithFTL(name string) Option {
+	return func(c *config) error {
+		if _, err := FTLOptionsByName(name, 1); err != nil {
+			return err
+		}
+		c.ftlName = name
+		return nil
+	}
+}
+
+// WithCacheEntries sets C, the mapping cache's capacity in entries (the
+// device's RAM budget knob; 8 bytes per entry under the paper's model). With
+// S shards each shard receives C/S entries.
+func WithCacheEntries(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("%w: cache capacity %d must be positive", ErrInvalidConfig, n)
+		}
+		c.cacheEntries = n
+		return nil
+	}
+}
+
+// WithGCMode selects inline or incremental garbage-collection scheduling.
+func WithGCMode(mode GCMode) Option {
+	return func(c *config) error {
+		if mode != GCInline && mode != GCIncremental {
+			return fmt.Errorf("%w: unknown GC mode %v", ErrInvalidConfig, mode)
+		}
+		c.gcMode = &mode
+		return nil
+	}
+}
+
+// WithGCPagesPerWrite sets the incremental garbage collector's per-write
+// step budget (0 selects DefaultGCPagesPerWrite; ignored under GCInline).
+func WithGCPagesPerWrite(k int) Option {
+	return func(c *config) error {
+		if k < 0 {
+			return fmt.Errorf("%w: GC pages per write %d must be >= 0", ErrInvalidConfig, k)
+		}
+		c.gcPages = &k
+		return nil
+	}
+}
+
+// WithVictimPolicy selects the garbage-collection victim policy.
+func WithVictimPolicy(p VictimPolicy) Option {
+	return func(c *config) error {
+		if p != VictimGreedy && p != VictimMetadataAware {
+			return fmt.Errorf("%w: unknown victim policy %v", ErrInvalidConfig, p)
+		}
+		c.policy = &p
+		return nil
+	}
+}
+
+// WithBattery sets whether the device has a battery that flushes dirty
+// mapping entries at power failure (the DFTL/µ-FTL assumption). Without one,
+// PowerFail is an abrupt rail cut and Recover rebuilds state from flash.
+func WithBattery(on bool) Option {
+	return func(c *config) error { c.battery = &on; return nil }
+}
+
+// WithWearLeveling enables the gradual-scan wear-leveler.
+func WithWearLeveling(on bool) Option {
+	return func(c *config) error { c.wearLevel = &on; return nil }
+}
+
+// WithCheckpoints sets whether runtime checkpoints bound the recovery
+// backwards scan (GeckoFTL's Section 4.3 behaviour, on by default for it).
+func WithCheckpoints(on bool) Option {
+	return func(c *config) error { c.checkpoints = &on; return nil }
+}
+
+// WithFTLOptions hands Open a fully explicit FTL configuration, overriding
+// WithFTL, WithCacheEntries and the other FTL-level knobs. Use the *Options
+// constructors as starting points.
+func WithFTLOptions(opts FTLOptions) Option {
+	return func(c *config) error { c.explicit = &opts; return nil }
+}
+
+// ftlOptions resolves the configured FTL options.
+func (c *config) ftlOptions() (FTLOptions, error) {
+	if c.explicit != nil {
+		return *c.explicit, nil
+	}
+	opts, err := FTLOptionsByName(c.ftlName, c.cacheEntries)
+	if err != nil {
+		return FTLOptions{}, err
+	}
+	if c.gcMode != nil {
+		opts.GCMode = *c.gcMode
+	}
+	if c.gcPages != nil {
+		opts.GCPagesPerWrite = *c.gcPages
+	}
+	if c.policy != nil {
+		opts.VictimPolicy = *c.policy
+	}
+	if c.battery != nil {
+		opts.Battery = *c.battery
+	}
+	if c.wearLevel != nil {
+		opts.WearLeveling = *c.wearLevel
+	}
+	if c.checkpoints != nil {
+		opts.Checkpoints = *c.checkpoints
+	}
+	return opts, nil
+}
+
+// flashConfig resolves the configured device geometry.
+func (c *config) flashConfig() flash.Config {
+	cfg := flash.ScaledConfig(c.blocks)
+	cfg.PagesPerBlock = c.pagesPerBlock
+	cfg.PageSize = c.pageSize
+	cfg.OverProvision = c.overProvision
+	cfg.Channels = c.channels
+	cfg.DiesPerChannel = c.diesPerChannel
+	return cfg
+}

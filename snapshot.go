@@ -1,0 +1,145 @@
+package geckoftl
+
+import (
+	"time"
+
+	"geckoftl/internal/flash"
+	"geckoftl/internal/stats"
+)
+
+// LatencySummary is a stable summary of a simulated service-time
+// distribution: the time from an operation's arrival to its last IO
+// completing under the device's cost model, queueing behind its die
+// included. Deterministic and host-independent.
+type LatencySummary struct {
+	// Count is the number of operations recorded.
+	Count int64
+	// Mean is the distribution's mean.
+	Mean time.Duration
+	// P50, P90, P99 and P999 are the 50th/90th/99th/99.9th percentiles.
+	P50, P90, P99, P999 time.Duration
+	// Max is the largest recorded service time.
+	Max time.Duration
+}
+
+func toLatencySummary(s stats.Summary) LatencySummary {
+	return LatencySummary{Count: s.Count, Mean: s.Mean, P50: s.P50, P90: s.P90, P99: s.P99, P999: s.P999, Max: s.Max}
+}
+
+// OpCounts are the logical operations the device has served.
+type OpCounts struct {
+	// Writes, Reads and Trims count host operations since Open.
+	Writes, Reads, Trims int64
+	// TrimmedPages counts physical pages invalidated on behalf of trims.
+	TrimmedPages int64
+}
+
+// GCStats describe the garbage collector's work since Open.
+type GCStats struct {
+	// Collections counts victim blocks reclaimed.
+	Collections int64
+	// Migrations counts valid pages copied out of victims.
+	Migrations int64
+	// UIPSkips counts victim pages identified as unidentified-invalid just
+	// before migration and therefore skipped (Section 4.1 of the paper).
+	UIPSkips int64
+	// Fallbacks counts writes on which the incremental collector broke its
+	// step budget and fell back to an unbounded inline reclaim; a healthy
+	// incremental configuration keeps this at zero.
+	Fallbacks int64
+	// MaxStall is the largest garbage-collection stall any single host
+	// operation absorbed since the last ResetStats.
+	MaxStall time.Duration
+}
+
+// Snapshot is a stable, self-consistent view of the device's statistics:
+// logical operation counts, write-amplification over the current measurement
+// window, RAM footprint, and per-operation latency percentiles.
+type Snapshot struct {
+	// Ops counts the logical operations served since Open.
+	Ops OpCounts
+	// GC describes the garbage collector's work since Open.
+	GC GCStats
+	// Checkpoints counts runtime checkpoints taken since Open.
+	Checkpoints int64
+
+	// WriteAmplification is the measured write-amplification of the current
+	// window (since Open or the last ResetStats): internal page writes plus
+	// internal page reads weighted by the write/read latency ratio, per
+	// logical write. UserWA, TranslationWA and ValidityWA break it down by
+	// component as in the paper's Figure 13 (bottom).
+	WriteAmplification                float64
+	UserWA, TranslationWA, ValidityWA float64
+	// WindowWrites is the number of logical writes in the window the
+	// write-amplification figures describe.
+	WindowWrites int64
+
+	// RAMBytes is the FTL's integrated-RAM footprint under the paper's
+	// models (mapping cache, GMD, BVC, page-validity store, wear state).
+	RAMBytes int64
+	// SimulatedTime is the total device time consumed since Open, summed
+	// over dies (the serial single-plane cost).
+	SimulatedTime time.Duration
+
+	// WriteLatency, ReadLatency and TrimLatency summarize per-operation
+	// service times since Open or the last ResetStats.
+	WriteLatency, ReadLatency, TrimLatency LatencySummary
+	// GCStalledWrites summarizes the service times of the host operations
+	// that performed garbage-collection work.
+	GCStalledWrites LatencySummary
+}
+
+// Snapshot captures the device's statistics. It may run concurrently with
+// operations; the snapshot is shard-consistent (quiesce the device for an
+// exact global instant).
+func (d *Device) Snapshot() Snapshot {
+	es := d.eng.LatencyStats()
+	ops := es.Ops
+	counters := d.dev.Counters()
+	d.baseMu.Lock()
+	window := counters.Sub(d.baseCounters)
+	windowWrites := ops.LogicalWrites - d.baseStats.LogicalWrites
+	d.baseMu.Unlock()
+	delta := d.dev.Config().Latency.WriteReadRatio()
+
+	return Snapshot{
+		Ops: OpCounts{
+			Writes:       ops.LogicalWrites,
+			Reads:        ops.LogicalReads,
+			Trims:        ops.LogicalTrims,
+			TrimmedPages: ops.TrimmedPages,
+		},
+		GC: GCStats{
+			Collections: ops.GCOperations,
+			Migrations:  ops.GCMigrations,
+			UIPSkips:    ops.UIPSkips,
+			Fallbacks:   ops.GCFallbacks,
+			MaxStall:    es.MaxGCStall,
+		},
+		Checkpoints:        ops.Checkpoints,
+		WriteAmplification: window.WriteAmplification(windowWrites, delta),
+		UserWA: window.PurposeWriteAmplification(flash.PurposeUserWrite, windowWrites, delta) +
+			window.PurposeWriteAmplification(flash.PurposeGCMigration, windowWrites, delta),
+		TranslationWA:   window.PurposeWriteAmplification(flash.PurposeTranslation, windowWrites, delta),
+		ValidityWA:      window.PurposeWriteAmplification(flash.PurposePageValidity, windowWrites, delta),
+		WindowWrites:    windowWrites,
+		RAMBytes:        d.eng.RAMBytes(),
+		SimulatedTime:   d.dev.SimulatedTime(),
+		WriteLatency:    toLatencySummary(es.Writes),
+		ReadLatency:     toLatencySummary(es.Reads),
+		TrimLatency:     toLatencySummary(es.Trims),
+		GCStalledWrites: toLatencySummary(es.GCStalledWrites),
+	}
+}
+
+// ResetStats starts a fresh measurement window: write-amplification and the
+// latency distributions are measured from this point on, typically after a
+// warm-up phase so steady-state behaviour is reported. Cumulative operation
+// counts (Snapshot.Ops, Snapshot.GC counters) are not reset.
+func (d *Device) ResetStats() {
+	d.baseMu.Lock()
+	d.baseCounters = d.dev.Counters()
+	d.baseStats = d.eng.Stats()
+	d.baseMu.Unlock()
+	d.eng.ResetLatencyStats()
+}

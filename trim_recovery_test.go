@@ -1,0 +1,209 @@
+package geckoftl_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"geckoftl"
+)
+
+// fill writes every logical page `rounds` times over through batches, so the
+// device reaches steady-state garbage collection.
+func fill(t *testing.T, dev *geckoftl.Device, rounds int) {
+	t.Helper()
+	ctx := context.Background()
+	lp := dev.LogicalPages()
+	const batch = 128
+	for r := 0; r < rounds; r++ {
+		for base := int64(0); base < lp; base += batch {
+			var lpns []geckoftl.LPN
+			for i := base; i < base+batch && i < lp; i++ {
+				lpns = append(lpns, geckoftl.LPN(i))
+			}
+			if err := dev.WriteBatch(ctx, lpns); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestTrimSurvivesPowerFailMidBatch is the satellite acceptance test: trim a
+// range, flush it durable, power-fail in the middle of ongoing write
+// batches, recover, and the trimmed pages must stay absent while the device
+// passes its consistency audit.
+func TestTrimSurvivesPowerFailMidBatch(t *testing.T) {
+	ctx := context.Background()
+	dev := open(t,
+		geckoftl.WithGeometry(512, 16, 512),
+		geckoftl.WithChannels(4, 1),
+		geckoftl.WithCacheEntries(512),
+	)
+	lp := dev.LogicalPages()
+	fill(t, dev, 2)
+
+	const trimStart, trimCount = 100, 200
+	if err := dev.Trim(ctx, trimStart, trimCount); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep write batches flowing (outside the trimmed range) from a writer
+	// goroutine while the plug is pulled.
+	writerDone := make(chan error, 1)
+	go func() {
+		rng := rand.New(rand.NewSource(9))
+		for {
+			lpns := make([]geckoftl.LPN, 256)
+			for i := range lpns {
+				for {
+					p := geckoftl.LPN(rng.Int63n(lp))
+					if p < trimStart || p >= trimStart+trimCount {
+						lpns[i] = p
+						break
+					}
+				}
+			}
+			if err := dev.WriteBatch(ctx, lpns); err != nil {
+				writerDone <- err
+				return
+			}
+		}
+	}()
+	if err := dev.PowerFail(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-writerDone; !errors.Is(err, geckoftl.ErrPowerFailed) {
+		t.Fatalf("writer stopped with %v, want ErrPowerFailed", err)
+	}
+
+	report, err := dev.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Shards) != 4 {
+		t.Errorf("recovery covered %d shards, want 4", len(report.Shards))
+	}
+	for lpn := geckoftl.LPN(trimStart); lpn < trimStart+trimCount; lpn++ {
+		mapped, err := dev.Mapped(lpn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mapped {
+			t.Fatalf("trimmed page %d resurrected by recovery", lpn)
+		}
+	}
+	if err := dev.CheckConsistency(); err != nil {
+		t.Fatalf("post-recovery consistency audit: %v", err)
+	}
+	// Normal operation resumes, including rewriting the trimmed range.
+	if err := dev.Trim(ctx, trimStart, trimCount); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, dev, 1)
+	if err := dev.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrimRecoveryHammer is the -race variant: concurrent writers and
+// trimmers in flight when the power fails, recovery afterwards, and the
+// durably trimmed range stays absent. Writers stay out of the trimmed
+// range; trimmers re-trim inside it (trims of unmapped pages are no-ops),
+// so the range must come back unmapped no matter where the crash landed.
+func TestTrimRecoveryHammer(t *testing.T) {
+	ctx := context.Background()
+	dev := open(t,
+		geckoftl.WithGeometry(512, 16, 512),
+		geckoftl.WithChannels(4, 1),
+		geckoftl.WithCacheEntries(512),
+	)
+	lp := dev.LogicalPages()
+	fill(t, dev, 2)
+
+	const trimStart, trimCount = 64, 128
+	if err := dev.Trim(ctx, trimStart, trimCount); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				lpns := make([]geckoftl.LPN, 128)
+				for i := range lpns {
+					for {
+						p := geckoftl.LPN(rng.Int63n(lp))
+						if p < trimStart || p >= trimStart+trimCount {
+							lpns[i] = p
+							break
+						}
+					}
+				}
+				if err := dev.WriteBatch(ctx, lpns); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(100 + w))
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				lpns := make([]geckoftl.LPN, 32)
+				for i := range lpns {
+					lpns[i] = trimStart + geckoftl.LPN(rng.Int63n(trimCount))
+				}
+				if err := dev.TrimBatch(ctx, lpns); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(200 + w))
+	}
+
+	if err := dev.PowerFail(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, geckoftl.ErrPowerFailed) {
+			t.Fatalf("hammer goroutine stopped with %v, want ErrPowerFailed", err)
+		}
+	}
+
+	if _, err := dev.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for lpn := geckoftl.LPN(trimStart); lpn < trimStart+trimCount; lpn++ {
+		mapped, err := dev.Mapped(lpn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mapped {
+			t.Fatalf("durably trimmed page %d resurrected by crash recovery", lpn)
+		}
+	}
+	if err := dev.CheckConsistency(); err != nil {
+		t.Fatalf("post-recovery consistency audit: %v", err)
+	}
+	fill(t, dev, 1)
+	if err := dev.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package geckoftl
+
+import (
+	"io"
+
+	"geckoftl/internal/workload"
+)
+
+// The workload generators that drive the experiments, re-exported for the
+// cmd/ binaries and examples.
+
+// Workload produces a stream of logical operations.
+type Workload = workload.Generator
+
+// WorkloadOp is one logical operation of a workload; OpKind distinguishes
+// writes, reads and trims.
+type (
+	WorkloadOp = workload.Op
+	OpKind     = workload.OpKind
+)
+
+// The operation kinds.
+const (
+	OpWrite = workload.OpWrite
+	OpRead  = workload.OpRead
+	OpTrim  = workload.OpTrim
+)
+
+// WorkloadByName constructs one of the named write workloads: "uniform" (or
+// ""), "sequential", "zipfian" (skew 1.2) or "hotcold" (20% of pages take
+// 80% of writes).
+func WorkloadByName(name string, logicalPages int64, seed int64) (Workload, error) {
+	return workload.ByName(name, logicalPages, seed)
+}
+
+// NewUniform creates a uniformly random update workload.
+func NewUniform(logicalPages, seed int64) (Workload, error) {
+	return workload.NewUniform(logicalPages, seed)
+}
+
+// NewSequential creates a wrapping sequential update workload.
+func NewSequential(logicalPages int64) (Workload, error) {
+	return workload.NewSequential(logicalPages)
+}
+
+// NewZipfian creates a Zipf-skewed update workload (skew > 1).
+func NewZipfian(logicalPages int64, skew float64, seed int64) (Workload, error) {
+	return workload.NewZipfian(logicalPages, skew, seed)
+}
+
+// NewHotCold creates a workload where hotFraction of the pages receive
+// hotProbability of the writes.
+func NewHotCold(logicalPages int64, hotFraction, hotProbability float64, seed int64) (Workload, error) {
+	return workload.NewHotCold(logicalPages, hotFraction, hotProbability, seed)
+}
+
+// NewMixed wraps a write workload and interleaves uniform point reads at the
+// given ratio (0 <= readRatio < 1).
+func NewMixed(writes Workload, logicalPages int64, readRatio float64, seed int64) (Workload, error) {
+	return workload.NewMixed(writes, logicalPages, readRatio, seed)
+}
+
+// NewTrimming wraps a write workload and interleaves host trims at the given
+// fraction (0 <= trimFraction < 1), drawing trim targets uniformly.
+func NewTrimming(writes Workload, logicalPages int64, trimFraction float64, seed int64) (Workload, error) {
+	return workload.NewTrimming(writes, logicalPages, trimFraction, seed)
+}
+
+// ParseTrace reads a trace in the textual "R <page>" / "W <page>" format.
+func ParseTrace(name string, r io.Reader) (Workload, error) {
+	return workload.ParseTrace(name, r)
+}
+
+// TakeBatch draws the next n operations from a workload.
+func TakeBatch(g Workload, n int) []WorkloadOp { return workload.TakeBatch(g, n) }
+
+// SplitBatch partitions a batch into read, write and trim target pages,
+// ready to hand to ReadBatch/WriteBatch/TrimBatch.
+func SplitBatch(ops []WorkloadOp) (reads, writes, trims []LPN) {
+	return workload.SplitBatch(ops)
+}
