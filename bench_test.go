@@ -427,6 +427,32 @@ func BenchmarkLatencySweep(b *testing.B) {
 	}
 }
 
+// BenchmarkWearSweep measures the hot/cold-separation experiment on the
+// skewed workloads, reporting write-amplification and erase spread per
+// frontier configuration.
+func BenchmarkWearSweep(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		points, err := sim.WearSweep(sim.WearSweepOptions{
+			Scale:     scale,
+			Workloads: []string{"zipfian", "hotcold"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range points {
+				tag := fmt.Sprintf("%s_%s_%s", p.Workload, p.Policy, p.Frontier)
+				if p.WearAware {
+					tag += "_wear"
+				}
+				b.ReportMetric(p.WA, "WA_"+tag)
+				b.ReportMetric(float64(p.EraseSpread), "erase_spread_"+tag)
+			}
+		}
+	}
+}
+
 // BenchmarkParallelModel documents the parallelism-aware latency model's
 // predictions at the paper's full-scale latencies.
 func BenchmarkParallelModel(b *testing.B) {

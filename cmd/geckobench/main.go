@@ -11,22 +11,26 @@
 //	geckobench -experiment recovery -json
 //	geckobench -experiment latency -gc-pages 4 -policy metadata-aware
 //	geckobench -experiment trim -trim-fractions 0,0.1,0.2,0.3 -json
+//	geckobench -experiment wear -json
 //	geckobench -experiment summary
 //
 // Experiments: fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec,
-// fig13wa, fig14, recovery, recovery-sweep, channels, latency, trim,
+// fig13wa, fig14, recovery, recovery-sweep, channels, latency, trim, wear,
 // summary, all.
 //
-// Four experiments go beyond the paper: channels sweeps the device's
+// Five experiments go beyond the paper: channels sweeps the device's
 // channel count and reports how the sharded engine's write throughput
 // scales; recovery-sweep (also run by -experiment recovery) crashes the
 // sharded engine and measures how recovery wall-clock scales with channel
 // count, checkpoint interval and device capacity; latency records
 // per-write service-time distributions (p50..p99.9, max) and compares
 // inline whole-victim garbage collection against the incremental bounded
-// scheduler across victim policies and workloads; and trim interleaves
+// scheduler across victim policies and workloads; trim interleaves
 // host trims at increasing fractions and shows write-amplification falling
-// monotonically (see docs/benchmarks.md).
+// monotonically; and wear compares the single user write frontier against
+// hot/cold-separated frontiers with wear-aware block allocation, reporting
+// write-amplification and erase-count spread per victim policy and workload
+// (see docs/benchmarks.md).
 //
 // With -json, each experiment emits one JSON object per line of the form
 // {"experiment": name, "rows": [...]}, so benchmark trajectories can be
@@ -47,7 +51,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec, fig13wa, fig14, recovery, recovery-sweep, channels, latency, trim, summary, all)")
+		experiment = flag.String("experiment", "all", "experiment to run (fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec, fig13wa, fig14, recovery, recovery-sweep, channels, latency, trim, wear, summary, all)")
 		writes     = flag.Int64("writes", 0, "measured logical writes per simulation (0 = default)")
 		blocks     = flag.Int("blocks", 0, "simulated device blocks (0 = default)")
 		quick      = flag.Bool("quick", false, "use the small test-sized scale")
@@ -56,7 +60,7 @@ func main() {
 		sweepWL    = flag.String("sweep-workload", "uniform", "workload for the channels experiment: uniform, sequential, zipfian, hotcold")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON rows (one {experiment, rows} object per experiment) instead of tables")
 		gcModes    = flag.String("gc-mode", "both", "GC scheduling modes for the latency experiment: inline, incremental, or both")
-		policies   = flag.String("policy", "both", "victim policies for the latency experiment: greedy, metadata-aware, or both")
+		policies   = flag.String("policy", "both", "victim policies for the latency and wear experiments: greedy, metadata-aware, cost-benefit, or both (wear defaults to metadata-aware + cost-benefit)")
 		gcPages    = flag.Int("gc-pages", 0, "incremental GC step budget per write for the latency experiment (0 = default)")
 		trimFracs  = flag.String("trim-fractions", "0,0.1,0.2,0.3", "trim fractions for the trim experiment")
 	)
@@ -90,6 +94,11 @@ func main() {
 	jsonMode = *jsonOut
 	latencyOpts = geckoftl.LatencySweepOptions{Modes: modes, Policies: pols, GCPagesPerWrite: *gcPages}
 	trimOpts = geckoftl.TrimSweepOptions{Workload: *sweepWL, TrimFractions: fractions}
+	// The wear sweep's own policy default (metadata-aware + cost-benefit)
+	// applies unless -policy names one explicitly.
+	if *policies != "both" && *policies != "" {
+		wearOpts = geckoftl.WearSweepOptions{Policies: pols}
+	}
 
 	scale := geckoftl.FullScale()
 	if *quick {
@@ -162,6 +171,7 @@ func experiments() []experimentSpec {
 		{name: "channels", rows: channelSweepRows, print: printChannelSweep},
 		{name: "latency", rows: latencySweepRows, print: printLatencySweep},
 		{name: "trim", rows: trimSweepRows, print: printTrimSweep},
+		{name: "wear", rows: wearSweepRows, print: printWearSweep},
 		{name: "summary", rows: summaryRows, print: printSummary},
 	}
 }
@@ -353,6 +363,7 @@ var (
 	sweepDies   int
 	latencyOpts geckoftl.LatencySweepOptions
 	trimOpts    geckoftl.TrimSweepOptions
+	wearOpts    geckoftl.WearSweepOptions
 	jsonMode    bool
 )
 
@@ -392,6 +403,29 @@ func printTrimSweep(rows any) {
 			p.Workload, p.TrimFraction, p.Writes, p.Trims, p.TrimmedPages,
 			p.WA, p.UserWA, p.TranslationWA, p.ValidityWA,
 			fmtDur(p.Write.P99), fmtDur(p.Trim.P99))
+	}
+}
+
+func wearSweepRows(scale geckoftl.ExperimentScale) (any, error) {
+	opts := wearOpts
+	opts.Scale = scale
+	return geckoftl.WearSweep(opts)
+}
+
+func printWearSweep(rows any) {
+	fmt.Println("Wear sweep: WA and erase-count spread of the sharded GeckoFTL engine, single vs hot/cold frontiers")
+	fmt.Printf("%-9s %-15s %-9s %5s %9s %6s %10s %8s %8s %8s %8s %6s %6s %7s %10s %10s\n",
+		"workload", "policy", "frontier", "wear", "writes", "hot%", "WA", "user", "trans", "valid", "erases", "min-e", "max-e", "spread", "model-sgl", "model-sep")
+	for _, p := range rows.([]geckoftl.WearPoint) {
+		hotFrac := 0.0
+		if p.Writes > 0 {
+			hotFrac = 100 * float64(p.HotWrites) / float64(p.Writes)
+		}
+		fmt.Printf("%-9s %-15s %-9s %5v %9d %6.1f %10.3f %8.3f %8.3f %8.3f %8d %6d %6d %7d %10.3f %10.3f\n",
+			p.Workload, p.Policy, p.Frontier, p.WearAware, p.Writes, hotFrac,
+			p.WA, p.UserWA, p.TranslationWA, p.ValidityWA,
+			p.Erases, p.MinErase, p.MaxErase, p.EraseSpread,
+			p.ModelSingleWA, p.ModelSeparatedWA)
 	}
 }
 

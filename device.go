@@ -144,34 +144,42 @@ func (d *Device) Trim(ctx context.Context, start LPN, count int) error {
 	for i := range lpns {
 		lpns[i] = start + LPN(i)
 	}
-	return wrapErr(d.eng.TrimBatch(lpns))
+	return wrapErr(d.eng.TrimBatch(ctx, lpns))
 }
 
 // WriteBatch updates every logical page in lpns, fanning the requests out
 // across the engine's shards in parallel. Pages of the same shard are
 // written in slice order; ordering across shards is unspecified, as on a
 // real multi-channel controller.
+//
+// ctx is honoured throughout the batch, not only at entry: every shard
+// re-checks it between operations, so cancelling mid-batch stops each
+// shard's remaining sub-batch at an operation boundary. Pages already
+// written stay written (and durable per the usual Flush contract); the
+// returned error matches ctx.Err() under errors.Is.
 func (d *Device) WriteBatch(ctx context.Context, lpns []LPN) error {
 	if err := d.guard(ctx); err != nil {
 		return err
 	}
-	return wrapErr(d.eng.WriteBatch(lpns))
+	return wrapErr(d.eng.WriteBatch(ctx, lpns))
 }
 
 // ReadBatch reads every logical page in lpns in parallel across shards.
+// Cancellation semantics as for WriteBatch.
 func (d *Device) ReadBatch(ctx context.Context, lpns []LPN) error {
 	if err := d.guard(ctx); err != nil {
 		return err
 	}
-	return wrapErr(d.eng.ReadBatch(lpns))
+	return wrapErr(d.eng.ReadBatch(ctx, lpns))
 }
 
 // TrimBatch trims every logical page in lpns in parallel across shards.
+// Cancellation semantics as for WriteBatch.
 func (d *Device) TrimBatch(ctx context.Context, lpns []LPN) error {
 	if err := d.guard(ctx); err != nil {
 		return err
 	}
-	return wrapErr(d.eng.TrimBatch(lpns))
+	return wrapErr(d.eng.TrimBatch(ctx, lpns))
 }
 
 // Flush forces all dirty state — mapping entries, page-validity buffers — to
@@ -288,6 +296,14 @@ func (r *RecoveryReport) Speedup() float64 {
 // Synchronized (flushed) writes and trims are guaranteed to survive; dirty
 // state from the crash window is recovered by the bounded backwards scan
 // where possible.
+//
+// A successful Recover starts a fresh measurement window, exactly as
+// ResetStats would: the recovery scan's own IO (reported in the
+// RecoveryReport) is orders of magnitude larger than a write's, and charging
+// it to the host window would let one post-recovery Snapshot report a
+// write-amplification wildly disconnected from the workload — or mix windows
+// split by the crash. Cumulative counters (Snapshot.Ops, Snapshot.GC) are
+// unaffected.
 func (d *Device) Recover(ctx context.Context) (*RecoveryReport, error) {
 	if d.closed.Load() {
 		return nil, ErrClosed
@@ -301,6 +317,11 @@ func (d *Device) Recover(ctx context.Context) (*RecoveryReport, error) {
 	if err != nil {
 		return nil, wrapErr(err)
 	}
+	// Re-base the measurement window (see above): without this, the window
+	// inherited from before the crash still counts the recovery IO and the
+	// pre-crash writes, and a Snapshot taken after further traffic reports a
+	// write-amplification for a window no workload ever produced.
+	d.ResetStats()
 	out := &RecoveryReport{
 		WallClock:               rep.WallClock,
 		SerialTime:              rep.SerialTime,

@@ -3,6 +3,7 @@ package geckoftl_test
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 	"testing"
 
 	"geckoftl"
@@ -267,5 +268,172 @@ func TestCloseWithCancelledContextIsRetryable(t *testing.T) {
 	}
 	if err := dev.Close(context.Background()); err != nil {
 		t.Fatalf("retried Close: %v", err)
+	}
+}
+
+// errCallCountingCtx cancels itself after its Err method has been consulted
+// a fixed number of times. It deterministically models "the caller cancels
+// while the batch is in flight": the guard's entry check passes, a few
+// per-operation checks pass, then every later check observes cancellation.
+type errCallCountingCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *errCallCountingCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestBatchCancellation pins the batch cancellation contract: a pre-cancelled
+// context performs no operations at all, and a context cancelled mid-batch
+// stops each shard's sub-batch at an operation boundary — pre-fix, the
+// engine checked the context only on entry and ran cancelled batches to
+// completion.
+func TestBatchCancellation(t *testing.T) {
+	ctx := context.Background()
+	dev := open(t, geckoftl.WithChannels(2, 1), geckoftl.WithCacheEntries(512))
+
+	lpns := make([]geckoftl.LPN, 96)
+	for i := range lpns {
+		lpns[i] = geckoftl.LPN(i)
+	}
+
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	for name, err := range map[string]error{
+		"WriteBatch": dev.WriteBatch(cancelled, lpns),
+		"ReadBatch":  dev.ReadBatch(cancelled, lpns),
+		"TrimBatch":  dev.TrimBatch(cancelled, lpns),
+	} {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s with pre-cancelled ctx returned %v, want context.Canceled", name, err)
+		}
+	}
+	if snap := dev.Snapshot(); snap.Ops.Writes != 0 || snap.Ops.Reads != 0 || snap.Ops.Trims != 0 {
+		t.Fatalf("pre-cancelled batches performed operations: %+v", snap.Ops)
+	}
+
+	// Cancel after a handful of per-operation checks: some pages must have
+	// been written, the rest must have been skipped.
+	mid := &errCallCountingCtx{Context: ctx, after: 9}
+	err := dev.WriteBatch(mid, lpns)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-batch cancelled WriteBatch returned %v, want context.Canceled", err)
+	}
+	snap := dev.Snapshot()
+	if snap.Ops.Writes == 0 {
+		t.Error("mid-batch cancellation stopped the batch before any operation ran")
+	}
+	if snap.Ops.Writes >= int64(len(lpns)) {
+		t.Errorf("mid-batch cancelled WriteBatch still wrote all %d pages", len(lpns))
+	}
+	// The device stays usable; the skipped pages can be retried.
+	if err := dev.WriteBatch(ctx, lpns); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotWindowAfterRecover pins the recovery re-base of the
+// measurement window: a Snapshot taken after crash + recovery + fresh
+// traffic must describe only the post-recovery window. Pre-fix the window
+// straddled the crash, so it mixed pre-crash writes and the recovery scan's
+// IO into the write-amplification figure.
+func TestSnapshotWindowAfterRecover(t *testing.T) {
+	ctx := context.Background()
+	dev := open(t, geckoftl.WithGeometry(128, 16, 512), geckoftl.WithCacheEntries(256))
+	lp := dev.LogicalPages()
+
+	gen, err := geckoftl.NewUniform(lp, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 2*lp; i++ {
+		if err := dev.Write(ctx, gen.Next().Page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev.ResetStats()
+	for i := 0; i < 500; i++ {
+		if err := dev.Write(ctx, gen.Next().Page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dev.PowerFail(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	const post = 200
+	for i := 0; i < post; i++ {
+		if err := dev.Write(ctx, gen.Next().Page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := dev.Snapshot()
+	if snap.WindowWrites != post {
+		t.Errorf("post-recovery window counts %d writes, want %d (window not re-based at Recover)",
+			snap.WindowWrites, post)
+	}
+	if snap.WriteLatency.Count != post {
+		t.Errorf("post-recovery latency window holds %d writes, want %d", snap.WriteLatency.Count, post)
+	}
+	if snap.WriteAmplification < 1 {
+		t.Errorf("post-recovery WA %.3f below 1", snap.WriteAmplification)
+	}
+	if snap.WriteAmplification > 20 {
+		t.Errorf("post-recovery WA %.3f implausibly high: recovery IO leaked into the write window",
+			snap.WriteAmplification)
+	}
+	// Cumulative counters must NOT have been re-based.
+	if snap.Ops.Writes != 2*lp+500+post {
+		t.Errorf("cumulative writes %d, want %d", snap.Ops.Writes, 2*lp+500+post)
+	}
+}
+
+// TestSnapshotWearFields exercises the public wear surface: erase-count
+// fields appear in Snapshot, and the hot/cold + wear knobs round-trip
+// through Open.
+func TestSnapshotWearFields(t *testing.T) {
+	ctx := context.Background()
+	dev := open(t,
+		geckoftl.WithGeometry(128, 16, 512),
+		geckoftl.WithCacheEntries(256),
+		geckoftl.WithHotColdSeparation(true),
+		geckoftl.WithWearAwareAllocation(true),
+		geckoftl.WithVictimPolicy(geckoftl.VictimCostBenefit),
+	)
+	lp := dev.LogicalPages()
+	gen, err := geckoftl.NewHotCold(lp, 0.2, 0.8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 3*lp; i++ {
+		if err := dev.Write(ctx, gen.Next().Page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := dev.Snapshot()
+	if snap.MaxEraseCount <= 0 {
+		t.Errorf("MaxEraseCount = %d after %d writes, want > 0", snap.MaxEraseCount, 3*lp)
+	}
+	if snap.EraseSpread != snap.MaxEraseCount-snap.MinEraseCount || snap.EraseSpread < 0 {
+		t.Errorf("inconsistent wear fields: min %d max %d spread %d",
+			snap.MinEraseCount, snap.MaxEraseCount, snap.EraseSpread)
+	}
+	if snap.MeanEraseCount < float64(snap.MinEraseCount) || snap.MeanEraseCount > float64(snap.MaxEraseCount) {
+		t.Errorf("mean erase count %.2f outside [min %d, max %d]",
+			snap.MeanEraseCount, snap.MinEraseCount, snap.MaxEraseCount)
+	}
+	if err := dev.CheckConsistency(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -9,17 +9,19 @@
 //
 //   - A context-aware block-device API: Open builds a simulated flash device
 //     with a sharded FTL engine on top, configured with functional options
-//     (geometry, FTL scheme, GC mode, cache budget, battery). The returned
-//     Device serves Read/Write/Trim/Flush/Close plus batch variants, crashes
-//     and recovers with PowerFail/Recover, and reports statistics and
-//     latency percentiles through Snapshot. Failures are classified by the
-//     errors.Is-able taxonomy ErrClosed, ErrPowerFailed, ErrOutOfRange and
-//     ErrInvalidConfig.
+//     (geometry, FTL scheme, GC mode and victim policy, cache budget,
+//     battery, hot/cold separation, wear-aware allocation). The returned
+//     Device serves Read/Write/Trim/Flush/Close plus batch variants
+//     (cancellable between operations mid-batch), crashes and recovers with
+//     PowerFail/Recover, and reports statistics, latency percentiles and
+//     wear (erase-count spread) through Snapshot. Failures are classified by
+//     the errors.Is-able taxonomy ErrClosed, ErrPowerFailed, ErrOutOfRange
+//     and ErrInvalidConfig.
 //
 //   - The experiment harness behind the paper's evaluation: the Figure and
-//     Table reproductions, the channel/recovery/latency/trim sweeps, and the
-//     workload generators that drive them, re-exported for the geckobench,
-//     ftlsim and ramcalc commands.
+//     Table reproductions, the channel/recovery/latency/trim/wear sweeps,
+//     and the workload generators that drive them, re-exported for the
+//     geckobench, ftlsim and ramcalc commands.
 //
 //   - The analytical models: integrated-RAM and recovery-time breakdowns at
 //     arbitrary device capacities, and Logarithmic Gecko's tuning math.

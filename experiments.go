@@ -145,6 +145,17 @@ type (
 // fraction of trims; WA falls monotonically with the trim fraction.
 func TrimSweep(opts TrimSweepOptions) ([]TrimPoint, error) { return sim.TrimSweep(opts) }
 
+// WearSweepOptions parameterizes WearSweep; WearPoint is one of its rows.
+type (
+	WearSweepOptions = sim.WearSweepOptions
+	WearPoint        = sim.WearPoint
+)
+
+// WearSweep measures write-amplification and erase-count spread across
+// frontier configurations (single vs hot/cold, wear-aware vs LIFO
+// allocation), victim policies and workloads: the endurance experiment.
+func WearSweep(opts WearSweepOptions) ([]WearPoint, error) { return sim.WearSweep(opts) }
+
 // HeadlineSummary evaluates the paper's three headline claims.
 type HeadlineSummary = sim.HeadlineSummary
 

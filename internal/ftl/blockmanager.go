@@ -1,6 +1,7 @@
 package ftl
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 
@@ -59,6 +60,48 @@ func (g Group) purpose() flash.Purpose {
 	}
 }
 
+// Temperature classifies user data by update frequency. With hot/cold
+// separation enabled the block manager keeps one user write frontier per
+// temperature, so blocks fill with pages of similar lifetimes: hot blocks
+// invalidate almost entirely before the garbage collector reaches them, and
+// cold blocks are never mixed with churn. Translation and metadata groups are
+// unaffected (the paper already separates them from user data).
+type Temperature int
+
+const (
+	// TempCold is the default temperature: user writes the heat classifier
+	// does not recognize as hot, and garbage-collection migrations (a page
+	// that survived long enough to be migrated is cold by definition).
+	TempCold Temperature = iota
+	// TempHot marks frequently updated logical pages.
+	TempHot
+	numTemps
+)
+
+// String returns "cold" or "hot".
+func (t Temperature) String() string {
+	if t == TempHot {
+		return "hot"
+	}
+	return "cold"
+}
+
+// The block manager keeps one append-only write frontier per group, plus one
+// extra user frontier for hot data when hot/cold separation is on. Frontier
+// indices below numGroups coincide with the group (user frontier = cold).
+const (
+	frontierUserHot = int(numGroups)
+	numFrontiers    = int(numGroups) + 1
+)
+
+// frontierFor maps a group and temperature to the frontier index.
+func frontierFor(g Group, temp Temperature) int {
+	if g == GroupUser && temp == TempHot {
+		return frontierUserHot
+	}
+	return int(g)
+}
+
 // blockInfo is the per-block RAM state of the block manager.
 type blockInfo struct {
 	group Group
@@ -73,18 +116,35 @@ type blockInfo struct {
 	// firstWriteSeq is the device write sequence of the block's first page
 	// since its last erase; recovery uses it to order blocks by age.
 	firstWriteSeq uint64
+	// lastWriteSeq is the device write sequence of the block's most recent
+	// page; the cost-benefit victim policy uses it as the block's age
+	// anchor. Recovery approximates it with firstWriteSeq (the spare scan
+	// reads only first pages), which only makes recovered blocks look
+	// older, i.e. better victims.
+	lastWriteSeq uint64
+	// eraseCount mirrors the device's per-block erase counter in RAM so
+	// that wear-aware allocation never costs IO on the write path. It is
+	// lost at power failure and re-based from the device during recovery.
+	eraseCount int
 }
 
 // blockManager owns the physical layout of GeckoFTL-style FTLs: it separates
 // blocks into user / translation / metadata groups, each with an active block
-// written append-only, keeps the Blocks Validity Counter, and hands out
+// written append-only (two user frontiers when hot/cold separation is on),
+// keeps the Blocks Validity Counter and per-block wear state, and hands out
 // garbage-collection victims.
 type blockManager struct {
 	dev    flash.Plane
 	cfg    flash.Config
 	blocks []blockInfo
 	free   []flash.BlockID
-	active [numGroups]flash.BlockID
+	active [numFrontiers]flash.BlockID
+
+	// hotCold enables the second (hot) user write frontier.
+	hotCold bool
+	// wearAware makes takeFreeBlock pick the least-erased free block
+	// instead of the most recently freed one.
+	wearAware bool
 
 	// gcReserve is the number of free blocks below which garbage-collection
 	// must run before further allocations.
@@ -99,24 +159,39 @@ type blockManager struct {
 	lastSeq uint64
 
 	erases int64
+	// frees counts blocks returned to the free pool; the wear-conservation
+	// invariant (every erase frees exactly one block) ties it to erases.
+	frees int64
 }
 
 // newBlockManager creates a block manager with every block free.
-func newBlockManager(dev flash.Plane, gcReserve int) *blockManager {
+func newBlockManager(dev flash.Plane, gcReserve int, hotCold, wearAware bool) *blockManager {
 	cfg := dev.Config()
 	bm := &blockManager{
 		dev:       dev,
 		cfg:       cfg,
 		blocks:    make([]blockInfo, cfg.Blocks),
+		hotCold:   hotCold,
+		wearAware: wearAware,
 		gcReserve: gcReserve,
 	}
 	for i := cfg.Blocks - 1; i >= 0; i-- {
 		bm.free = append(bm.free, flash.BlockID(i))
 	}
+	bm.restoreFreeOrder()
 	for g := range bm.active {
 		bm.active[g] = flash.InvalidBlock
 	}
 	return bm
+}
+
+// restoreFreeOrder re-establishes the free pool's ordering invariant after a
+// bulk rebuild (construction, recovery): a heap under wear-aware allocation,
+// anything under LIFO.
+func (bm *blockManager) restoreFreeOrder() {
+	if bm.wearAware {
+		heap.Init(freeHeap{bm})
+	}
 }
 
 // FreeBlocks returns the number of blocks in the free pool.
@@ -127,6 +202,13 @@ func (bm *blockManager) NeedsGC() bool { return len(bm.free) <= bm.gcReserve }
 
 // Erases returns the number of block erases issued by the manager.
 func (bm *blockManager) Erases() int64 { return bm.erases }
+
+// Frees returns the number of blocks the manager has returned to the free
+// pool. Outside of recovery re-basing it always equals Erases.
+func (bm *blockManager) Frees() int64 { return bm.frees }
+
+// EraseCount returns the manager's RAM mirror of a block's erase count.
+func (bm *blockManager) EraseCount(block flash.BlockID) int { return bm.blocks[block].eraseCount }
 
 // GroupOf returns the group a block currently belongs to and whether it is
 // allocated at all.
@@ -142,7 +224,7 @@ func (bm *blockManager) ValidCount(block flash.BlockID) int { return bm.blocks[b
 func (bm *blockManager) WritePointer(block flash.BlockID) int { return bm.blocks[block].writePointer }
 
 // BlocksInGroup returns the blocks currently allocated to a group, including
-// its active block.
+// its active block(s).
 func (bm *blockManager) BlocksInGroup(g Group) []flash.BlockID {
 	var out []flash.BlockID
 	for i := range bm.blocks {
@@ -153,34 +235,84 @@ func (bm *blockManager) BlocksInGroup(g Group) []flash.BlockID {
 	return out
 }
 
-// takeFreeBlock pops a block from the free pool.
+// freeHeap orders the manager's free list as a min-heap keyed by
+// (eraseCount, blockID), so wear-aware allocation pops the least-erased free
+// block — ties to the lowest block ID — in O(log n) instead of scanning the
+// pool. Erase counts of pooled blocks never change (only allocated blocks
+// are erased), so the heap invariant holds between operations. The struct
+// holds the manager pointer; heap.Interface's value receivers mutate the
+// slice through it.
+type freeHeap struct{ bm *blockManager }
+
+func (h freeHeap) Len() int { return len(h.bm.free) }
+func (h freeHeap) Less(i, j int) bool {
+	a, b := h.bm.free[i], h.bm.free[j]
+	if ea, eb := h.bm.blocks[a].eraseCount, h.bm.blocks[b].eraseCount; ea != eb {
+		return ea < eb
+	}
+	return a < b
+}
+func (h freeHeap) Swap(i, j int) { h.bm.free[i], h.bm.free[j] = h.bm.free[j], h.bm.free[i] }
+func (h freeHeap) Push(x any)    { h.bm.free = append(h.bm.free, x.(flash.BlockID)) }
+func (h freeHeap) Pop() any {
+	last := len(h.bm.free) - 1
+	id := h.bm.free[last]
+	h.bm.free = h.bm.free[:last]
+	return id
+}
+
+// takeFreeBlock removes a block from the free pool and assigns it to a group.
+// Without wear-aware allocation the most recently freed block is reused (the
+// historical LIFO behaviour); with it, the least-erased free block is taken —
+// coldest-erase-count first, ties broken by lowest block ID — so blocks that
+// sat out rejoin the write path before churned ones wear further.
 func (bm *blockManager) takeFreeBlock(g Group) (flash.BlockID, error) {
 	if len(bm.free) == 0 {
 		return flash.InvalidBlock, fmt.Errorf("ftl: no free blocks left for group %v", g)
 	}
-	id := bm.free[len(bm.free)-1]
-	bm.free = bm.free[:len(bm.free)-1]
+	var id flash.BlockID
+	if bm.wearAware {
+		id = heap.Pop(freeHeap{bm}).(flash.BlockID)
+	} else {
+		id = bm.free[len(bm.free)-1]
+		bm.free = bm.free[:len(bm.free)-1]
+	}
 	info := &bm.blocks[id]
 	info.group = g
 	info.allocated = true
 	info.writePointer = 0
 	info.valid = 0
 	info.firstWriteSeq = 0
+	info.lastWriteSeq = 0
 	return id, nil
 }
 
-// AllocatePage programs the next free page of the group's active block
+// AllocatePage programs the next free page of the group's cold frontier
 // (allocating a new active block from the free pool when needed) and returns
 // its address. The page is counted as valid in the BVC. The caller supplies
 // the spare area; the block type of the first page is stamped automatically.
 func (bm *blockManager) AllocatePage(g Group, spare flash.SpareArea, p flash.Purpose) (flash.PPN, error) {
-	active := bm.active[g]
+	return bm.allocateOnFrontier(g, frontierFor(g, TempCold), spare, p)
+}
+
+// AllocateUserPage programs the next free page of the user group's frontier
+// for the given temperature. Without hot/cold separation every temperature
+// maps to the single user frontier.
+func (bm *blockManager) AllocateUserPage(temp Temperature, spare flash.SpareArea, p flash.Purpose) (flash.PPN, error) {
+	if !bm.hotCold {
+		temp = TempCold
+	}
+	return bm.allocateOnFrontier(GroupUser, frontierFor(GroupUser, temp), spare, p)
+}
+
+func (bm *blockManager) allocateOnFrontier(g Group, frontier int, spare flash.SpareArea, p flash.Purpose) (flash.PPN, error) {
+	active := bm.active[frontier]
 	if active == flash.InvalidBlock || bm.blocks[active].writePointer >= bm.cfg.PagesPerBlock {
 		id, err := bm.takeFreeBlock(g)
 		if err != nil {
 			return flash.InvalidPPN, err
 		}
-		bm.active[g] = id
+		bm.active[frontier] = id
 		active = id
 	}
 	info := &bm.blocks[active]
@@ -196,6 +328,7 @@ func (bm *blockManager) AllocatePage(g Group, spare flash.SpareArea, p flash.Pur
 	if info.writePointer == 0 {
 		info.firstWriteSeq = seq
 	}
+	info.lastWriteSeq = seq
 	info.writePointer++
 	info.valid++
 	return ppn, nil
@@ -229,15 +362,15 @@ func (bm *blockManager) InvalidatePage(ppn flash.PPN) error {
 }
 
 // Erase erases a block, returns it to the free pool and resets its BVC entry.
-// The group's active block cannot be erased.
+// No frontier's active block can be erased.
 func (bm *blockManager) Erase(block flash.BlockID, p flash.Purpose) error {
 	info := &bm.blocks[block]
 	if !info.allocated {
 		return fmt.Errorf("ftl: erasing unallocated block %d", block)
 	}
-	for g := range bm.active {
-		if bm.active[g] == block {
-			return fmt.Errorf("ftl: erasing active %v block %d", Group(g), block)
+	for fr := range bm.active {
+		if bm.active[fr] == block {
+			return fmt.Errorf("ftl: erasing active %v block %d", info.group, block)
 		}
 	}
 	if err := bm.dev.EraseBlock(block, p); err != nil {
@@ -248,7 +381,14 @@ func (bm *blockManager) Erase(block flash.BlockID, p flash.Purpose) error {
 	info.valid = 0
 	info.writePointer = 0
 	info.firstWriteSeq = 0
-	bm.free = append(bm.free, block)
+	info.lastWriteSeq = 0
+	info.eraseCount++
+	if bm.wearAware {
+		heap.Push(freeHeap{bm}, block)
+	} else {
+		bm.free = append(bm.free, block)
+	}
+	bm.frees++
 	return nil
 }
 
@@ -265,15 +405,33 @@ const (
 	// fully invalid on their own, at which point they are erased for free
 	// (Section 4.2 of the paper).
 	VictimMetadataAware
+	// VictimCostBenefit scores user blocks by age times invalid fraction
+	// and reclaims the highest scorer: a nearly-empty young block and a
+	// half-empty old block are both good victims, while the cold,
+	// mostly-valid blocks that greedy policies churn on skewed workloads
+	// are left alone until they age. Like VictimMetadataAware it never
+	// migrates translation or metadata blocks.
+	VictimCostBenefit
 )
 
 // String names the policy.
 func (p VictimPolicy) String() string {
-	if p == VictimMetadataAware {
+	switch p {
+	case VictimMetadataAware:
 		return "metadata-aware"
+	case VictimCostBenefit:
+		return "cost-benefit"
+	default:
+		return "greedy"
 	}
-	return "greedy"
 }
+
+// MigratesMetadata reports whether the policy may pick translation or
+// metadata blocks as victims (and therefore migrate their live pages).
+// Non-greedy policies rely on fully-invalid metadata blocks dying of natural
+// causes instead, so their FTLs need not track translation-page validity in
+// the page-validity store.
+func (p VictimPolicy) MigratesMetadata() bool { return p == VictimGreedy }
 
 // PickVictim returns the next garbage-collection victim under the policy, or
 // false when no block is eligible. Only full, non-active, allocated blocks
@@ -281,9 +439,17 @@ func (p VictimPolicy) String() string {
 // in the excluded set (e.g. those protected because they hold previous
 // translation-page versions needed for buffer recovery, Appendix C.2.2) are
 // skipped.
+//
+// Selection is deterministic: candidates are scanned in block-ID order and
+// every comparison is strict, so equal-scoring candidates resolve to the
+// lowest block ID. This matters most under VictimCostBenefit, whose
+// floating-point scores tie easily (all-invalid blocks of the same age); a
+// tie broken by anything but the ID would make identically-seeded
+// simulations diverge.
 func (bm *blockManager) PickVictim(policy VictimPolicy, excluded map[flash.BlockID]bool) (flash.BlockID, bool) {
 	best := flash.InvalidBlock
 	bestValid := -1
+	bestScore := -1.0
 	for i := range bm.blocks {
 		info := &bm.blocks[i]
 		if !info.allocated || info.writePointer < bm.cfg.PagesPerBlock {
@@ -293,19 +459,42 @@ func (bm *blockManager) PickVictim(policy VictimPolicy, excluded map[flash.Block
 		if bm.isActive(id) || excluded[id] {
 			continue
 		}
-		if policy == VictimMetadataAware && info.group != GroupUser {
+		if !policy.MigratesMetadata() && info.group != GroupUser {
 			continue
 		}
-		if best == flash.InvalidBlock || info.valid < bestValid {
-			best = id
-			bestValid = info.valid
+		switch policy {
+		case VictimCostBenefit:
+			score := bm.costBenefitScore(info)
+			if best == flash.InvalidBlock || score > bestScore {
+				best = id
+				bestScore = score
+			}
+		default:
+			if best == flash.InvalidBlock || info.valid < bestValid {
+				best = id
+				bestValid = info.valid
+			}
 		}
 	}
 	return best, best != flash.InvalidBlock
 }
 
+// costBenefitScore is the block's age (device write sequences since its last
+// program) times its invalid fraction. Age uses lastWriteSeq so a block still
+// absorbing GC migrations does not look old, and the score of a fully valid
+// block is zero regardless of age.
+func (bm *blockManager) costBenefitScore(info *blockInfo) float64 {
+	written := info.writePointer
+	if written <= 0 {
+		return 0
+	}
+	invalidFrac := float64(written-info.valid) / float64(written)
+	age := float64(bm.lastSeq - info.lastWriteSeq)
+	return age * invalidFrac
+}
+
 // FullyInvalidBlocks returns allocated, full, non-active blocks of the given
-// group with zero valid pages. Under the metadata-aware policy these are the
+// group with zero valid pages. Under the non-greedy policies these are the
 // only metadata blocks the FTL erases.
 func (bm *blockManager) FullyInvalidBlocks(g Group) []flash.BlockID {
 	var out []flash.BlockID
@@ -320,8 +509,8 @@ func (bm *blockManager) FullyInvalidBlocks(g Group) []flash.BlockID {
 }
 
 func (bm *blockManager) isActive(block flash.BlockID) bool {
-	for g := range bm.active {
-		if bm.active[g] == block {
+	for fr := range bm.active {
+		if bm.active[fr] == block {
 			return true
 		}
 	}
@@ -331,9 +520,14 @@ func (bm *blockManager) isActive(block flash.BlockID) bool {
 // RAMBytes returns the integrated-RAM footprint of the block manager's
 // per-block state as charged by the paper's models: 2 bytes per block for the
 // BVC (Appendix B). The group tags and write pointers are charged one
-// additional byte per block.
+// additional byte per block, and wear-aware allocation charges 2 more for
+// the per-block erase counters it keeps in RAM.
 func (bm *blockManager) RAMBytes() int64 {
-	return int64(len(bm.blocks)) * 3
+	perBlock := int64(3)
+	if bm.wearAware {
+		perBlock += 2
+	}
+	return int64(len(bm.blocks)) * perBlock
 }
 
 // CrashRAM drops all RAM state, as a power failure would. The device contents
@@ -343,8 +537,8 @@ func (bm *blockManager) CrashRAM() {
 		bm.blocks[i] = blockInfo{}
 	}
 	bm.free = bm.free[:0]
-	for g := range bm.active {
-		bm.active[g] = flash.InvalidBlock
+	for fr := range bm.active {
+		bm.active[fr] = flash.InvalidBlock
 	}
 	// The write-sequence high-water mark is RAM too; recovery re-learns it
 	// from the spares it scans (NoteWriteSeq).

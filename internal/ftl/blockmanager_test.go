@@ -38,7 +38,7 @@ func TestGroupNamesAndTypes(t *testing.T) {
 
 func TestBlockManagerAllocation(t *testing.T) {
 	dev := newTestDevice(t, 8, 4, 512)
-	bm := newBlockManager(dev, 2)
+	bm := newBlockManager(dev, 2, false, false)
 	if bm.FreeBlocks() != 8 {
 		t.Fatalf("FreeBlocks = %d, want 8", bm.FreeBlocks())
 	}
@@ -74,7 +74,7 @@ func TestBlockManagerAllocation(t *testing.T) {
 
 func TestBlockManagerGroupsAreSeparate(t *testing.T) {
 	dev := newTestDevice(t, 8, 4, 512)
-	bm := newBlockManager(dev, 2)
+	bm := newBlockManager(dev, 2, false, false)
 	up, _ := bm.AllocatePage(GroupUser, flash.SpareArea{}, flash.PurposeUserWrite)
 	tp, _ := bm.AllocatePage(GroupTranslation, flash.SpareArea{}, flash.PurposeTranslation)
 	mp, _ := bm.AllocatePage(GroupMeta, flash.SpareArea{}, flash.PurposePageValidity)
@@ -92,7 +92,7 @@ func TestBlockManagerGroupsAreSeparate(t *testing.T) {
 
 func TestBlockManagerInvalidateAndErase(t *testing.T) {
 	dev := newTestDevice(t, 8, 4, 512)
-	bm := newBlockManager(dev, 2)
+	bm := newBlockManager(dev, 2, false, false)
 	var ppns []flash.PPN
 	for i := 0; i < 8; i++ { // two full user blocks
 		ppn, err := bm.AllocatePage(GroupUser, flash.SpareArea{}, flash.PurposeUserWrite)
@@ -133,7 +133,7 @@ func TestBlockManagerInvalidateAndErase(t *testing.T) {
 
 func TestBlockManagerEraseGuards(t *testing.T) {
 	dev := newTestDevice(t, 8, 4, 512)
-	bm := newBlockManager(dev, 2)
+	bm := newBlockManager(dev, 2, false, false)
 	if err := bm.Erase(3, flash.PurposeGCErase); err == nil {
 		t.Error("erasing an unallocated block accepted")
 	}
@@ -149,7 +149,7 @@ func TestBlockManagerEraseGuards(t *testing.T) {
 
 func TestVictimPolicies(t *testing.T) {
 	dev := newTestDevice(t, 8, 4, 512)
-	bm := newBlockManager(dev, 2)
+	bm := newBlockManager(dev, 2, false, false)
 	// Fill one user block (4 pages, 1 invalid), one translation block
 	// (4 pages, all invalid) and leave actives partially filled.
 	var userPPNs, transPPNs []flash.PPN
@@ -187,7 +187,7 @@ func TestVictimPolicies(t *testing.T) {
 
 func TestBlockManagerCrashAndRecencyOrder(t *testing.T) {
 	dev := newTestDevice(t, 8, 4, 512)
-	bm := newBlockManager(dev, 2)
+	bm := newBlockManager(dev, 2, false, false)
 	for i := 0; i < 9; i++ {
 		if _, err := bm.AllocatePage(GroupUser, flash.SpareArea{}, flash.PurposeUserWrite); err != nil {
 			t.Fatal(err)
@@ -213,7 +213,7 @@ func TestBlockManagerCrashAndRecencyOrder(t *testing.T) {
 
 func TestBlockManagerRAMBytes(t *testing.T) {
 	dev := newTestDevice(t, 128, 4, 512)
-	bm := newBlockManager(dev, 2)
+	bm := newBlockManager(dev, 2, false, false)
 	if got := bm.RAMBytes(); got != 128*3 {
 		t.Errorf("RAMBytes = %d, want %d", got, 128*3)
 	}

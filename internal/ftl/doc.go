@@ -20,8 +20,10 @@
 //     UIP flag (Section 4.1).
 //   - blockManager: the user/translation/metadata block groups of Figure 8
 //     and the Blocks Validity Counter (Appendix B); its victim policies are
-//     the greedy baseline and GeckoFTL's metadata-aware policy that never
-//     migrates metadata blocks (Section 4.2).
+//     the greedy baseline, GeckoFTL's metadata-aware policy that never
+//     migrates metadata blocks (Section 4.2), and a cost-benefit policy
+//     (age times invalid fraction) that extends the paper. Victim selection
+//     is deterministic: ties always resolve to the lowest block ID.
 //   - translationTable: the flash-resident page-associative mapping with its
 //     Global Mapping Directory and synchronization operations.
 //   - FTL.Recover: the power-failure recovery protocols, including
@@ -31,6 +33,19 @@
 //     paper's comparison: Logarithmic Gecko (package gecko), the RAM- or
 //     flash-resident PVB (package pvb), or IB-FTL's page validity log
 //     (package pvl).
+//
+// # Beyond the paper: hot/cold separation and wear
+//
+// Options.HotColdSeparation splits the user group into two write frontiers.
+// A per-LPN heat classifier (heat.go) with exponentially-decayed write
+// counts routes each application write to the hot or cold frontier, and
+// garbage-collection migrations always land on the cold one, so blocks fill
+// with pages of similar lifetimes — the data-placement lever that lowers
+// write-amplification on skewed workloads. Options.WearAwareAllocation
+// makes the block manager hand out the least-erased free block first,
+// narrowing the device's erase-count spread (its lifetime); the per-block
+// erase counters are RAM mirrors of the device's truth, re-based during
+// recovery.
 //
 // # Beyond the paper: the sharded Engine
 //

@@ -1,6 +1,7 @@
 package ftl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -238,33 +239,36 @@ func (e *Engine) Trim(lpn flash.LPN) error {
 // WriteBatch writes every logical page in lpns, fanning the requests out
 // across shards in parallel and joining the results. Pages of the same shard
 // are written in slice order; ordering across shards is unspecified, as on a
-// real multi-channel controller.
-func (e *Engine) WriteBatch(lpns []flash.LPN) error {
+// real multi-channel controller. Cancelling ctx stops each shard's sub-batch
+// between operations: pages already written stay written, the rest are
+// skipped, and the joined error matches ctx.Err() under errors.Is. A nil ctx
+// disables cancellation.
+func (e *Engine) WriteBatch(ctx context.Context, lpns []flash.LPN) error {
 	buckets, err := e.bucket(lpns)
 	if err != nil {
 		return err
 	}
-	return e.fanOut(buckets, (*FTL).Write, opWrite)
+	return e.fanOut(ctx, buckets, (*FTL).Write, opWrite)
 }
 
 // ReadBatch reads every logical page in lpns, fanning the requests out
-// across shards in parallel.
-func (e *Engine) ReadBatch(lpns []flash.LPN) error {
+// across shards in parallel. Cancellation semantics as for WriteBatch.
+func (e *Engine) ReadBatch(ctx context.Context, lpns []flash.LPN) error {
 	buckets, err := e.bucket(lpns)
 	if err != nil {
 		return err
 	}
-	return e.fanOut(buckets, (*FTL).Read, opRead)
+	return e.fanOut(ctx, buckets, (*FTL).Read, opRead)
 }
 
 // TrimBatch trims every logical page in lpns, fanning the requests out
-// across shards in parallel.
-func (e *Engine) TrimBatch(lpns []flash.LPN) error {
+// across shards in parallel. Cancellation semantics as for WriteBatch.
+func (e *Engine) TrimBatch(ctx context.Context, lpns []flash.LPN) error {
 	buckets, err := e.bucket(lpns)
 	if err != nil {
 		return err
 	}
-	return e.fanOut(buckets, (*FTL).Trim, opTrim)
+	return e.fanOut(ctx, buckets, (*FTL).Trim, opTrim)
 }
 
 // Mapped reports whether a logical page currently maps to flash-resident
@@ -297,7 +301,10 @@ func (e *Engine) bucket(lpns []flash.LPN) ([][]flash.LPN, error) {
 
 // fanOut runs one goroutine per non-empty bucket, each holding its shard's
 // lock while draining the bucket sequentially. A shard that fails stops
-// early; the joined errors of all failed shards are returned.
+// early; the joined errors of all failed shards are returned. Each bucket
+// re-checks ctx before every operation — a batch observed to be cancelled
+// stops at an operation boundary on every shard instead of running to
+// completion, and the cancelled shards report ctx.Err().
 //
 // The batch's arrival instant is taken once, before the fan-out, so every
 // operation's recorded latency is measured against the same virtual "now":
@@ -309,7 +316,7 @@ func (e *Engine) bucket(lpns []flash.LPN) ([][]flash.LPN, error) {
 // goroutine scheduling; overlapping batches from concurrent callers ratchet
 // the shared arrival clock and so charge each other's queueing, as
 // overlapping arrivals at a real device would.
-func (e *Engine) fanOut(buckets [][]flash.LPN, op func(*FTL, flash.LPN) error, kind opKind) error {
+func (e *Engine) fanOut(ctx context.Context, buckets [][]flash.LPN, op func(*FTL, flash.LPN) error, kind opKind) error {
 	arrival := e.dev.SyncArrival()
 	var wg sync.WaitGroup
 	errs := make([]error, len(buckets))
@@ -324,6 +331,12 @@ func (e *Engine) fanOut(buckets [][]flash.LPN, op func(*FTL, flash.LPN) error, k
 			sh.mu.Lock()
 			defer sh.mu.Unlock()
 			for _, lpn := range bucket {
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						errs[i] = fmt.Errorf("shard %d: %w", i, err)
+						return
+					}
+				}
 				if err := op(sh.ftl, lpn); err != nil {
 					errs[i] = fmt.Errorf("shard %d: %w", i, err)
 					return
@@ -470,6 +483,8 @@ func (s *Stats) add(other Stats) {
 	s.MetadataBlockErases += other.MetadataBlockErases
 	s.ForcedSyncs += other.ForcedSyncs
 	s.GCFallbacks += other.GCFallbacks
+	s.HotWrites += other.HotWrites
+	s.ColdWrites += other.ColdWrites
 }
 
 // CheckConsistency verifies the FTL's translation invariants against the

@@ -1,6 +1,7 @@
 package ftl
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -39,7 +40,7 @@ func TestEngineLatencyStats(t *testing.T) {
 	var writes int64
 	for writes < 2*eng.LogicalPages() {
 		_, targets, _ := workload.SplitBatch(workload.TakeBatch(gen, batch))
-		if err := eng.WriteBatch(targets); err != nil {
+		if err := eng.WriteBatch(context.Background(), targets); err != nil {
 			t.Fatal(err)
 		}
 		writes += int64(len(targets))
@@ -48,7 +49,7 @@ func TestEngineLatencyStats(t *testing.T) {
 	for i := range reads {
 		reads[i] = gen.Next().Page
 	}
-	if err := eng.ReadBatch(reads); err != nil {
+	if err := eng.ReadBatch(context.Background(), reads); err != nil {
 		t.Fatal(err)
 	}
 
@@ -145,7 +146,7 @@ func TestEngineLatencyDeterministic(t *testing.T) {
 		var writes int64
 		for writes < 2*eng.LogicalPages() {
 			_, targets, _ := workload.SplitBatch(workload.TakeBatch(gen, batch))
-			if err := eng.WriteBatch(targets); err != nil {
+			if err := eng.WriteBatch(context.Background(), targets); err != nil {
 				t.Fatal(err)
 			}
 			writes += int64(len(targets))

@@ -1,6 +1,7 @@
 package ftl
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
@@ -75,7 +76,7 @@ func TestEnginePowerFailMidBatchRecovers(t *testing.T) {
 		for i := range batch {
 			batch[i] = flash.LPN(warm.Int63n(lp))
 		}
-		if err := e.WriteBatch(batch); err != nil {
+		if err := e.WriteBatch(context.Background(), batch); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -95,7 +96,7 @@ func TestEnginePowerFailMidBatchRecovers(t *testing.T) {
 				for i := range lpns {
 					lpns[i] = flash.LPN(rng.Int63n(lp))
 				}
-				if err := e.WriteBatch(lpns); err != nil {
+				if err := e.WriteBatch(context.Background(), lpns); err != nil {
 					if !errors.Is(err, flash.ErrPowerFailed) {
 						t.Errorf("mid-batch error other than power failure: %v", err)
 					}
@@ -142,7 +143,7 @@ func TestEnginePowerFailMidBatchRecovers(t *testing.T) {
 		for i := range batch {
 			batch[i] = flash.LPN(post.Int63n(lp))
 		}
-		if err := e.WriteBatch(batch); err != nil {
+		if err := e.WriteBatch(context.Background(), batch); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -197,7 +198,7 @@ func TestEngineRecoveryScalesWithChannels(t *testing.T) {
 		for i := range batch {
 			batch[i] = flash.LPN(rng.Int63n(lp))
 		}
-		if err := e.WriteBatch(batch); err != nil {
+		if err := e.WriteBatch(context.Background(), batch); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -248,7 +249,7 @@ func TestEngineBatteryPowerFailFlushesBeforeRail(t *testing.T) {
 		for i := range batch {
 			batch[i] = flash.LPN(rng.Int63n(lp))
 		}
-		if err := e.WriteBatch(batch); err != nil {
+		if err := e.WriteBatch(context.Background(), batch); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package ftl
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -49,13 +50,13 @@ func TestEngineRouting(t *testing.T) {
 	if err := e.Write(flash.LPN(e.LogicalPages())); err == nil {
 		t.Fatal("expected out-of-range write to fail")
 	}
-	if err := e.WriteBatch([]flash.LPN{0, -1}); err == nil {
+	if err := e.WriteBatch(context.Background(), []flash.LPN{0, -1}); err == nil {
 		t.Fatal("expected out-of-range batch to fail")
 	}
-	if err := e.WriteBatch([]flash.LPN{0, 1, 2, 3}); err != nil {
+	if err := e.WriteBatch(context.Background(), []flash.LPN{0, 1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.ReadBatch([]flash.LPN{0, 1, 2, 3}); err != nil {
+	if err := e.ReadBatch(context.Background(), []flash.LPN{0, 1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
 	if got := e.Stats().LogicalWrites; got != 4 {
@@ -133,7 +134,7 @@ func TestEngineBatchHammer(t *testing.T) {
 				for i := range batch {
 					batch[i] = flash.LPN(warm.Int63n(lp))
 				}
-				if err := e.WriteBatch(batch); err != nil {
+				if err := e.WriteBatch(context.Background(), batch); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -155,13 +156,13 @@ func TestEngineBatchHammer(t *testing.T) {
 							lpns[i] = flash.LPN(rng.Int63n(lp))
 						}
 						if r%3 == 2 {
-							if err := e.ReadBatch(lpns); err != nil {
+							if err := e.ReadBatch(context.Background(), lpns); err != nil {
 								t.Error(err)
 								return
 							}
 							continue
 						}
-						if err := e.WriteBatch(lpns); err != nil {
+						if err := e.WriteBatch(context.Background(), lpns); err != nil {
 							t.Error(err)
 							return
 						}
@@ -198,7 +199,7 @@ func TestEngineBatchHammer(t *testing.T) {
 			for i := range all {
 				all[i] = flash.LPN(i)
 			}
-			if err := e.ReadBatch(all); err != nil {
+			if err := e.ReadBatch(context.Background(), all); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -222,7 +223,7 @@ func TestEngineParallelTimeScales(t *testing.T) {
 			for i := range batch {
 				batch[i] = flash.LPN(rng.Int63n(lp))
 			}
-			if err := e.WriteBatch(batch); err != nil {
+			if err := e.WriteBatch(context.Background(), batch); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -58,6 +58,11 @@ type Stats struct {
 	// hit the free-block floor and fell back to an unbounded inline reclaim.
 	// A healthy incremental configuration keeps this at zero.
 	GCFallbacks int64
+	// HotWrites and ColdWrites count how the heat classifier routed
+	// application writes between the user write frontiers. Both stay zero
+	// without Options.HotColdSeparation; their ratio is the observable
+	// behind the wear sweep's separation results.
+	HotWrites, ColdWrites int64
 }
 
 // FTL is a page-associative flash translation layer instance. Use one of the
@@ -79,6 +84,13 @@ type FTL struct {
 	// coordination and recovery).
 	lg   *gecko.Gecko
 	wear *wearLeveler
+	// heat routes user writes to the hot or cold frontier when
+	// Options.HotColdSeparation is on.
+	heat *heatClassifier
+
+	// onVictim, when set (OnVictim), observes every garbage-collection
+	// victim at selection time; determinism tests record the sequence.
+	onVictim func(flash.BlockID)
 
 	logicalPages int64
 	dirtyCount   int
@@ -102,7 +114,7 @@ func New(dev flash.Plane, opts Options) (*FTL, error) {
 	if err := opts.validate(cfg); err != nil {
 		return nil, err
 	}
-	bm := newBlockManager(dev, opts.GCFreeBlockReserve)
+	bm := newBlockManager(dev, opts.GCFreeBlockReserve, opts.HotColdSeparation, opts.WearAwareAllocation)
 	logicalPages := int64(cfg.LogicalPages())
 	table := newTranslationTable(bm, logicalPages, cfg.PageSize)
 	cache := mapcache.New(opts.CacheEntries, table.EntriesPerPage())
@@ -115,6 +127,7 @@ func New(dev flash.Plane, opts Options) (*FTL, error) {
 		table:        table,
 		cache:        cache,
 		wear:         newWearLeveler(opts.WearLeveling, opts.WearThreshold),
+		heat:         newHeatClassifier(opts.HotColdSeparation, logicalPages, opts.HeatHalfLife, opts.HeatThreshold),
 		logicalPages: logicalPages,
 		gc:           gcState{victim: flash.InvalidBlock},
 	}
@@ -209,10 +222,23 @@ func (f *FTL) DirtyEntries() int { return f.dirtyCount }
 
 // RAMBytes returns the integrated-RAM footprint of the FTL's data
 // structures: the LRU cache (8 bytes per entry as in Section 5), the GMD, the
-// BVC and block-manager state, the page-validity store, and the
-// wear-leveler's global statistics.
+// BVC and block-manager state, the page-validity store, the wear-leveler's
+// global statistics, and the heat classifier's per-page state.
 func (f *FTL) RAMBytes() int64 {
-	return f.cache.RAMBytes(8) + f.table.RAMBytes() + f.bm.RAMBytes() + f.validity.RAMBytes() + f.wear.RAMBytes()
+	return f.cache.RAMBytes(8) + f.table.RAMBytes() + f.bm.RAMBytes() + f.validity.RAMBytes() +
+		f.wear.RAMBytes() + f.heat.RAMBytes()
+}
+
+// OnVictim registers fn to observe every garbage-collection victim the FTL
+// selects, in selection order. Tests use it to pin victim-sequence
+// determinism; a nil fn removes the observer.
+func (f *FTL) OnVictim(fn func(flash.BlockID)) { f.onVictim = fn }
+
+// noteVictim reports a selected victim to the observer.
+func (f *FTL) noteVictim(victim flash.BlockID) {
+	if f.onVictim != nil {
+		f.onVictim(victim)
+	}
 }
 
 // Write serves an application update of a logical page (Section 4, "Serving
@@ -252,8 +278,17 @@ func (f *FTL) Write(lpn flash.LPN) error {
 		flashPrev = prev
 	}
 
-	// Write the new version of the page.
-	newPPN, err := f.bm.AllocatePage(GroupUser, flash.SpareArea{Logical: lpn}, flash.PurposeUserWrite)
+	// Write the new version of the page on the frontier its temperature
+	// selects (the single user frontier without hot/cold separation).
+	temp := f.heat.classify(int64(lpn))
+	if f.heat.enabled {
+		if temp == TempHot {
+			f.stats.HotWrites++
+		} else {
+			f.stats.ColdWrites++
+		}
+	}
+	newPPN, err := f.bm.AllocateUserPage(temp, flash.SpareArea{Logical: lpn}, flash.PurposeUserWrite)
 	if err != nil {
 		return err
 	}
@@ -263,14 +298,15 @@ func (f *FTL) Write(lpn flash.LPN) error {
 	case isCached:
 		// The before-image is known from the cache: report it invalid
 		// immediately (Section 4.1, "Application Writes").
+		entry.UIP = cached.UIP
+		entry.Uncertain = cached.Uncertain
+		entry.Trimmed = cached.Trimmed
 		if cached.Physical != flash.InvalidPPN && cached.Physical != newPPN {
 			if err := f.reportInvalid(cached.Physical); err != nil {
 				return err
 			}
+			f.dropIdentifiedUIP(cached, &entry)
 		}
-		entry.UIP = cached.UIP
-		entry.Uncertain = cached.Uncertain
-		entry.Trimmed = cached.Trimmed
 		if !cached.Dirty {
 			f.dirtyCount++
 		}
@@ -329,6 +365,26 @@ func (f *FTL) Read(lpn flash.LPN) error {
 		return nil
 	}
 	return f.dev.ReadPage(entry.Physical, flash.PurposeUserRead)
+}
+
+// dropIdentifiedUIP clears the UIP (and Trimmed) flag carried from cached
+// into the successor entry when the before-image just reported — the cached
+// physical location — is also the flash-resident translation entry. A
+// carried UIP flag means a second, flash-resident before-image still awaits
+// identification; for entries recreated by the recovery backwards scan the
+// two coincide (the scan recovers the durably-mapped version), so the
+// identification is already done: carrying UIP forward would report the same
+// page again at the next synchronization and underflow the BVC (the C.3.2
+// spare check cannot object — the page keeps naming this LPN until its
+// block is erased). During normal operation a UIP entry always has
+// Physical != FlashEntry (the table lags the cache until the entry syncs,
+// which clears UIP), so this never fires there. The write and trim overwrite
+// paths both call it right after reporting cached.Physical.
+func (f *FTL) dropIdentifiedUIP(cached mapcache.Entry, entry *mapcache.Entry) {
+	if cached.UIP && cached.Physical == f.table.FlashEntry(cached.Logical) {
+		entry.UIP = false
+		entry.Trimmed = false
+	}
 }
 
 // reportInvalid tells the page-validity store that a physical page holds
@@ -433,9 +489,10 @@ func (f *FTL) synchronize(seed mapcache.Entry) error {
 		// FTLs whose garbage-collector may target translation blocks (the
 		// greedy policy of DFTL, LazyFTL, µ-FTL and IB-FTL) track the
 		// validity of translation pages in their page-validity store, so the
-		// superseded version must be reported invalid. GeckoFTL never
-		// garbage-collects metadata blocks and relies on the BVC alone.
-		if f.opts.VictimPolicy == VictimGreedy && oldTPLocation != flash.InvalidPPN {
+		// superseded version must be reported invalid. The non-greedy
+		// policies never garbage-collect metadata blocks and rely on the BVC
+		// alone.
+		if f.opts.VictimPolicy.MigratesMetadata() && oldTPLocation != flash.InvalidPPN {
 			if err := f.validity.Update(flash.Decompose(oldTPLocation, f.cfg.PagesPerBlock)); err != nil {
 				return err
 			}
@@ -541,7 +598,7 @@ func (f *FTL) oldestDirty() (mapcache.Entry, bool) {
 }
 
 // garbageCollectIfNeeded reclaims blocks until the free pool is above the
-// reserve. Under the metadata-aware policy, fully-invalid translation and
+// reserve. Under the non-greedy policies, fully-invalid translation and
 // metadata blocks are erased first (they cost nothing but the erase, which is
 // the whole point of Section 4.2); user blocks are reclaimed by migrating
 // their live pages. Under the greedy policy a fully-invalid block is simply
@@ -558,7 +615,7 @@ func (f *FTL) garbageCollectIfNeeded() error {
 			return fmt.Errorf("ftl: garbage collection stalled after %d reclaims with %d free blocks (device or shard too small for its live data and metadata)",
 				iterations-1, f.bm.FreeBlocks())
 		}
-		if f.opts.VictimPolicy == VictimMetadataAware {
+		if !f.opts.VictimPolicy.MigratesMetadata() {
 			reclaimed, err := f.reclaimFullyInvalidMetadata()
 			if err != nil {
 				return err
@@ -622,6 +679,7 @@ func (f *FTL) eraseDeadMetadataBlock(block flash.BlockID) error {
 // structure instead of the page-validity store.
 func (f *FTL) collectBlock(victim flash.BlockID) error {
 	f.stats.GCOperations++
+	f.noteVictim(victim)
 	group, allocated := f.bm.GroupOf(victim)
 	if !allocated {
 		return fmt.Errorf("ftl: victim block %d is not allocated", victim)
@@ -775,6 +833,9 @@ func (f *FTL) migrateValidPage(ppn flash.PPN, group Group) (bool, error) {
 	if err := f.dev.ReadPage(ppn, flash.PurposeGCMigration); err != nil {
 		return false, err
 	}
+	// Migrations always land on the cold frontier: a page that stayed valid
+	// long enough to be migrated is cold by observation, and keeping
+	// survivors out of hot blocks is half of what hot/cold separation buys.
 	newPPN, err := f.bm.AllocatePage(GroupUser, flash.SpareArea{Logical: lpn}, flash.PurposeGCMigration)
 	if err != nil {
 		return false, err

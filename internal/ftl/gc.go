@@ -117,9 +117,9 @@ func (f *FTL) garbageCollectIncremental() error {
 func (f *FTL) gcStep() (bool, error) {
 	if !f.gc.active() {
 		// Fully-invalid translation and metadata blocks are the cheapest
-		// space there is under the metadata-aware policy (Section 4.2): erase
+		// space there is under the non-greedy policies (Section 4.2): erase
 		// one per step before migrating anything.
-		if f.opts.VictimPolicy == VictimMetadataAware {
+		if !f.opts.VictimPolicy.MigratesMetadata() {
 			if did, err := f.eraseOneFullyInvalidMetadata(); did || err != nil {
 				return did, err
 			}
@@ -180,6 +180,7 @@ func (f *FTL) pickIncrementalVictim() (bool, error) {
 		return false, fmt.Errorf("ftl: victim block %d is not allocated", victim)
 	}
 	f.stats.GCOperations++
+	f.noteVictim(victim)
 	f.gc = gcState{victim: victim, group: group, written: f.bm.WritePointer(victim)}
 	if group != GroupMeta {
 		invalid, err := f.validity.Query(victim)

@@ -92,8 +92,10 @@ func ParseVictimPolicy(s string) (VictimPolicy, error) {
 		return VictimGreedy, nil
 	case VictimMetadataAware.String():
 		return VictimMetadataAware, nil
+	case VictimCostBenefit.String():
+		return VictimCostBenefit, nil
 	}
-	return 0, fmt.Errorf("ftl: unknown victim policy %q (want greedy or metadata-aware)", s)
+	return 0, fmt.Errorf("ftl: unknown victim policy %q (want greedy, metadata-aware or cost-benefit)", s)
 }
 
 // DefaultGCPagesPerWrite is the default per-write step budget of the
@@ -151,6 +153,23 @@ type Options struct {
 	// WearThreshold is the erase-count discrepancy above which a static
 	// block is recycled (0 selects the default of 8).
 	WearThreshold int
+	// HotColdSeparation gives user data two write frontiers, with an
+	// exponentially-decayed per-LPN heat classifier routing each
+	// application write to the hot or cold one. Blocks then fill with
+	// pages of similar lifetimes, which lowers write-amplification on
+	// skewed workloads (hot blocks die nearly whole, cold blocks are not
+	// churned).
+	HotColdSeparation bool
+	// HeatHalfLife is the heat classifier's decay half-life in logical
+	// writes (0 selects logicalPages/2). Ignored without HotColdSeparation.
+	HeatHalfLife int
+	// HeatThreshold is the decayed write count at which a page counts as
+	// hot (0 selects 2.0). Ignored without HotColdSeparation.
+	HeatThreshold float64
+	// WearAwareAllocation makes the block manager hand out the
+	// least-erased free block (coldest-erase-count first) instead of the
+	// most recently freed one, narrowing the device's erase-count spread.
+	WearAwareAllocation bool
 }
 
 // validate normalizes and checks the options against a device configuration.
@@ -187,6 +206,15 @@ func (o *Options) validate(cfg flash.Config) error {
 	}
 	if o.WearThreshold < 0 {
 		return fmt.Errorf("ftl: wear threshold %d must be >= 0", o.WearThreshold)
+	}
+	if o.VictimPolicy != VictimGreedy && o.VictimPolicy != VictimMetadataAware && o.VictimPolicy != VictimCostBenefit {
+		return fmt.Errorf("ftl: unknown victim policy %v", o.VictimPolicy)
+	}
+	if o.HeatHalfLife < 0 {
+		return fmt.Errorf("ftl: heat half-life %d must be >= 0", o.HeatHalfLife)
+	}
+	if o.HeatThreshold < 0 {
+		return fmt.Errorf("ftl: heat threshold %g must be >= 0", o.HeatThreshold)
 	}
 	if o.Name == "" {
 		o.Name = o.Scheme.String()

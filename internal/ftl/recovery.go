@@ -58,6 +58,7 @@ func (f *FTL) PowerFail() error {
 	f.crashGC()
 	f.table.CrashRAM()
 	f.bm.CrashRAM()
+	f.heat.CrashRAM()
 	if f.lg != nil {
 		f.lg.CrashRAM()
 	}
@@ -199,6 +200,10 @@ func (f *FTL) recoverBlockManager() error {
 		}
 		info.allocated = true
 		info.firstWriteSeq = spare.WriteSeq
+		// The block's true last-write sequence would need a spare read of its
+		// newest page; the first-write sequence is a safe stand-in that only
+		// makes recovered blocks look older to the cost-benefit policy.
+		info.lastWriteSeq = spare.WriteSeq
 		bm.NoteWriteSeq(spare.WriteSeq)
 		switch spare.BlockType {
 		case flash.BlockTranslation:
@@ -218,23 +223,53 @@ func (f *FTL) recoverBlockManager() error {
 		// garbage-collection, never corrupt it.
 		info.valid = wp
 	}
+	// Re-base the RAM mirror of every block's erase count from the device's
+	// wear state (free blocks included — the next wear-aware allocation
+	// decision must not start from zeroed counters). The device stamps erase
+	// counts into spare areas, so a real FTL recovers them with the same
+	// per-block scan already charged above.
+	for i := 0; i < f.cfg.Blocks; i++ {
+		ec, err := f.dev.EraseCount(flash.BlockID(i))
+		if err != nil {
+			return err
+		}
+		bm.blocks[i].eraseCount = ec
+	}
+	// The free list was rebuilt above and the erase counts it is keyed by
+	// were just re-based: restore the wear-aware ordering invariant.
+	bm.restoreFreeOrder()
 	// The most recently written, partially full block of each group resumes
-	// as that group's active block.
+	// as that group's active block. The user group can leave up to two
+	// partial blocks behind under hot/cold separation — one per frontier —
+	// and both must resume as frontiers: a partial block that is not active
+	// would never fill and therefore never become victim-eligible, leaking
+	// its free pages forever. Temperature assignment is arbitrary (the heat
+	// state died with the RAM); the newest resumes as the cold frontier.
+	for fr := range bm.active {
+		bm.active[fr] = flash.InvalidBlock
+	}
 	for g := Group(0); g < numGroups; g++ {
-		bm.active[g] = flash.InvalidBlock
-		var best flash.BlockID = flash.InvalidBlock
-		var bestSeq uint64
+		var partials []flash.BlockID
 		for i := range bm.blocks {
 			info := &bm.blocks[i]
 			if !info.allocated || info.group != g || info.writePointer >= f.cfg.PagesPerBlock {
 				continue
 			}
-			if best == flash.InvalidBlock || info.firstWriteSeq > bestSeq {
-				best = flash.BlockID(i)
-				bestSeq = info.firstWriteSeq
-			}
+			partials = append(partials, flash.BlockID(i))
 		}
-		bm.active[g] = best
+		sort.Slice(partials, func(i, j int) bool {
+			a, b := &bm.blocks[partials[i]], &bm.blocks[partials[j]]
+			if a.firstWriteSeq != b.firstWriteSeq {
+				return a.firstWriteSeq > b.firstWriteSeq
+			}
+			return partials[i] < partials[j]
+		})
+		if len(partials) > 0 {
+			bm.active[frontierFor(g, TempCold)] = partials[0]
+		}
+		if g == GroupUser && bm.hotCold && len(partials) > 1 {
+			bm.active[frontierUserHot] = partials[1]
+		}
 	}
 	return nil
 }
@@ -485,7 +520,46 @@ func (f *FTL) rebuildBVC() error {
 			info.valid = metaLive[block]
 		}
 	}
+	f.reconcileRecoveredUIP(geckoScan)
 	return nil
+}
+
+// reconcileRecoveredUIP clears the UIP flag of backwards-scan-recovered
+// mapping entries whose flash-resident before-image is already recorded
+// invalid. The scan recreates every entry with UIP = true (Appendix C.3,
+// "assumed dirty and UIP"), but the before-image that flag will identify —
+// the durable translation-table entry — may have been reported before the
+// crash and persisted in a Logarithmic Gecko run, or re-derived by the
+// buffer replay of Appendix C.2.2. The C.3.2 spare-area check at the entry's
+// first synchronization cannot catch this case: the page keeps naming the
+// logical page until its block is erased, so the stale flag would report the
+// same invalidation a second time and underflow the rebuilt BVC. Recovery is
+// the one moment the FTL holds the complete validity picture (the bitmaps
+// rebuildBVC just scanned) in RAM, so the reconciliation costs no IO.
+func (f *FTL) reconcileRecoveredUIP(geckoScan map[flash.BlockID]*bitmap.Bitmap) {
+	if geckoScan == nil {
+		return
+	}
+	var stale []flash.LPN
+	f.cache.ForEach(func(e mapcache.Entry) bool {
+		if !e.UIP || !e.Uncertain {
+			return true
+		}
+		flashPPN := f.table.FlashEntry(e.Logical)
+		if flashPPN == flash.InvalidPPN || flashPPN == e.Physical {
+			// Nothing to identify, or the C.3.1 first-synchronization abort
+			// already handles it.
+			return true
+		}
+		block := flash.BlockOf(flashPPN, f.cfg.PagesPerBlock)
+		if bm := geckoScan[block]; bm != nil && bm.Get(flash.OffsetOf(flashPPN, f.cfg.PagesPerBlock)) {
+			stale = append(stale, e.Logical)
+		}
+		return true
+	})
+	for _, lpn := range stale {
+		f.cache.Update(lpn, func(en *mapcache.Entry) { en.UIP = false; en.Trimmed = false })
+	}
 }
 
 // recoverDirtyEntries performs the bounded backwards scan of Section 4.3: it

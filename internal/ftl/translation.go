@@ -2,6 +2,7 @@ package ftl
 
 import (
 	"fmt"
+	"sort"
 
 	"geckoftl/internal/flash"
 )
@@ -205,11 +206,16 @@ func (t *translationTable) PreviousVersion(tp int) (start flash.LPN, prev prevVe
 
 // UpdatedSinceProtection returns the translation pages with a protected
 // previous version, i.e. those updated since the last Gecko buffer flush.
+// The result is sorted: recovery replays invalidations in this order into
+// Logarithmic Gecko's buffer, and a map-ordered replay could flush different
+// buffer contents on different runs of the same seeded simulation (the
+// buffer drains whenever it fills mid-replay), breaking reproducibility.
 func (t *translationTable) UpdatedSinceProtection() []int {
 	out := make([]int, 0, len(t.prevVersions))
 	for tp := range t.prevVersions {
 		out = append(out, tp)
 	}
+	sort.Ints(out)
 	return out
 }
 

@@ -9,7 +9,7 @@ import (
 func newTestTable(t *testing.T) (*blockManager, *translationTable, *flash.Device) {
 	t.Helper()
 	dev := newTestDevice(t, 16, 8, 512)
-	bm := newBlockManager(dev, 2)
+	bm := newBlockManager(dev, 2, false, false)
 	table := newTranslationTable(bm, int64(dev.Config().LogicalPages()), dev.Config().PageSize)
 	return bm, table, dev
 }

@@ -63,6 +63,7 @@ func (f *FTL) Trim(lpn flash.LPN) error {
 		entry.UIP = cached.UIP
 		entry.Uncertain = cached.Uncertain
 		entry.Trimmed = cached.Trimmed
+		f.dropIdentifiedUIP(cached, &entry)
 		if !cached.Dirty {
 			f.dirtyCount++
 		}

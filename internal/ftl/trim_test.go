@@ -1,6 +1,7 @@
 package ftl
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -193,11 +194,11 @@ func TestEngineTrimBatch(t *testing.T) {
 	for i := int64(0); i < lp; i++ {
 		lpns = append(lpns, flash.LPN(i))
 	}
-	if err := eng.WriteBatch(lpns); err != nil {
+	if err := eng.WriteBatch(context.Background(), lpns); err != nil {
 		t.Fatal(err)
 	}
 	trims := lpns[:len(lpns)/2]
-	if err := eng.TrimBatch(trims); err != nil {
+	if err := eng.TrimBatch(context.Background(), trims); err != nil {
 		t.Fatal(err)
 	}
 	for _, lpn := range trims {

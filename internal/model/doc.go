@@ -11,5 +11,7 @@
 // recovery prediction (EngineRecovery), and the worst-case
 // garbage-collection stall bounds (IncrementalGCStallBound,
 // InlineGCStallBound) that the latency sweep validates against measured
-// per-write stalls.
+// per-write stalls, and the hot/cold separation model (SingleFrontierWA,
+// SeparatedFrontierWA) that predicts the write-amplification win of
+// per-temperature write frontiers, validated in trend by the wear sweep.
 package model

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -154,7 +155,7 @@ func channelPoint(opts ChannelSweepOptions, channels int) (ChannelPoint, error) 
 			if len(targets) == 0 {
 				continue
 			}
-			if err := eng.WriteBatch(targets); err != nil {
+			if err := eng.WriteBatch(context.Background(), targets); err != nil {
 				return err
 			}
 			done += int64(len(targets))

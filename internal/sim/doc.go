@@ -6,7 +6,7 @@
 // the paper. The cmd/geckobench tool and the module-level benchmarks print
 // the drivers' results.
 //
-// Three sweep drivers extend the paper to the multi-channel engine:
+// The sweep drivers extend the paper to the multi-channel engine:
 //
 //   - ChannelSweep measures how the sharded engine's write throughput scales
 //     with the channel count.
@@ -16,6 +16,11 @@
 //     p99.9 and max) and compares inline whole-victim garbage collection
 //     against the incremental bounded scheduler across victim policies and
 //     workloads.
+//   - TrimSweep interleaves host trims at increasing fractions and shows
+//     write-amplification falling monotonically.
+//   - WearSweep compares the single user write frontier against hot/cold
+//     separation and wear-aware allocation, reporting write-amplification
+//     and erase-count spread per victim policy and workload.
 //
 // All sweep results are deterministic: time is the device's simulated
 // latency model, never the host clock.

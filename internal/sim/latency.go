@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -164,7 +165,7 @@ func latencyPoint(opts LatencySweepOptions, channels int, wl string, policy ftl.
 			if len(targets) == 0 {
 				continue
 			}
-			if err := eng.WriteBatch(targets); err != nil {
+			if err := eng.WriteBatch(context.Background(), targets); err != nil {
 				return err
 			}
 			done += int64(len(targets))

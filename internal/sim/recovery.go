@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -199,7 +200,7 @@ func recoveryPoint(dimension string, scale ExperimentScale, ftlName string, chan
 		for i := range batch {
 			batch[i] = gen.Next().Page
 		}
-		if err := eng.WriteBatch(batch); err != nil {
+		if err := eng.WriteBatch(context.Background(), batch); err != nil {
 			return RecoveryPoint{}, fmt.Errorf("fill: %w", err)
 		}
 	}

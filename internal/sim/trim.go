@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"geckoftl/internal/flash"
@@ -139,14 +140,14 @@ func trimPoint(opts TrimSweepOptions, channels int, wl string, fraction float64)
 		for done < target {
 			_, targets, trims := workload.SplitBatch(workload.TakeBatch(gen, batchSize))
 			if len(trims) > 0 {
-				if err := eng.TrimBatch(trims); err != nil {
+				if err := eng.TrimBatch(context.Background(), trims); err != nil {
 					return err
 				}
 			}
 			if len(targets) == 0 {
 				continue
 			}
-			if err := eng.WriteBatch(targets); err != nil {
+			if err := eng.WriteBatch(context.Background(), targets); err != nil {
 				return err
 			}
 			done += int64(len(targets))

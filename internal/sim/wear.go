@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"geckoftl/internal/flash"
+	"geckoftl/internal/ftl"
+	"geckoftl/internal/model"
+	"geckoftl/internal/workload"
+)
+
+// WearPoint is one row of the wear sweep: the sharded GeckoFTL engine run
+// under one workload with one victim policy and one frontier configuration,
+// reporting measured write-amplification next to the device's erase-count
+// spread — the endurance half of the paper's "where the FTL places data
+// decides throughput and lifetime" claim.
+type WearPoint struct {
+	// Workload and Policy name the write pattern and victim policy.
+	Workload, Policy string
+	// Frontier is "single" (one user write frontier, the pre-separation
+	// baseline) or "hotcold" (per-temperature frontiers driven by the heat
+	// classifier).
+	Frontier string
+	// WearAware reports whether free blocks were handed out
+	// coldest-erase-count first.
+	WearAware bool
+	// Channels is the engine width.
+	Channels int
+	// Writes is the number of logical writes in the measured window, and
+	// HotWrites the subset the heat classifier routed to the hot frontier
+	// (zero on single-frontier points).
+	Writes, HotWrites int64
+	// WA is the measured write-amplification of the window. The sweep's
+	// acceptance bar: on skewed workloads, hotcold frontiers strictly below
+	// the single-frontier baseline at the same policy.
+	WA float64
+	// UserWA, TranslationWA and ValidityWA break WA down by purpose.
+	UserWA, TranslationWA, ValidityWA float64
+	// Erases counts the block erases of the measured window.
+	Erases int64
+	// MinErase, MaxErase and EraseSpread describe the device's per-block
+	// erase counts at the end of the run (cumulative: warm-up included,
+	// identically for every point). EraseSpread = MaxErase - MinErase is
+	// the wear-evenness figure wear-aware allocation must not worsen.
+	MinErase, MaxErase, EraseSpread int
+	// ModelSingleWA and ModelSeparatedWA are the analytic user-data
+	// write-amplification predictions for the two frontier configurations
+	// under the workload's two-class approximation (model.SeparationParams);
+	// they predict the direction of the win, not the absolute level.
+	ModelSingleWA, ModelSeparatedWA float64
+}
+
+// WearSweepOptions parameterizes WearSweep.
+type WearSweepOptions struct {
+	// Scale sizes the device, cache budget and measured window; the device
+	// and cache grow until every shard stays workable, as in ChannelSweep.
+	Scale ExperimentScale
+	// Channels is the engine width of every point. Zero means 2.
+	Channels int
+	// BatchSize is the number of writes dispatched per engine batch. Zero
+	// means 2 per die.
+	BatchSize int
+	// Workloads lists the write patterns. Empty means uniform, zipfian,
+	// hotcold.
+	Workloads []string
+	// Policies lists the victim policies. Empty means metadata-aware and
+	// cost-benefit.
+	Policies []ftl.VictimPolicy
+}
+
+// wearConfig is one frontier configuration of the sweep. Wear-aware
+// allocation is measured against the separated configuration (same
+// frontiers, different free-block order) so the erase-spread comparison
+// isolates the allocation change.
+type wearConfig struct {
+	frontier  string
+	hotCold   bool
+	wearAware bool
+}
+
+func wearConfigs() []wearConfig {
+	return []wearConfig{
+		{frontier: "single"},
+		{frontier: "hotcold", hotCold: true},
+		{frontier: "hotcold", hotCold: true, wearAware: true},
+	}
+}
+
+// twoClassApprox maps a workload name to the two-class skew approximation
+// the analytic model runs on: hotcold is exact by construction (20% of pages
+// take 80% of writes), zipfian's top quintile carries ~90% of a
+// skew-1.2 Zipf distribution's mass, and uniform has no skew.
+func twoClassApprox(wl string, overProvision float64) (model.SeparationParams, bool) {
+	p := model.SeparationParams{OverProvision: overProvision}
+	switch wl {
+	case "uniform":
+		p.HotPageFraction, p.HotWriteShare = 0.5, 0.5
+	case "zipfian":
+		p.HotPageFraction, p.HotWriteShare = 0.2, 0.9
+	case "hotcold", "hot-cold":
+		p.HotPageFraction, p.HotWriteShare = 0.2, 0.8
+	default:
+		return p, false
+	}
+	return p, true
+}
+
+// WearSweep measures write-amplification and erase-count spread of the
+// sharded GeckoFTL engine across {frontier configuration} x {victim policy}
+// x {workload}. Every point runs the same measured window after a
+// two-full-overwrite warm-up, so it reflects steady-state garbage
+// collection. The headline comparisons: hot/cold separation must strictly
+// lower WA on skewed workloads at the same policy, and wear-aware allocation
+// must not widen the erase-count spread of the configuration it extends.
+func WearSweep(opts WearSweepOptions) ([]WearPoint, error) {
+	if opts.Scale.MeasureWrites <= 0 {
+		return nil, fmt.Errorf("sim: measure writes %d must be positive", opts.Scale.MeasureWrites)
+	}
+	channels := opts.Channels
+	if channels <= 0 {
+		channels = 2
+	}
+	workloads := opts.Workloads
+	if len(workloads) == 0 {
+		workloads = []string{"uniform", "zipfian", "hotcold"}
+	}
+	policies := opts.Policies
+	if len(policies) == 0 {
+		policies = []ftl.VictimPolicy{ftl.VictimMetadataAware, ftl.VictimCostBenefit}
+	}
+	// Grow the device and cache once so every shard stays workable; the
+	// grown geometry applies to every point (see ChannelSweep).
+	if min := MinSweepShardBlocks * channels; opts.Scale.Device.Blocks < min {
+		opts.Scale.Device.Blocks = min
+	}
+	if min := minSweepShardCache * channels; opts.Scale.CacheEntries < min {
+		opts.Scale.CacheEntries = min
+	}
+
+	var points []WearPoint
+	for _, wl := range workloads {
+		for _, policy := range policies {
+			for _, cfg := range wearConfigs() {
+				p, err := wearPoint(opts, channels, wl, policy, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("sim: wear sweep (%s, %v, %s): %w", wl, policy, cfg.frontier, err)
+				}
+				points = append(points, p)
+			}
+		}
+	}
+	return points, nil
+}
+
+// wearPoint measures one configuration.
+func wearPoint(opts WearSweepOptions, channels int, wl string, policy ftl.VictimPolicy, wc wearConfig) (WearPoint, error) {
+	scale := opts.Scale
+	spec := scale.Device
+	spec.Channels = channels
+	dev, err := spec.NewDevice()
+	if err != nil {
+		return WearPoint{}, err
+	}
+	cfg := dev.Config()
+
+	ftlOpts := ftl.GeckoFTLOptions(scale.CacheEntries / channels)
+	ftlOpts.VictimPolicy = policy
+	ftlOpts.HotColdSeparation = wc.hotCold
+	ftlOpts.WearAwareAllocation = wc.wearAware
+	eng, err := ftl.NewEngine(dev, ftlOpts, 0)
+	if err != nil {
+		return WearPoint{}, err
+	}
+	gen, err := workload.ByName(wl, eng.LogicalPages(), scale.Seed)
+	if err != nil {
+		return WearPoint{}, err
+	}
+	batchSize := opts.BatchSize
+	if batchSize <= 0 {
+		batchSize = 2 * cfg.Dies()
+	}
+
+	pump := func(writes int64) error {
+		var done int64
+		for done < writes {
+			_, targets, _ := workload.SplitBatch(workload.TakeBatch(gen, batchSize))
+			if len(targets) == 0 {
+				continue
+			}
+			if err := eng.WriteBatch(context.Background(), targets); err != nil {
+				return err
+			}
+			done += int64(len(targets))
+		}
+		return nil
+	}
+
+	if err := pump(2 * eng.LogicalPages()); err != nil {
+		return WearPoint{}, fmt.Errorf("warm-up: %w", err)
+	}
+	countersBefore := dev.Counters()
+	statsBefore := eng.Stats()
+	if err := pump(scale.MeasureWrites); err != nil {
+		return WearPoint{}, fmt.Errorf("measurement: %w", err)
+	}
+
+	after := eng.Stats()
+	writes := after.LogicalWrites - statsBefore.LogicalWrites
+	counters := dev.Counters().Sub(countersBefore)
+	delta := cfg.Latency.WriteReadRatio()
+	minErase, maxErase, _ := dev.BlocksEndurance()
+	p := WearPoint{
+		Workload:  wl,
+		Policy:    policy.String(),
+		Frontier:  wc.frontier,
+		WearAware: wc.wearAware,
+		Channels:  channels,
+		Writes:    writes,
+		HotWrites: after.HotWrites - statsBefore.HotWrites,
+		WA:        counters.WriteAmplification(writes, delta),
+		UserWA: counters.PurposeWriteAmplification(flash.PurposeUserWrite, writes, delta) +
+			counters.PurposeWriteAmplification(flash.PurposeGCMigration, writes, delta),
+		TranslationWA: counters.PurposeWriteAmplification(flash.PurposeTranslation, writes, delta),
+		ValidityWA:    counters.PurposeWriteAmplification(flash.PurposePageValidity, writes, delta),
+		Erases:        counters.TotalOp(flash.OpErase),
+		MinErase:      minErase,
+		MaxErase:      maxErase,
+		EraseSpread:   maxErase - minErase,
+	}
+	if mp, ok := twoClassApprox(wl, cfg.OverProvision); ok {
+		if p.ModelSingleWA, err = model.SingleFrontierWA(mp); err != nil {
+			return WearPoint{}, err
+		}
+		if p.ModelSeparatedWA, err = model.SeparatedFrontierWA(mp); err != nil {
+			return WearPoint{}, err
+		}
+	}
+	return p, nil
+}

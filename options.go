@@ -34,6 +34,10 @@ const (
 	// VictimMetadataAware never migrates translation or metadata blocks
 	// (Section 4.2 of the paper); GeckoFTL's policy.
 	VictimMetadataAware = ftl.VictimMetadataAware
+	// VictimCostBenefit reclaims the user block with the highest age ×
+	// invalid-fraction score, sparing young and cold blocks; like
+	// VictimMetadataAware it never migrates metadata blocks.
+	VictimCostBenefit = ftl.VictimCostBenefit
 )
 
 // DefaultGCPagesPerWrite is the incremental garbage collector's default
@@ -102,6 +106,8 @@ type config struct {
 	battery     *bool
 	wearLevel   *bool
 	checkpoints *bool
+	hotCold     *bool
+	wearAware   *bool
 }
 
 // defaultConfig sizes a small device that exercises every subsystem quickly:
@@ -220,12 +226,31 @@ func WithGCPagesPerWrite(k int) Option {
 // WithVictimPolicy selects the garbage-collection victim policy.
 func WithVictimPolicy(p VictimPolicy) Option {
 	return func(c *config) error {
-		if p != VictimGreedy && p != VictimMetadataAware {
+		if p != VictimGreedy && p != VictimMetadataAware && p != VictimCostBenefit {
 			return fmt.Errorf("%w: unknown victim policy %v", ErrInvalidConfig, p)
 		}
 		c.policy = &p
 		return nil
 	}
+}
+
+// WithHotColdSeparation gives user data two write frontiers: a per-LPN heat
+// classifier (exponentially decayed write counts) routes each host write to
+// the hot or cold one, so blocks fill with pages of similar lifetimes. On
+// skewed workloads this lowers write-amplification — hot blocks are almost
+// fully invalid when the garbage collector reaches them, and cold blocks are
+// not churned — at the cost of one extra active block and ~4 bytes of RAM
+// per logical page for the classifier.
+func WithHotColdSeparation(on bool) Option {
+	return func(c *config) error { c.hotCold = &on; return nil }
+}
+
+// WithWearAwareAllocation makes the block manager hand out the least-erased
+// free block (coldest-erase-count first) instead of the most recently freed
+// one, narrowing the device's erase-count spread (Snapshot.EraseSpread) and
+// so extending its lifetime.
+func WithWearAwareAllocation(on bool) Option {
+	return func(c *config) error { c.wearAware = &on; return nil }
 }
 
 // WithBattery sets whether the device has a battery that flushes dirty
@@ -279,6 +304,12 @@ func (c *config) ftlOptions() (FTLOptions, error) {
 	}
 	if c.checkpoints != nil {
 		opts.Checkpoints = *c.checkpoints
+	}
+	if c.hotCold != nil {
+		opts.HotColdSeparation = *c.hotCold
+	}
+	if c.wearAware != nil {
+		opts.WearAwareAllocation = *c.wearAware
 	}
 	return opts, nil
 }

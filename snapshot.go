@@ -74,8 +74,18 @@ type Snapshot struct {
 	// write-amplification figures describe.
 	WindowWrites int64
 
+	// MinEraseCount and MaxEraseCount are the smallest and largest per-block
+	// erase counts across the device, and EraseSpread is their difference:
+	// the wear-evenness figure the endurance experiments track. MeanEraseCount
+	// is the average. All four read the device's own wear state, so they are
+	// cumulative since Open and survive power failures.
+	MinEraseCount, MaxEraseCount int
+	EraseSpread                  int
+	MeanEraseCount               float64
+
 	// RAMBytes is the FTL's integrated-RAM footprint under the paper's
-	// models (mapping cache, GMD, BVC, page-validity store, wear state).
+	// models (mapping cache, GMD, BVC, page-validity store, wear state,
+	// heat classifier).
 	RAMBytes int64
 	// SimulatedTime is the total device time consumed since Open, summed
 	// over dies (the serial single-plane cost).
@@ -101,6 +111,7 @@ func (d *Device) Snapshot() Snapshot {
 	windowWrites := ops.LogicalWrites - d.baseStats.LogicalWrites
 	d.baseMu.Unlock()
 	delta := d.dev.Config().Latency.WriteReadRatio()
+	minErase, maxErase, meanErase := d.dev.BlocksEndurance()
 
 	return Snapshot{
 		Ops: OpCounts{
@@ -123,6 +134,10 @@ func (d *Device) Snapshot() Snapshot {
 		TranslationWA:   window.PurposeWriteAmplification(flash.PurposeTranslation, windowWrites, delta),
 		ValidityWA:      window.PurposeWriteAmplification(flash.PurposePageValidity, windowWrites, delta),
 		WindowWrites:    windowWrites,
+		MinEraseCount:   minErase,
+		MaxEraseCount:   maxErase,
+		EraseSpread:     maxErase - minErase,
+		MeanEraseCount:  meanErase,
 		RAMBytes:        d.eng.RAMBytes(),
 		SimulatedTime:   d.dev.SimulatedTime(),
 		WriteLatency:    toLatencySummary(es.Writes),
