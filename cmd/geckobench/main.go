@@ -12,13 +12,14 @@
 //	geckobench -experiment latency -gc-pages 4 -policy metadata-aware
 //	geckobench -experiment trim -trim-fractions 0,0.1,0.2,0.3 -json
 //	geckobench -experiment wear -json
+//	geckobench -experiment endurance -json
 //	geckobench -experiment summary
 //
 // Experiments: fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec,
 // fig13wa, fig14, recovery, recovery-sweep, channels, latency, trim, wear,
-// summary, all.
+// endurance, summary, all.
 //
-// Five experiments go beyond the paper: channels sweeps the device's
+// Six experiments go beyond the paper: channels sweeps the device's
 // channel count and reports how the sharded engine's write throughput
 // scales; recovery-sweep (also run by -experiment recovery) crashes the
 // sharded engine and measures how recovery wall-clock scales with channel
@@ -27,10 +28,12 @@
 // inline whole-victim garbage collection against the incremental bounded
 // scheduler across victim policies and workloads; trim interleaves
 // host trims at increasing fractions and shows write-amplification falling
-// monotonically; and wear compares the single user write frontier against
+// monotonically; wear compares the single user write frontier against
 // hot/cold-separated frontiers with wear-aware block allocation, reporting
-// write-amplification and erase-count spread per victim policy and workload
-// (see docs/benchmarks.md).
+// write-amplification and erase-count spread per victim policy and workload;
+// and endurance drives fault-injected devices with a finite per-block erase
+// budget until capacity exhaustion, reporting lifetime in host writes per
+// fault rate and allocation policy (see docs/benchmarks.md).
 //
 // With -json, each experiment emits one JSON object per line of the form
 // {"experiment": name, "rows": [...]}, so benchmark trajectories can be
@@ -51,7 +54,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec, fig13wa, fig14, recovery, recovery-sweep, channels, latency, trim, wear, summary, all)")
+		experiment = flag.String("experiment", "all", "experiment to run (fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec, fig13wa, fig14, recovery, recovery-sweep, channels, latency, trim, wear, endurance, summary, all)")
 		writes     = flag.Int64("writes", 0, "measured logical writes per simulation (0 = default)")
 		blocks     = flag.Int("blocks", 0, "simulated device blocks (0 = default)")
 		quick      = flag.Bool("quick", false, "use the small test-sized scale")
@@ -172,6 +175,7 @@ func experiments() []experimentSpec {
 		{name: "latency", rows: latencySweepRows, print: printLatencySweep},
 		{name: "trim", rows: trimSweepRows, print: printTrimSweep},
 		{name: "wear", rows: wearSweepRows, print: printWearSweep},
+		{name: "endurance", rows: enduranceSweepRows, print: printEnduranceSweep},
 		{name: "summary", rows: summaryRows, print: printSummary},
 	}
 }
@@ -426,6 +430,21 @@ func printWearSweep(rows any) {
 			p.WA, p.UserWA, p.TranslationWA, p.ValidityWA,
 			p.Erases, p.MinErase, p.MaxErase, p.EraseSpread,
 			p.ModelSingleWA, p.ModelSeparatedWA)
+	}
+}
+
+func enduranceSweepRows(scale geckoftl.ExperimentScale) (any, error) {
+	return geckoftl.EnduranceSweep(geckoftl.EnduranceSweepOptions{Scale: scale})
+}
+
+func printEnduranceSweep(rows any) {
+	fmt.Println("Endurance sweep: device lifetime in host writes until capacity exhaustion, fault rate x allocation policy")
+	fmt.Printf("%-9s %-11s %6s %7s %10s %7s %6s %9s %7s\n",
+		"workload", "policy", "fault", "max-e", "lifetime", "capped", "bad", "retries", "spread")
+	for _, p := range rows.([]geckoftl.EndurancePoint) {
+		fmt.Printf("%-9s %-11s %6.2f %7d %10d %7v %6d %9d %7d\n",
+			p.Workload, p.Policy, p.FaultRate, p.MaxEraseCount, p.Lifetime, p.Capped,
+			p.BadBlocks, p.ProgramRetries, p.EraseSpread)
 	}
 }
 

@@ -60,6 +60,11 @@ func Open(opts ...Option) (*Device, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
 	}
+	if cfg.faults != nil {
+		if err := dev.SetFaultPlan(*cfg.faults); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+		}
+	}
 	eng, err := ftl.NewEngine(dev, ftlOpts, cfg.shards)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)

@@ -27,6 +27,12 @@ var (
 	// ErrInvalidConfig is returned by Open for option combinations the
 	// device or FTL rejects.
 	ErrInvalidConfig = errors.New("geckoftl: invalid configuration")
+	// ErrReadDecayed is returned by Read when the page's payload decayed
+	// from read disturb before the FTL relocated it. It only arises under a
+	// fault plan with a ReadDisturbLimit (WithFaultPlan) and signals real
+	// data loss; configure WithScrubReadThreshold below the limit to prevent
+	// it.
+	ErrReadDecayed = errors.New("geckoftl: page payload decayed before scrub")
 )
 
 // wrapErr classifies an internal error under the public taxonomy. Errors
@@ -36,12 +42,15 @@ func wrapErr(err error) error {
 	case err == nil:
 		return nil
 	case errors.Is(err, ErrClosed), errors.Is(err, ErrPowerFailed),
-		errors.Is(err, ErrOutOfRange), errors.Is(err, ErrInvalidConfig):
+		errors.Is(err, ErrOutOfRange), errors.Is(err, ErrInvalidConfig),
+		errors.Is(err, ErrReadDecayed):
 		return err
 	case errors.Is(err, flash.ErrPowerFailed):
 		return fmt.Errorf("%w: %w", ErrPowerFailed, err)
 	case errors.Is(err, flash.ErrOutOfRange):
 		return fmt.Errorf("%w: %w", ErrOutOfRange, err)
+	case errors.Is(err, flash.ErrReadDecayed):
+		return fmt.Errorf("%w: %w", ErrReadDecayed, err)
 	default:
 		return err
 	}

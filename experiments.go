@@ -156,6 +156,20 @@ type (
 // allocation), victim policies and workloads: the endurance experiment.
 func WearSweep(opts WearSweepOptions) ([]WearPoint, error) { return sim.WearSweep(opts) }
 
+// EnduranceSweepOptions parameterizes EnduranceSweep; EndurancePoint is one
+// of its rows.
+type (
+	EnduranceSweepOptions = sim.EnduranceSweepOptions
+	EndurancePoint        = sim.EndurancePoint
+)
+
+// EnduranceSweep drives fault-injected devices with a finite per-block erase
+// budget until they die, measuring lifetime in host writes across fault
+// rates and allocation policies.
+func EnduranceSweep(opts EnduranceSweepOptions) ([]EndurancePoint, error) {
+	return sim.EnduranceSweep(opts)
+}
+
 // HeadlineSummary evaluates the paper's three headline claims.
 type HeadlineSummary = sim.HeadlineSummary
 

@@ -19,6 +19,19 @@ type blockState struct {
 	eraseSeq uint64
 	// spares holds the spare area contents of programmed pages.
 	spares []SpareArea
+	// readCount counts full-page reads since the last erase: the
+	// read-disturb accumulation. It is physical charge state, so it survives
+	// power failures and is reset only by an erase.
+	readCount int
+	// bad marks pages whose program pulse failed; they hold nothing readable
+	// and read back as unprogrammed. Allocated lazily on the first failure.
+	bad []bool
+	// retired marks a grown bad block: an erase failed on it, or it was
+	// caught worn out. Retirement is recorded in the device's bad-block
+	// table (out-of-band, as on real controllers), so it is device truth
+	// that survives power failures; retired blocks refuse programs and
+	// erases forever.
+	retired bool
 }
 
 // dieState is the per-die latch and accounting. Locking the mutex models the
@@ -64,6 +77,11 @@ type Device struct {
 	// per-operation latencies measure queueing within the current round
 	// rather than against dies idle since an earlier one.
 	arrival atomic.Int64
+	// faults, when non-nil, is the installed fault plan (SetFaultPlan).
+	faults *FaultPlan
+	// opSeq counts attempts per operation kind device-wide; scripted fault
+	// schedules key on these counts.
+	opSeq [numOps]atomic.Uint64
 }
 
 // NewDevice creates a device with every block erased and empty.
@@ -95,6 +113,24 @@ func MustNewDevice(cfg Config) *Device {
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// SetFaultPlan installs (or, with a zero plan, clears) the device's fault
+// plan. Install it before issuing IO: the call is not synchronized with
+// in-flight operations. The scripted schedule's operation counts advance
+// only while a plan is installed.
+func (d *Device) SetFaultPlan(plan FaultPlan) error {
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	if plan.ProgramFailRate == 0 && plan.EraseFailRate == 0 &&
+		plan.ReadDisturbLimit == 0 && len(plan.Schedule) == 0 {
+		d.faults = nil
+		return nil
+	}
+	plan.Schedule = append([]FaultEvent(nil), plan.Schedule...)
+	d.faults = &plan
+	return nil
+}
 
 // die returns the die state that latches the given block.
 func (d *Device) die(block BlockID) *dieState {
@@ -161,11 +197,30 @@ func (d *Device) writePage(ppn PPN, spare SpareArea, p Purpose, floor time.Durat
 	die.mu.Lock()
 	defer die.mu.Unlock()
 	blk := &d.blocks[addr.Block]
+	if blk.retired {
+		// The controller consults its bad-block table before issuing the
+		// pulse, so a program aimed at a retired block costs no device time.
+		return 0, fmt.Errorf("%w: %v: block retired", ErrProgramFailed, addr)
+	}
 	if addr.Offset < blk.writePointer {
 		return 0, fmt.Errorf("%w: %v", ErrPageNotFree, addr)
 	}
 	if d.cfg.StrictSequentialWrites && addr.Offset != blk.writePointer {
 		return 0, fmt.Errorf("%w: %v (write pointer at %d)", ErrNonSequentialWrite, addr, blk.writePointer)
+	}
+	if d.faults != nil && d.faults.fails(OpPageWrite, d.opSeq[OpPageWrite].Add(1), addr.Block, addr.Offset, blk.eraseCount) {
+		// The program pulse ran and failed: the page is consumed — marked
+		// bad, the write pointer moves past it — and the full program time
+		// was spent. The FTL retries on the block's next free page.
+		if blk.bad == nil {
+			blk.bad = make([]bool, d.cfg.PagesPerBlock)
+		}
+		blk.bad[addr.Offset] = true
+		if addr.Offset >= blk.writePointer {
+			blk.writePointer = addr.Offset + 1
+		}
+		d.record(die, OpPageWrite, p, d.cfg.Latency.PageWrite, floor)
+		return 0, fmt.Errorf("%w: %v", ErrProgramFailed, addr)
 	}
 	seq := d.writeSeq.Add(1)
 	spare.WriteSeq = seq
@@ -198,7 +253,21 @@ func (d *Device) readPage(ppn PPN, p Purpose, floor time.Duration) error {
 	if addr.Offset >= blk.writePointer {
 		return fmt.Errorf("%w: %v", ErrPageNotWritten, addr)
 	}
+	if blk.bad != nil && blk.bad[addr.Offset] {
+		// A page whose program failed holds nothing readable.
+		return fmt.Errorf("%w: %v: program failed", ErrPageNotWritten, addr)
+	}
+	blk.readCount++
 	d.record(die, OpPageRead, p, d.cfg.Latency.PageRead, floor)
+	if d.faults != nil {
+		n := d.opSeq[OpPageRead].Add(1)
+		if limit := d.faults.ReadDisturbLimit; limit > 0 && blk.readCount > limit {
+			return fmt.Errorf("%w: %v after %d reads since erase", ErrReadDecayed, addr, blk.readCount)
+		}
+		if d.faults.scheduled(OpPageRead, n) {
+			return fmt.Errorf("%w: %v (scheduled)", ErrReadDecayed, addr)
+		}
+	}
 	return nil
 }
 
@@ -221,6 +290,11 @@ func (d *Device) readSpare(ppn PPN, p Purpose, floor time.Duration) (SpareArea, 
 	blk := &d.blocks[addr.Block]
 	d.record(die, OpSpareRead, p, d.cfg.Latency.SpareRead, floor)
 	if addr.Offset >= blk.writePointer {
+		return SpareArea{}, false, nil
+	}
+	if blk.bad != nil && blk.bad[addr.Offset] {
+		// Pages whose program failed report as unprogrammed, so recovery
+		// scans skip them instead of trusting garbage.
 		return SpareArea{}, false, nil
 	}
 	return blk.spares[addr.Offset], true, nil
@@ -265,11 +339,27 @@ func (d *Device) eraseBlock(block BlockID, p Purpose, floor time.Duration) error
 	defer die.mu.Unlock()
 	blk := &d.blocks[block]
 	if d.cfg.MaxEraseCount > 0 && blk.eraseCount >= d.cfg.MaxEraseCount {
+		// The budget check is controller bookkeeping (no pulse is issued),
+		// but the attempt still retires the block: from here on BadBlock
+		// reports it and no further program or erase will be accepted.
+		blk.retired = true
 		return fmt.Errorf("%w: block %d erased %d times", ErrWornOut, block, blk.eraseCount)
+	}
+	if blk.retired {
+		return fmt.Errorf("%w: block %d retired", ErrEraseFailed, block)
+	}
+	if d.faults != nil && d.faults.fails(OpErase, d.opSeq[OpErase].Add(1), block, 0, blk.eraseCount) {
+		// The erase pulse ran, failed, and cost full erase time. The block
+		// becomes a grown bad block; its contents are untouched.
+		blk.retired = true
+		d.record(die, OpErase, p, d.cfg.Latency.Erase, floor)
+		return fmt.Errorf("%w: block %d", ErrEraseFailed, block)
 	}
 	blk.eraseCount++
 	blk.eraseSeq = d.eraseSeq.Add(1)
 	blk.writePointer = 0
+	blk.readCount = 0
+	blk.bad = nil
 	for i := range blk.spares {
 		blk.spares[i] = SpareArea{}
 	}
@@ -299,6 +389,33 @@ func (d *Device) EraseCount(block BlockID) (int, error) {
 	die.mu.Lock()
 	defer die.mu.Unlock()
 	return d.blocks[block].eraseCount, nil
+}
+
+// ReadCount returns the number of full-page reads a block has absorbed since
+// its last erase: the read-disturb accumulation the FTL's scrubber watches.
+// It models the controller's per-block read counter and is not an IO.
+func (d *Device) ReadCount(block BlockID) (int, error) {
+	if err := d.check(block); err != nil {
+		return 0, err
+	}
+	die := d.die(block)
+	die.mu.Lock()
+	defer die.mu.Unlock()
+	return d.blocks[block].readCount, nil
+}
+
+// BadBlock reports whether a block has been retired (a failed erase, or an
+// erase attempted past the block's budget). It models the controller's
+// bad-block table — device truth that survives power failures — and is not
+// an IO.
+func (d *Device) BadBlock(block BlockID) (bool, error) {
+	if err := d.check(block); err != nil {
+		return false, err
+	}
+	die := d.die(block)
+	die.mu.Lock()
+	defer die.mu.Unlock()
+	return d.blocks[block].retired, nil
 }
 
 // GlobalEraseSeq returns the device-wide erase counter. Not an IO.

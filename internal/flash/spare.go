@@ -1,5 +1,10 @@
 package flash
 
+import (
+	"encoding/binary"
+	"fmt"
+)
+
 // BlockType records what kind of data a block holds. The FTL writes the type
 // into the spare area of the first page it programs in a block so that the
 // recovery procedure can classify blocks with one spare-area read per block
@@ -61,6 +66,50 @@ type SpareArea struct {
 	// Logarithmic Gecko pages, translation-page indexes for translation
 	// pages, log sequence numbers for the page validity log.
 	Tag uint64
-	// Aux is a second free-form metadata slot (e.g. run level).
+	// Aux is a second free-form metadata slot (e.g. run level, or the
+	// content-sequence stamp of the public device API).
 	Aux uint64
+}
+
+// SpareEncodedSize is the byte length of a marshalled SpareArea: the fixed
+// little-endian layout below, sized to fit real NAND out-of-band areas
+// (64-224 bytes per page) with room for ECC.
+const SpareEncodedSize = 8 + 8 + 1 + 4 + 8 + 8 + 8
+
+// MarshalBinary encodes the spare area into its fixed 45-byte on-flash
+// layout: Logical, WriteSeq, BlockType, EraseCount, EraseSeq, Tag, Aux, all
+// little-endian. It never fails; the error return satisfies
+// encoding.BinaryMarshaler.
+func (s SpareArea) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, SpareEncodedSize)
+	binary.LittleEndian.PutUint64(buf[0:], uint64(s.Logical))
+	binary.LittleEndian.PutUint64(buf[8:], s.WriteSeq)
+	buf[16] = byte(s.BlockType)
+	binary.LittleEndian.PutUint32(buf[17:], s.EraseCount)
+	binary.LittleEndian.PutUint64(buf[21:], s.EraseSeq)
+	binary.LittleEndian.PutUint64(buf[29:], s.Tag)
+	binary.LittleEndian.PutUint64(buf[37:], s.Aux)
+	return buf, nil
+}
+
+// UnmarshalBinary decodes the fixed layout written by MarshalBinary. It
+// rejects data of the wrong length and undefined block types, so a corrupted
+// spare area fails loudly instead of classifying a block as garbage.
+func (s *SpareArea) UnmarshalBinary(data []byte) error {
+	if len(data) != SpareEncodedSize {
+		return fmt.Errorf("flash: spare area is %d bytes, want %d", len(data), SpareEncodedSize)
+	}
+	if t := BlockType(data[16]); int(t) >= len(blockTypeNames) {
+		return fmt.Errorf("flash: spare area names undefined block type %d", data[16])
+	}
+	*s = SpareArea{
+		Logical:    LPN(binary.LittleEndian.Uint64(data[0:])),
+		WriteSeq:   binary.LittleEndian.Uint64(data[8:]),
+		BlockType:  BlockType(data[16]),
+		EraseCount: binary.LittleEndian.Uint32(data[17:]),
+		EraseSeq:   binary.LittleEndian.Uint64(data[21:]),
+		Tag:        binary.LittleEndian.Uint64(data[29:]),
+		Aux:        binary.LittleEndian.Uint64(data[37:]),
+	}
+	return nil
 }

@@ -76,6 +76,13 @@ type Plane interface {
 	NoteTrim(ppn PPN, p Purpose) error
 	WritePointer(block BlockID) (int, error)
 	EraseCount(block BlockID) (int, error)
+	// ReadCount returns the full-page reads a block has absorbed since its
+	// last erase (the read-disturb accumulation the scrubber watches), and
+	// BadBlock whether the block has been retired as a grown bad block.
+	// Both model controller bookkeeping (read counters, the bad-block
+	// table), like WritePointer and EraseCount, and are not IO.
+	ReadCount(block BlockID) (int, error)
+	BadBlock(block BlockID) (bool, error)
 	BlocksEndurance() (min, max int, mean float64)
 	// Counters, SimulatedTime and ResetCounters report and reset the IO
 	// accounting of the underlying device. For a partition they are scoped
@@ -262,6 +269,22 @@ func (p *Partition) EraseCount(block BlockID) (int, error) {
 		return 0, err
 	}
 	return p.dev.EraseCount(block + p.base)
+}
+
+// ReadCount returns the read-disturb count of the partition-relative block.
+func (p *Partition) ReadCount(block BlockID) (int, error) {
+	if err := p.checkBlock(block); err != nil {
+		return 0, err
+	}
+	return p.dev.ReadCount(block + p.base)
+}
+
+// BadBlock reports whether the partition-relative block has been retired.
+func (p *Partition) BadBlock(block BlockID) (bool, error) {
+	if err := p.checkBlock(block); err != nil {
+		return false, err
+	}
+	return p.dev.BadBlock(block + p.base)
 }
 
 // BlocksEndurance returns min, max and mean erase counts over the

@@ -2,6 +2,7 @@ package ftl
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -126,6 +127,11 @@ type blockInfo struct {
 	// that wear-aware allocation never costs IO on the write path. It is
 	// lost at power failure and re-based from the device during recovery.
 	eraseCount int
+	// retired marks a grown bad block: its erase failed (or it was caught
+	// worn out), so it holds no live data and never re-enters the free pool
+	// or the wear heap. Like all blockInfo state it is lost at power
+	// failure; recovery re-marks it from the device's bad-block table.
+	retired bool
 }
 
 // blockManager owns the physical layout of GeckoFTL-style FTLs: it separates
@@ -161,7 +167,12 @@ type blockManager struct {
 	erases int64
 	// frees counts blocks returned to the free pool; the wear-conservation
 	// invariant (every erase frees exactly one block) ties it to erases.
+	// Retiring a bad block increments neither counter, so the invariant
+	// survives fault injection.
 	frees int64
+	// programRetries counts page programs that failed and were retried on
+	// the next frontier page.
+	programRetries int64
 }
 
 // newBlockManager creates a block manager with every block free.
@@ -206,6 +217,27 @@ func (bm *blockManager) Erases() int64 { return bm.erases }
 // Frees returns the number of blocks the manager has returned to the free
 // pool. Outside of recovery re-basing it always equals Erases.
 func (bm *blockManager) Frees() int64 { return bm.frees }
+
+// ProgramRetries returns the number of failed page programs the manager
+// stepped over by retrying on the next frontier page.
+func (bm *blockManager) ProgramRetries() int64 { return bm.programRetries }
+
+// BadBlocks returns the number of retired (grown bad) blocks. Computed from
+// the per-block state rather than counted, so it always matches the set of
+// blocks Retired reports — including after a crash and recovery re-marks
+// them from the device's bad-block table.
+func (bm *blockManager) BadBlocks() int {
+	n := 0
+	for i := range bm.blocks {
+		if bm.blocks[i].retired {
+			n++
+		}
+	}
+	return n
+}
+
+// Retired reports whether a block has been retired as a grown bad block.
+func (bm *blockManager) Retired(block flash.BlockID) bool { return bm.blocks[block].retired }
 
 // EraseCount returns the manager's RAM mirror of a block's erase count.
 func (bm *blockManager) EraseCount(block flash.BlockID) int { return bm.blocks[block].eraseCount }
@@ -306,32 +338,46 @@ func (bm *blockManager) AllocateUserPage(temp Temperature, spare flash.SpareArea
 }
 
 func (bm *blockManager) allocateOnFrontier(g Group, frontier int, spare flash.SpareArea, p flash.Purpose) (flash.PPN, error) {
-	active := bm.active[frontier]
-	if active == flash.InvalidBlock || bm.blocks[active].writePointer >= bm.cfg.PagesPerBlock {
-		id, err := bm.takeFreeBlock(g)
+	for {
+		active := bm.active[frontier]
+		if active == flash.InvalidBlock || bm.blocks[active].writePointer >= bm.cfg.PagesPerBlock {
+			id, err := bm.takeFreeBlock(g)
+			if err != nil {
+				return flash.InvalidPPN, err
+			}
+			bm.active[frontier] = id
+			active = id
+		}
+		info := &bm.blocks[active]
+		if info.firstWriteSeq == 0 {
+			// Stamp the block type on every attempt until the block's first
+			// program succeeds: with program faults the first page(s) can be
+			// consumed unreadable, and recovery classifies the block from its
+			// first readable spare.
+			spare.BlockType = g.blockType()
+		}
+		ppn := flash.PPNOf(active, info.writePointer, bm.cfg.PagesPerBlock)
+		seq, err := bm.dev.WritePage(ppn, spare, p)
+		if errors.Is(err, flash.ErrProgramFailed) {
+			// The device consumed the failed page (its write pointer moved
+			// past it); step over it and retry on the next frontier page —
+			// in a fresh block once this one runs out.
+			bm.programRetries++
+			info.writePointer++
+			continue
+		}
 		if err != nil {
 			return flash.InvalidPPN, err
 		}
-		bm.active[frontier] = id
-		active = id
+		bm.NoteWriteSeq(seq)
+		if info.firstWriteSeq == 0 {
+			info.firstWriteSeq = seq
+		}
+		info.lastWriteSeq = seq
+		info.writePointer++
+		info.valid++
+		return ppn, nil
 	}
-	info := &bm.blocks[active]
-	if info.writePointer == 0 {
-		spare.BlockType = g.blockType()
-	}
-	ppn := flash.PPNOf(active, info.writePointer, bm.cfg.PagesPerBlock)
-	seq, err := bm.dev.WritePage(ppn, spare, p)
-	if err != nil {
-		return flash.InvalidPPN, err
-	}
-	bm.NoteWriteSeq(seq)
-	if info.writePointer == 0 {
-		info.firstWriteSeq = seq
-	}
-	info.lastWriteSeq = seq
-	info.writePointer++
-	info.valid++
-	return ppn, nil
 }
 
 // LastWriteSeq returns the newest device write sequence the manager has
@@ -374,6 +420,20 @@ func (bm *blockManager) Erase(block flash.BlockID, p flash.Purpose) error {
 		}
 	}
 	if err := bm.dev.EraseBlock(block, p); err != nil {
+		if errors.Is(err, flash.ErrWornOut) || errors.Is(err, flash.ErrEraseFailed) {
+			// The block's contents are dead (callers only erase drained
+			// blocks) but the block itself is gone as a resource: retire it.
+			// It leaves the group, never re-enters the free pool or the wear
+			// heap, and the device's usable capacity shrinks by one block.
+			// Neither erases nor frees is incremented — no erase happened and
+			// no block was freed — so erase/free conservation holds. The
+			// erase that was due still happened logically: the caller
+			// proceeds exactly as after a successful reclaim.
+			info.allocated = false
+			info.retired = true
+			info.valid = 0
+			return nil
+		}
 		return err
 	}
 	bm.erases++

@@ -485,6 +485,9 @@ func (s *Stats) add(other Stats) {
 	s.GCFallbacks += other.GCFallbacks
 	s.HotWrites += other.HotWrites
 	s.ColdWrites += other.ColdWrites
+	s.ProgramRetries += other.ProgramRetries
+	s.BadBlocks += other.BadBlocks
+	s.ScrubOperations += other.ScrubOperations
 }
 
 // CheckConsistency verifies the FTL's translation invariants against the

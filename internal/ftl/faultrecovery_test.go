@@ -1,0 +1,165 @@
+package ftl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"geckoftl/internal/flash"
+)
+
+// TestFaultRecovery crashes a device mid-way through a fault campaign and
+// asserts that recovery rediscovers every piece of fault state from device
+// truth alone: the retired bad-block set, the free pool without retired
+// blocks, and a consistent mapping — then keeps serving writes.
+func TestFaultRecovery(t *testing.T) {
+	for _, po := range []struct {
+		name string
+		opts Options
+	}{
+		{"geckoftl", GeckoFTLOptions(192)},
+		{"dftl", DFTLOptions(192)},
+	} {
+		t.Run(po.name, func(t *testing.T) {
+			plan := flash.FaultPlan{Seed: 5, ProgramFailRate: 0.02, EraseFailRate: 0.05}
+			dev := hammerDevice(t, 64, 0, plan)
+			f, err := New(dev, po.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lp := f.LogicalPages()
+			rng := rand.New(rand.NewSource(17))
+			for op := 0; op < 2500; op++ {
+				lpn := flash.LPN(rng.Int63n(lp))
+				if op%5 == 4 {
+					err = f.Read(lpn)
+				} else {
+					err = f.Write(lpn)
+				}
+				if err != nil && !deviceDead(err) {
+					t.Fatalf("op %d: %v", op, err)
+				}
+			}
+			preBad := f.Stats().BadBlocks
+			preRetries := f.Stats().ProgramRetries
+			if preBad == 0 || preRetries == 0 {
+				t.Fatalf("campaign produced no fault state to recover (bad=%d retries=%d)", preBad, preRetries)
+			}
+
+			f.PowerFail()
+			if _, err := f.Recover(); err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+
+			// The retired set is device truth: recovery must rediscover it
+			// exactly, not approximately. auditFaultInvariants checks
+			// bad-block agreement per block, free-pool exclusion, erase-count
+			// mirrors and mapping consistency.
+			if got := f.Stats().BadBlocks; got != preBad {
+				t.Errorf("recovered BadBlocks = %d, lost from pre-crash %d", got, preBad)
+			}
+			if err := auditFaultInvariants(f); err != nil {
+				t.Fatalf("invariants after recovery: %v", err)
+			}
+
+			// The device must keep serving — including through fresh faults.
+			for op := 0; op < 500; op++ {
+				if err := f.Write(flash.LPN(rng.Int63n(lp))); err != nil {
+					if deviceDead(err) {
+						break
+					}
+					t.Fatalf("post-recovery write %d: %v", op, err)
+				}
+			}
+			if err := auditFaultInvariants(f); err != nil {
+				t.Fatalf("invariants after post-recovery writes: %v", err)
+			}
+		})
+	}
+}
+
+// TestFaultRecoveryBadFirstPage pins the hardest classification case: a block
+// whose very first page failed to program carries no spare to classify it
+// by. Recovery must forward-probe past the bad page instead of
+// misclassifying or crashing.
+func TestFaultRecoveryBadFirstPage(t *testing.T) {
+	plan := flash.FaultPlan{Schedule: []flash.FaultEvent{{Op: flash.OpPageWrite, AtCount: 1}}}
+	dev := hammerDevice(t, 32, 0, plan)
+	f, err := New(dev, GeckoFTLOptions(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The very first program — whichever block the FTL aims it at — fails
+	// and is retried on the next page, leaving offset 0 bad.
+	for lpn := flash.LPN(0); lpn < 40; lpn++ {
+		if err := f.Write(lpn); err != nil {
+			t.Fatalf("write %d: %v", lpn, err)
+		}
+	}
+	if f.Stats().ProgramRetries == 0 {
+		t.Fatal("scripted first-program fault never fired")
+	}
+
+	f.PowerFail()
+	if _, err := f.Recover(); err != nil {
+		t.Fatalf("Recover with bad first page: %v", err)
+	}
+	if err := auditFaultInvariants(f); err != nil {
+		t.Fatalf("invariants after recovery: %v", err)
+	}
+	for lpn := flash.LPN(0); lpn < 40; lpn++ {
+		if err := f.Read(lpn); err != nil {
+			t.Fatalf("read %d after recovery: %v", lpn, err)
+		}
+	}
+}
+
+// TestScrubPreventsReadDecay pins the scrub-or-lose contract: with read
+// disturb injected, a scrubbing FTL relocates hot blocks before their
+// payload decays, while an FTL with scrubbing disabled eventually surfaces
+// ErrReadDecayed on a read.
+func TestScrubPreventsReadDecay(t *testing.T) {
+	run := func(threshold int) (scrubs int64, err error) {
+		plan := flash.FaultPlan{Seed: 9, ReadDisturbLimit: 64}
+		dev := hammerDevice(t, 64, 0, plan)
+		opts := GeckoFTLOptions(192)
+		opts.ScrubReadThreshold = threshold
+		f, ferr := New(dev, opts)
+		if ferr != nil {
+			return 0, ferr
+		}
+		lp := f.LogicalPages()
+		rng := rand.New(rand.NewSource(21))
+		// Fill a few blocks so the hot set lives in full (scrubbable)
+		// blocks, then hammer reads with a trickle of writes keeping the
+		// frontier moving so relocated pages end up in full blocks too.
+		for lpn := flash.LPN(0); lpn < 64; lpn++ {
+			if err := f.Write(lpn); err != nil {
+				return 0, err
+			}
+		}
+		for op := 0; op < 6000; op++ {
+			if op%8 == 7 {
+				err = f.Write(flash.LPN(64 + rng.Int63n(lp-64)))
+			} else {
+				err = f.Read(flash.LPN(rng.Int63n(32)))
+			}
+			if err != nil {
+				return f.Stats().ScrubOperations, err
+			}
+		}
+		return f.Stats().ScrubOperations, nil
+	}
+
+	scrubs, err := run(32)
+	if err != nil {
+		t.Fatalf("scrubbing FTL failed: %v", err)
+	}
+	if scrubs == 0 {
+		t.Fatal("read hammer at half the disturb limit triggered no scrubs")
+	}
+
+	if _, err := run(0); !errors.Is(err, flash.ErrReadDecayed) {
+		t.Fatalf("without scrubbing, err = %v, want ErrReadDecayed", err)
+	}
+}

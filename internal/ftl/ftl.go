@@ -63,6 +63,18 @@ type Stats struct {
 	// without Options.HotColdSeparation; their ratio is the observable
 	// behind the wear sweep's separation results.
 	HotWrites, ColdWrites int64
+	// ProgramRetries counts page programs retried on the next frontier page
+	// after the device reported a failed program pulse.
+	ProgramRetries int64
+	// BadBlocks is the number of blocks currently retired from allocation:
+	// grown bad blocks (failed erases) plus worn-out blocks. A gauge rather
+	// than a counter — recovery recomputes it from the device's bad-block
+	// table, so it never double-counts across a crash.
+	BadBlocks int64
+	// ScrubOperations counts read-disturb scrubs: blocks relocated because
+	// their read count since the last erase reached
+	// Options.ScrubReadThreshold.
+	ScrubOperations int64
 }
 
 // FTL is a page-associative flash translation layer instance. Use one of the
@@ -211,8 +223,15 @@ func (f *FTL) Options() Options { return f.opts }
 // or one partition of it when the FTL is a shard of an Engine.
 func (f *FTL) Device() flash.Plane { return f.dev }
 
-// Stats returns the FTL's logical operation counters.
-func (f *FTL) Stats() Stats { return f.stats }
+// Stats returns the FTL's logical operation counters. The fault-tolerance
+// fields live in the block manager (which owns retirement and retry) and are
+// overlaid here.
+func (f *FTL) Stats() Stats {
+	s := f.stats
+	s.ProgramRetries = f.bm.ProgramRetries()
+	s.BadBlocks = int64(f.bm.BadBlocks())
+	return s
+}
 
 // LogicalPages returns the number of logical pages exposed to applications.
 func (f *FTL) LogicalPages() int64 { return f.logicalPages }
@@ -364,7 +383,51 @@ func (f *FTL) Read(lpn flash.LPN) error {
 		// Reading a never-written logical page returns zeroes without IO.
 		return nil
 	}
-	return f.dev.ReadPage(entry.Physical, flash.PurposeUserRead)
+	if err := f.dev.ReadPage(entry.Physical, flash.PurposeUserRead); err != nil {
+		return err
+	}
+	return f.maybeScrub(entry.Physical)
+}
+
+// maybeScrub relocates the block the page just read lives on when the block
+// has absorbed ScrubReadThreshold page reads since its last erase, so that
+// read-disturbed payloads are rewritten before they decay. The relocation is
+// an ordinary collection (live pages migrate, the block is erased and
+// re-enters the free pool), so validity bookkeeping and wear accounting need
+// no special casing.
+func (f *FTL) maybeScrub(ppn flash.PPN) error {
+	if f.opts.ScrubReadThreshold <= 0 {
+		return nil
+	}
+	block := flash.Decompose(ppn, f.cfg.PagesPerBlock).Block
+	reads, err := f.dev.ReadCount(block)
+	if err != nil {
+		return err
+	}
+	if reads < f.opts.ScrubReadThreshold {
+		return nil
+	}
+	// The same re-validation as wear recycling (wearLevelIfNeeded): only a
+	// full, allocated, non-active user block that is neither protected nor
+	// the incremental collector's in-flight victim may be collected out of
+	// band. Active frontiers shed their read count when they fill, go
+	// static, and a later read trips the threshold again.
+	info := &f.bm.blocks[block]
+	if !info.allocated || info.group != GroupUser ||
+		info.writePointer < f.cfg.PagesPerBlock || f.bm.isActive(block) ||
+		f.table.ProtectedBlocks()[block] || block == f.gc.victim {
+		return nil
+	}
+	// Like a wear recycle, a scrub is this subsystem's own cost, not
+	// garbage-collection scheduling: exclude its charges from the per-write
+	// GC-stall metric (the read's overall latency still includes them).
+	gcTimeBefore := f.opGCTime
+	if err := f.collectBlock(block); err != nil {
+		return err
+	}
+	f.opGCTime = gcTimeBefore
+	f.stats.ScrubOperations++
+	return nil
 }
 
 // dropIdentifiedUIP clears the UIP (and Trimmed) flag carried from cached

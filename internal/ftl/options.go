@@ -170,6 +170,13 @@ type Options struct {
 	// least-erased free block (coldest-erase-count first) instead of the
 	// most recently freed one, narrowing the device's erase-count spread.
 	WearAwareAllocation bool
+	// ScrubReadThreshold enables read-disturb scrubbing: after a user read,
+	// a block whose read count since its last erase reaches the threshold is
+	// relocated (same machinery as a garbage-collection reclaim) so its
+	// payloads are rewritten before they decay. Zero disables scrubbing.
+	// To stay ahead of a device that decays payloads after T reads, the
+	// threshold must be at most T minus the reads a single scrub can add.
+	ScrubReadThreshold int
 }
 
 // validate normalizes and checks the options against a device configuration.
@@ -215,6 +222,9 @@ func (o *Options) validate(cfg flash.Config) error {
 	}
 	if o.HeatThreshold < 0 {
 		return fmt.Errorf("ftl: heat threshold %g must be >= 0", o.HeatThreshold)
+	}
+	if o.ScrubReadThreshold < 0 {
+		return fmt.Errorf("ftl: scrub read threshold %d must be >= 0", o.ScrubReadThreshold)
 	}
 	if o.Name == "" {
 		o.Name = o.Scheme.String()

@@ -187,18 +187,53 @@ func (f *FTL) recoverBlockManager() error {
 	bm.CrashRAM()
 	for i := 0; i < f.cfg.Blocks; i++ {
 		block := flash.BlockID(i)
+		info := &bm.blocks[i]
+		// The controller's bad-block table is device truth, survives power
+		// failure, and is consulted before any spare read: retired blocks
+		// hold no live data (they are only retired once drained) and never
+		// re-enter the free pool.
+		bad, err := f.dev.BadBlock(block)
+		if err != nil {
+			return err
+		}
+		if bad {
+			info.retired = true
+			info.allocated = false
+			continue
+		}
 		first := flash.PPNOf(block, 0, f.cfg.PagesPerBlock)
 		spare, written, err := f.dev.ReadSpare(first, flash.PurposeRecovery)
 		if err != nil {
 			return err
 		}
-		info := &bm.blocks[i]
-		if !written {
+		wp, err := f.dev.WritePointer(block)
+		if err != nil {
+			return err
+		}
+		if !written && wp == 0 {
 			info.allocated = false
 			bm.free = append(bm.free, block)
 			continue
 		}
+		// A block whose first page reads as unprogrammed but whose write
+		// pointer has advanced had its first program(s) consumed by failed
+		// pulses: probe forward for the first readable spare and classify the
+		// block from that instead (charged like the rest of the scan).
+		for offset := 1; offset < wp && !written; offset++ {
+			spare, written, err = f.dev.ReadSpare(flash.PPNOf(block, offset, f.cfg.PagesPerBlock), flash.PurposeRecovery)
+			if err != nil {
+				return err
+			}
+		}
 		info.allocated = true
+		info.writePointer = wp
+		if !written {
+			// Every programmed page of the block is bad. Nothing can map into
+			// it, so its BVC entry is zero; garbage collection (or frontier
+			// resumption, when partial) reclaims the block like any user block.
+			info.group = GroupUser
+			continue
+		}
 		info.firstWriteSeq = spare.WriteSeq
 		// The block's true last-write sequence would need a spare read of its
 		// newest page; the first-write sequence is a safe stand-in that only
@@ -213,11 +248,6 @@ func (f *FTL) recoverBlockManager() error {
 		default:
 			info.group = GroupUser
 		}
-		wp, err := f.dev.WritePointer(block)
-		if err != nil {
-			return err
-		}
-		info.writePointer = wp
 		// Conservative BVC until the accurate rebuild at the end of
 		// recovery: counting every written page valid can only delay
 		// garbage-collection, never corrupt it.

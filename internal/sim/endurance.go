@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"geckoftl/internal/flash"
+	"geckoftl/internal/ftl"
+	"geckoftl/internal/workload"
+)
+
+// EndurancePoint is one row of the endurance sweep: a device with a finite
+// per-block erase budget and a fault-injection plan, driven until it dies,
+// reporting its lifetime in host writes.
+type EndurancePoint struct {
+	// Workload names the write pattern.
+	Workload string
+	// Policy is "baseline" (LIFO free-block reuse, no wear-leveling) or
+	// "wear-aware" (coldest-erase-count-first allocation plus the Appendix D
+	// gradual-scan wear-leveler).
+	Policy string
+	// WearAware reports whether the point ran the wear-aware policy.
+	WearAware bool
+	// FaultRate is the injected program-failure probability per page program
+	// (erase failures are injected at half this rate).
+	FaultRate float64
+	// MaxEraseCount is the per-block erase budget.
+	MaxEraseCount int
+	// Lifetime is the number of host writes served before the device died of
+	// capacity exhaustion. The sweep's acceptance bars: strictly decreasing
+	// in FaultRate at fixed policy, strictly larger for wear-aware at fixed
+	// rate.
+	Lifetime int64
+	// BadBlocks and ProgramRetries describe the fault damage at death.
+	BadBlocks, ProgramRetries int64
+	// EraseSpread is the erase-count spread at death: how unevenly the
+	// budget was consumed.
+	EraseSpread int
+	// Capped reports that the run hit the write cap instead of dying; a
+	// capped Lifetime is a lower bound, not a lifetime.
+	Capped bool
+}
+
+// String renders the point as a table row.
+func (p EndurancePoint) String() string {
+	capped := ""
+	if p.Capped {
+		capped = " (capped)"
+	}
+	return fmt.Sprintf("%-8s %-10s fault=%.2f lifetime=%d%s bad=%d retries=%d spread=%d",
+		p.Workload, p.Policy, p.FaultRate, p.Lifetime, capped, p.BadBlocks, p.ProgramRetries, p.EraseSpread)
+}
+
+// EnduranceSweepOptions parameterizes EnduranceSweep.
+type EnduranceSweepOptions struct {
+	// Scale sizes the device and cache and seeds the workload and fault
+	// plan. MeasureWrites is not used: endurance runs until death.
+	Scale ExperimentScale
+	// MaxEraseCount is the per-block erase budget. Zero means 24.
+	MaxEraseCount int
+	// FaultRates lists the program-failure rates to sweep. Empty means
+	// {0, 0.02, 0.08}. Rates share the scale's seed, so the injected
+	// failure sets are nested across rates (a failure at rate r also fails
+	// at every r' > r), which keeps the lifetime trend monotone by
+	// construction rather than by luck.
+	FaultRates []float64
+	// Workload names the write pattern. Empty means zipfian: skew is what
+	// separates wear-aware allocation from LIFO reuse, because a skewed
+	// stream recycles hot blocks while stranding budget in cold ones.
+	Workload string
+	// WriteCap bounds a single point's host writes as a runaway guard. Zero
+	// derives it from the device's total program budget.
+	WriteCap int64
+}
+
+// capacityExhausted reports the errors that mean the device died of lost
+// capacity — the expected end of an endurance run.
+func capacityExhausted(err error) bool {
+	return err != nil && (strings.Contains(err.Error(), "no free blocks") ||
+		strings.Contains(err.Error(), "garbage collection stalled") ||
+		strings.Contains(err.Error(), "found no victim"))
+}
+
+// EnduranceSweep measures device lifetime — host writes served until capacity
+// exhaustion — across {fault rate} x {allocation policy} on a device with a
+// finite per-block erase budget. Every point drives the same workload stream
+// into a fresh device until the FTL can no longer make space, the endurance
+// counterpart of the paper's claim that placement decides lifetime as well as
+// throughput: the budget a policy strands in cold blocks is budget the device
+// dies without spending.
+func EnduranceSweep(opts EnduranceSweepOptions) ([]EndurancePoint, error) {
+	maxErase := opts.MaxEraseCount
+	if maxErase <= 0 {
+		maxErase = 24
+	}
+	rates := opts.FaultRates
+	if len(rates) == 0 {
+		rates = []float64{0, 0.02, 0.08}
+	}
+	wl := opts.Workload
+	if wl == "" {
+		wl = "zipfian"
+	}
+	spec := opts.Scale.Device
+	cap := opts.WriteCap
+	if cap <= 0 {
+		// The device cannot program more pages than its total erase budget
+		// allows; 3x that in host writes is unreachable.
+		cap = 3 * int64(spec.Blocks) * int64(spec.PagesPerBlock) * int64(maxErase)
+	}
+
+	var points []EndurancePoint
+	for _, wearAware := range []bool{false, true} {
+		for _, rate := range rates {
+			p, err := endurancePoint(opts.Scale, wl, maxErase, rate, wearAware, cap)
+			if err != nil {
+				return nil, fmt.Errorf("sim: endurance (%s, fault=%.2f, wearAware=%v): %w", wl, rate, wearAware, err)
+			}
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}
+
+// endurancePoint drives one device to death.
+func endurancePoint(scale ExperimentScale, wl string, maxErase int, rate float64, wearAware bool, cap int64) (EndurancePoint, error) {
+	cfg := scale.Device.Config()
+	cfg.MaxEraseCount = maxErase
+	dev, err := flash.NewDevice(cfg)
+	if err != nil {
+		return EndurancePoint{}, err
+	}
+	if err := dev.SetFaultPlan(flash.FaultPlan{
+		Seed:            scale.Seed,
+		ProgramFailRate: rate,
+		EraseFailRate:   rate / 2,
+	}); err != nil {
+		return EndurancePoint{}, err
+	}
+
+	ftlOpts := ftl.GeckoFTLOptions(scale.CacheEntries)
+	ftlOpts.WearAwareAllocation = wearAware
+	ftlOpts.WearLeveling = wearAware
+	f, err := ftl.New(dev, ftlOpts)
+	if err != nil {
+		return EndurancePoint{}, err
+	}
+	gen, err := workload.ByName(wl, f.LogicalPages(), scale.Seed)
+	if err != nil {
+		return EndurancePoint{}, err
+	}
+
+	policy := "baseline"
+	if wearAware {
+		policy = "wear-aware"
+	}
+	p := EndurancePoint{
+		Workload:      wl,
+		Policy:        policy,
+		WearAware:     wearAware,
+		FaultRate:     rate,
+		MaxEraseCount: maxErase,
+	}
+	for p.Lifetime < cap {
+		op := gen.Next()
+		if op.Kind != workload.OpWrite {
+			continue
+		}
+		if err := f.Write(op.Page); err != nil {
+			if capacityExhausted(err) {
+				break
+			}
+			return EndurancePoint{}, err
+		}
+		p.Lifetime++
+	}
+	p.Capped = p.Lifetime >= cap
+	st := f.Stats()
+	p.BadBlocks = st.BadBlocks
+	p.ProgramRetries = st.ProgramRetries
+	minErase, maxE, _ := dev.BlocksEndurance()
+	p.EraseSpread = maxE - minErase
+	return p, nil
+}

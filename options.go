@@ -108,6 +108,11 @@ type config struct {
 	checkpoints *bool
 	hotCold     *bool
 	wearAware   *bool
+	scrubReads  *int
+
+	// faults, when set by WithFaultPlan, is installed on the device at Open,
+	// before any IO.
+	faults *FaultPlan
 }
 
 // defaultConfig sizes a small device that exercises every subsystem quickly:
@@ -310,6 +315,9 @@ func (c *config) ftlOptions() (FTLOptions, error) {
 	}
 	if c.wearAware != nil {
 		opts.WearAwareAllocation = *c.wearAware
+	}
+	if c.scrubReads != nil {
+		opts.ScrubReadThreshold = *c.scrubReads
 	}
 	return opts, nil
 }

@@ -63,6 +63,18 @@ type Snapshot struct {
 	// Checkpoints counts runtime checkpoints taken since Open.
 	Checkpoints int64
 
+	// BadBlocks is the number of blocks currently retired as grown bad
+	// blocks (failed or worn-out erases): permanently lost capacity. It is a
+	// gauge read from the per-block state, so it survives power failures
+	// without double-counting.
+	BadBlocks int64
+	// ProgramRetries counts page programs that failed and were retried on
+	// the next frontier page since Open.
+	ProgramRetries int64
+	// Scrubs counts read-disturb scrubs since Open: blocks relocated because
+	// their read count reached the configured scrub threshold.
+	Scrubs int64
+
 	// WriteAmplification is the measured write-amplification of the current
 	// window (since Open or the last ResetStats): internal page writes plus
 	// internal page reads weighted by the write/read latency ratio, per
@@ -128,6 +140,9 @@ func (d *Device) Snapshot() Snapshot {
 			MaxStall:    es.MaxGCStall,
 		},
 		Checkpoints:        ops.Checkpoints,
+		BadBlocks:          ops.BadBlocks,
+		ProgramRetries:     ops.ProgramRetries,
+		Scrubs:             ops.ScrubOperations,
 		WriteAmplification: window.WriteAmplification(windowWrites, delta),
 		UserWA: window.PurposeWriteAmplification(flash.PurposeUserWrite, windowWrites, delta) +
 			window.PurposeWriteAmplification(flash.PurposeGCMigration, windowWrites, delta),
