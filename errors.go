@@ -25,7 +25,9 @@ var (
 	// ErrOutOfRange is returned for logical pages outside [0, LogicalPages).
 	ErrOutOfRange = errors.New("geckoftl: logical page out of range")
 	// ErrInvalidConfig is returned by Open for option combinations the
-	// device or FTL rejects.
+	// device or FTL rejects, and by the workload constructors and flag
+	// parsers (WorkloadByName, NewZipfian, ParseGCMode, ...) for rejected
+	// parameters.
 	ErrInvalidConfig = errors.New("geckoftl: invalid configuration")
 	// ErrReadDecayed is returned by Read when the page's payload decayed
 	// from read disturb before the FTL relocated it. It only arises under a
@@ -34,6 +36,19 @@ var (
 	// it.
 	ErrReadDecayed = errors.New("geckoftl: page payload decayed before scrub")
 )
+
+// configErr classifies a parameter-validation error from an internal
+// constructor or parser under ErrInvalidConfig. The raw internal error stays
+// in the chain for its message.
+func configErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrInvalidConfig) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+}
 
 // wrapErr classifies an internal error under the public taxonomy. Errors
 // already carrying a public sentinel pass through untouched.

@@ -1,0 +1,67 @@
+package geckoftl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestConfigErrorsClassified locks the taxonomy contract the errwrap
+// analyzer enforces structurally: every rejected workload or option
+// parameter surfaces as ErrInvalidConfig under errors.Is, with the internal
+// message preserved in the chain.
+func TestConfigErrorsClassified(t *testing.T) {
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"WorkloadByName", func() error { _, err := WorkloadByName("nosuch", 100, 1); return err }},
+		{"NewUniform", func() error { _, err := NewUniform(0, 1); return err }},
+		{"NewSequential", func() error { _, err := NewSequential(-1); return err }},
+		{"NewZipfian", func() error { _, err := NewZipfian(100, 0.5, 1); return err }},
+		{"NewHotCold", func() error { _, err := NewHotCold(100, 1.5, 0.8, 1); return err }},
+		{"NewMixed", func() error {
+			w, werr := NewUniform(100, 1)
+			if werr != nil {
+				return werr
+			}
+			_, err := NewMixed(w, 100, 1.5, 1)
+			return err
+		}},
+		{"NewTrimming", func() error {
+			w, werr := NewUniform(100, 1)
+			if werr != nil {
+				return werr
+			}
+			_, err := NewTrimming(w, 100, -0.1, 1)
+			return err
+		}},
+		{"ParseTrace", func() error { _, err := ParseTrace("bad", strings.NewReader("X 42\n")); return err }},
+		{"ParseGCMode", func() error { _, err := ParseGCMode("nosuch"); return err }},
+		{"ParseVictimPolicy", func() error { _, err := ParseVictimPolicy("nosuch"); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.err()
+			if err == nil {
+				t.Fatal("expected a rejection, got nil")
+			}
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("error %q does not match ErrInvalidConfig", err)
+			}
+		})
+	}
+}
+
+// TestConfigErrNoDoubleWrap checks configErr is idempotent: an error already
+// carrying the sentinel passes through unchanged.
+func TestConfigErrNoDoubleWrap(t *testing.T) {
+	base := configErr(errors.New("bad knob"))
+	again := configErr(base)
+	if again != base {
+		t.Fatalf("configErr re-wrapped an already-classified error: %q", again)
+	}
+	if configErr(nil) != nil {
+		t.Fatal("configErr(nil) != nil")
+	}
+}

@@ -32,7 +32,10 @@ type Result = sim.Result
 type RunOptions = sim.RunOptions
 
 // Run executes one FTL-under-workload simulation and returns its result.
-func Run(opts RunOptions) (Result, error) { return sim.Run(opts) }
+func Run(opts RunOptions) (Result, error) {
+	rows, err := sim.Run(opts)
+	return rows, wrapErr(err)
+}
 
 // FormatTable renders results as an aligned text table with a header.
 func FormatTable(header string, results []Result) string { return sim.FormatTable(header, results) }
@@ -52,22 +55,37 @@ type (
 
 // Figure9 compares Logarithmic Gecko under size ratios T = 2..32 against the
 // flash-resident PVB baseline (Section 5.1).
-func Figure9(scale ExperimentScale) ([]Figure9Row, error) { return sim.Figure9(scale) }
+func Figure9(scale ExperimentScale) ([]Figure9Row, error) {
+	rows, err := sim.Figure9(scale)
+	return rows, wrapErr(err)
+}
 
 // Figure10 shows entry-partitioning making write-amplification independent
 // of the block size (Section 5.2).
-func Figure10(scale ExperimentScale) ([]Figure10Row, error) { return sim.Figure10(scale) }
+func Figure10(scale ExperimentScale) ([]Figure10Row, error) {
+	rows, err := sim.Figure10(scale)
+	return rows, wrapErr(err)
+}
 
 // Figure11 scales capacity and compares Logarithmic Gecko against the
 // flash-resident PVB (Section 5.2, "Capacity").
-func Figure11(scale ExperimentScale) ([]Figure11Row, error) { return sim.Figure11(scale) }
+func Figure11(scale ExperimentScale) ([]Figure11Row, error) {
+	rows, err := sim.Figure11(scale)
+	return rows, wrapErr(err)
+}
 
 // Figure12 varies over-provisioning (Section 5.2, "Over-Provisioning").
-func Figure12(scale ExperimentScale) ([]Figure12Row, error) { return sim.Figure12(scale) }
+func Figure12(scale ExperimentScale) ([]Figure12Row, error) {
+	rows, err := sim.Figure12(scale)
+	return rows, wrapErr(err)
+}
 
 // Figure13WA runs the five FTLs under uniformly random writes and reports
 // the write-amplification breakdown of Figure 13 (bottom).
-func Figure13WA(scale ExperimentScale) ([]Result, error) { return sim.Figure13WA(scale) }
+func Figure13WA(scale ExperimentScale) ([]Result, error) {
+	rows, err := sim.Figure13WA(scale)
+	return rows, wrapErr(err)
+}
 
 // Figure13RAM returns the analytical integrated-RAM breakdown (Figure 13
 // top) at the paper's full 2 TB scale.
@@ -78,7 +96,10 @@ func Figure13RAM() []RAMBreakdown { return sim.Figure13RAM() }
 func Figure13Recovery() []RecoveryBreakdown { return sim.Figure13Recovery() }
 
 // Figure14 reproduces the equal-RAM-budget experiment of Section 5.4.
-func Figure14(scale ExperimentScale) ([]Figure14Row, error) { return sim.Figure14(scale) }
+func Figure14(scale ExperimentScale) ([]Figure14Row, error) {
+	rows, err := sim.Figure14(scale)
+	return rows, wrapErr(err)
+}
 
 // Figure1 returns the capacity sweep of Figure 1 (LazyFTL RAM requirement
 // and recovery time versus device capacity).
@@ -93,7 +114,8 @@ type RecoveryResult = sim.RecoveryResult
 // RecoverySimulation crashes each FTL mid-workload and measures its
 // recovery.
 func RecoverySimulation(scale ExperimentScale) ([]RecoveryResult, error) {
-	return sim.RecoverySimulation(scale)
+	rows, err := sim.RecoverySimulation(scale)
+	return rows, wrapErr(err)
 }
 
 // RecoverySweepOptions parameterizes RecoverySweep; RecoveryPoint is one of
@@ -106,7 +128,8 @@ type (
 // RecoverySweep crashes the sharded engine across channel counts, checkpoint
 // intervals and capacities, and measures parallel recovery wall-clock.
 func RecoverySweep(opts RecoverySweepOptions) ([]RecoveryPoint, error) {
-	return sim.RecoverySweep(opts)
+	rows, err := sim.RecoverySweep(opts)
+	return rows, wrapErr(err)
 }
 
 // ChannelSweepOptions parameterizes ChannelSweep; ChannelPoint is one of its
@@ -119,7 +142,8 @@ type (
 // ChannelSweep measures write throughput of the sharded engine across
 // channel counts.
 func ChannelSweep(opts ChannelSweepOptions) ([]ChannelPoint, error) {
-	return sim.ChannelSweep(opts)
+	rows, err := sim.ChannelSweep(opts)
+	return rows, wrapErr(err)
 }
 
 // LatencySweepOptions parameterizes LatencySweep; LatencyPoint is one of its
@@ -132,7 +156,8 @@ type (
 // LatencySweep measures per-write tail latency across GC modes, victim
 // policies and workloads.
 func LatencySweep(opts LatencySweepOptions) ([]LatencyPoint, error) {
-	return sim.LatencySweep(opts)
+	rows, err := sim.LatencySweep(opts)
+	return rows, wrapErr(err)
 }
 
 // TrimSweepOptions parameterizes TrimSweep; TrimPoint is one of its rows.
@@ -143,7 +168,10 @@ type (
 
 // TrimSweep measures write-amplification as the host supplies an increasing
 // fraction of trims; WA falls monotonically with the trim fraction.
-func TrimSweep(opts TrimSweepOptions) ([]TrimPoint, error) { return sim.TrimSweep(opts) }
+func TrimSweep(opts TrimSweepOptions) ([]TrimPoint, error) {
+	rows, err := sim.TrimSweep(opts)
+	return rows, wrapErr(err)
+}
 
 // WearSweepOptions parameterizes WearSweep; WearPoint is one of its rows.
 type (
@@ -154,7 +182,10 @@ type (
 // WearSweep measures write-amplification and erase-count spread across
 // frontier configurations (single vs hot/cold, wear-aware vs LIFO
 // allocation), victim policies and workloads: the endurance experiment.
-func WearSweep(opts WearSweepOptions) ([]WearPoint, error) { return sim.WearSweep(opts) }
+func WearSweep(opts WearSweepOptions) ([]WearPoint, error) {
+	rows, err := sim.WearSweep(opts)
+	return rows, wrapErr(err)
+}
 
 // EnduranceSweepOptions parameterizes EnduranceSweep; EndurancePoint is one
 // of its rows.
@@ -167,11 +198,15 @@ type (
 // budget until they die, measuring lifetime in host writes across fault
 // rates and allocation policies.
 func EnduranceSweep(opts EnduranceSweepOptions) ([]EndurancePoint, error) {
-	return sim.EnduranceSweep(opts)
+	rows, err := sim.EnduranceSweep(opts)
+	return rows, wrapErr(err)
 }
 
 // HeadlineSummary evaluates the paper's three headline claims.
 type HeadlineSummary = sim.HeadlineSummary
 
 // Headlines computes the headline-claim summary.
-func Headlines(scale ExperimentScale) (HeadlineSummary, error) { return sim.Headlines(scale) }
+func Headlines(scale ExperimentScale) (HeadlineSummary, error) {
+	rows, err := sim.Headlines(scale)
+	return rows, wrapErr(err)
+}

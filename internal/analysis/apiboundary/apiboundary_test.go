@@ -1,0 +1,15 @@
+package apiboundary_test
+
+import (
+	"testing"
+
+	"geckoftl/internal/analysis/apiboundary"
+	"geckoftl/internal/analysis/atest"
+)
+
+func TestApiboundary(t *testing.T) {
+	// cmd/tool violates the boundary; the root facade and internal packages
+	// are allowed importers.
+	atest.Run(t, "testdata", apiboundary.Analyzer,
+		"geckoftl/cmd/tool", "geckoftl", "geckoftl/internal/ftl")
+}

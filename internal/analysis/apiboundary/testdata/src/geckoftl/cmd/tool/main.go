@@ -1,0 +1,16 @@
+// Fixture stand-in for a cmd/ binary: tools live outside the boundary and
+// must reach the internals through the public geckoftl package only.
+package main
+
+import (
+	"geckoftl"
+	"geckoftl/internal/ftl" // want `geckoftl/cmd/tool imports geckoftl/internal/ftl across the API boundary`
+
+	//geckolint:ignore apiboundary transitional: migrating to the public API
+	_ "geckoftl/internal/flash"
+)
+
+func main() {
+	_ = geckoftl.Pages
+	_ = ftl.Pages
+}

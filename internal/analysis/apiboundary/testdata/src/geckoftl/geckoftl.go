@@ -1,0 +1,8 @@
+// Fixture stand-in for the module root: the public facade is the one
+// package outside internal/ allowed to import the internals.
+package geckoftl
+
+import "geckoftl/internal/ftl"
+
+// Pages re-exports an internal constant: the facade wrapping by design.
+const Pages = ftl.Pages

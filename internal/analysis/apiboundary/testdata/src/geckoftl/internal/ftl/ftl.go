@@ -1,0 +1,8 @@
+// Fixture stand-in for an internal package. Internal packages may import
+// each other freely; the boundary only seals them off from the outside.
+package ftl
+
+import _ "geckoftl/internal/flash"
+
+// Pages is an arbitrary internal symbol for the other fixtures to use.
+const Pages = 256

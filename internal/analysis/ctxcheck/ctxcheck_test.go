@@ -1,0 +1,12 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"geckoftl/internal/analysis/atest"
+	"geckoftl/internal/analysis/ctxcheck"
+)
+
+func TestCtxcheck(t *testing.T) {
+	atest.Run(t, "testdata", ctxcheck.Analyzer, "ctxcheck")
+}

@@ -1,0 +1,124 @@
+// Fixture for the ctxcheck analyzer. BadBatch reproduces the PR 5 engine
+// bug verbatim in miniature: ctx consulted once at entry, then a per-item
+// loop that drains to completion no matter what the caller cancelled.
+package ctxcheck
+
+import "context"
+
+type device struct{}
+
+func (d *device) op(lpn int64) error                         { return nil }
+func (d *device) opCtx(ctx context.Context, lpn int64) error { return ctx.Err() }
+
+// BadBatch checks ctx at entry only: the loop cannot be cancelled.
+func BadBatch(ctx context.Context, d *device, lpns []int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, lpn := range lpns { // want `never consults ctx`
+		if err := d.op(lpn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BadClassicFor is the same bug with a classic for loop.
+func BadClassicFor(ctx context.Context, d *device, n int64) error {
+	for i := int64(0); i < n; i++ { // want `never consults ctx`
+		if err := d.op(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BadClosure is the shape the PR 5 bug actually shipped in: the per-shard
+// goroutine captures ctx but its drain loop never looks at it. Both loops
+// are flagged — the outer one dispatches uncancellable work per bucket, the
+// inner one drains uncancellably per item.
+func BadClosure(ctx context.Context, d *device, buckets [][]int64) {
+	_ = ctx.Err()
+	for i := range buckets { // want `never consults ctx`
+		go func(bucket []int64) {
+			for _, lpn := range bucket { // want `never consults ctx`
+				if err := d.op(lpn); err != nil {
+					return
+				}
+			}
+		}(buckets[i])
+	}
+}
+
+// GoodPerItemCheck re-checks ctx at every operation boundary.
+func GoodPerItemCheck(ctx context.Context, d *device, lpns []int64) error {
+	for _, lpn := range lpns {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := d.op(lpn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GoodPassThrough hands ctx to the per-item operation instead.
+func GoodPassThrough(ctx context.Context, d *device, lpns []int64) error {
+	for _, lpn := range lpns {
+		if err := d.opCtx(ctx, lpn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GoodSelect drains a channel under a select on ctx.Done().
+func GoodSelect(ctx context.Context, d *device, lpns <-chan int64) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case lpn, ok := <-lpns:
+			if !ok {
+				return nil
+			}
+			if err := d.op(lpn); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// GoodShuffleOnly loops without fallible work: building the fan-out buckets
+// is not cancellable per-item work.
+func GoodShuffleOnly(ctx context.Context, lpns []int64) [][]int64 {
+	_ = ctx
+	buckets := make([][]int64, 4)
+	for _, lpn := range lpns {
+		buckets[lpn%4] = append(buckets[lpn%4], lpn)
+	}
+	return buckets
+}
+
+// GoodNoCtx takes no context; nothing to consult.
+func GoodNoCtx(d *device, lpns []int64) error {
+	for _, lpn := range lpns {
+		if err := d.op(lpn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GoodWaived documents a deliberate drain-to-completion loop.
+func GoodWaived(ctx context.Context, d *device, lpns []int64) error {
+	_ = ctx.Err()
+	//geckolint:ignore ctxcheck flush must complete once started
+	for _, lpn := range lpns {
+		if err := d.op(lpn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"geckoftl/internal/analysis/atest"
+	"geckoftl/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	atest.Run(t, "testdata", detrand.Analyzer, "detrand")
+}

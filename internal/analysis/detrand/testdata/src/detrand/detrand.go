@@ -1,0 +1,45 @@
+// Fixture for the detrand analyzer: global math/rand draws are banned in
+// non-test code; seeded *rand.Rand generators are the only sanctioned source.
+package detrand
+
+import (
+	"math/rand"
+	v2 "math/rand/v2"
+)
+
+// BadGlobalIntn draws from the shared unseeded source.
+func BadGlobalIntn(n int) int {
+	return rand.Intn(n) // want `global math/rand.Intn draws from the shared unseeded source`
+}
+
+// BadGlobalShuffle is the fault-plan shape: an unseeded shuffle cannot be
+// replayed from a seed.
+func BadGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand.Shuffle draws from the shared unseeded source`
+}
+
+// BadV2 is the same break through math/rand/v2, which removed Seed entirely.
+func BadV2(n int64) int64 {
+	return v2.Int64N(n) // want `global math/rand/v2.Int64N draws from the shared unseeded source`
+}
+
+// GoodSeeded threads a caller-seeded generator.
+func GoodSeeded(r *rand.Rand, n int) int {
+	return r.Intn(n)
+}
+
+// GoodConstructor builds a seeded generator; constructors are how one is made.
+func GoodConstructor(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// GoodV2Constructor builds a seeded v2 generator.
+func GoodV2Constructor(a, b uint64) *v2.Rand {
+	return v2.New(v2.NewPCG(a, b))
+}
+
+// GoodWaived documents a deliberate unseeded draw.
+func GoodWaived() int {
+	//geckolint:ignore detrand jitter only, never replayed
+	return rand.Int()
+}

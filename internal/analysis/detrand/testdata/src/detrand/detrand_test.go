@@ -1,0 +1,9 @@
+// Test files are exempt: tests may use the global source for throwaway
+// shuffling that never needs replaying.
+package detrand
+
+import "math/rand"
+
+func helperForTests(n int) int {
+	return rand.Intn(n)
+}

@@ -1,0 +1,14 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"geckoftl/internal/analysis/atest"
+	"geckoftl/internal/analysis/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	// "errwrap" exercises rule 1 (%w verbs); the fixture named after the real
+	// module root exercises rule 2 (the sealed public boundary).
+	atest.Run(t, "testdata", errwrap.Analyzer, "errwrap", "geckoftl")
+}

@@ -1,0 +1,47 @@
+// Fixture for errwrap rule 1: fmt.Errorf must format error operands with %w
+// so errors.Is/As keep seeing the chain.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+// BadVerbV severs the chain: errors.Is(err, errSentinel) is false.
+func BadVerbV(err error) error {
+	return fmt.Errorf("write failed: %v", err) // want `error formatted with %v loses its chain`
+}
+
+// BadVerbS is the same break through %s.
+func BadVerbS(err error) error {
+	return fmt.Errorf("read failed: %s", err) // want `error formatted with %s loses its chain`
+}
+
+// BadSecondOperand: the verb positions are tracked, not just the first.
+func BadSecondOperand(block int, err error) error {
+	return fmt.Errorf("block %d: %v", block, err) // want `error formatted with %v loses its chain`
+}
+
+// GoodWrap keeps the chain.
+func GoodWrap(err error) error {
+	return fmt.Errorf("write failed: %w", err)
+}
+
+// GoodNonError formats plain values; nothing to preserve.
+func GoodNonError(block, page int) error {
+	return fmt.Errorf("block %d page %d out of range", block, page)
+}
+
+// GoodStringized formats the message only; deliberate detachment reads as
+// err.Error(), which is a string, not an error.
+func GoodStringized(err error) error {
+	return fmt.Errorf("context only: %s", err.Error())
+}
+
+// GoodWaived documents a deliberate chain cut.
+func GoodWaived(err error) error {
+	//geckolint:ignore errwrap the cause must not be matchable downstream
+	return fmt.Errorf("redacted: %v", err)
+}

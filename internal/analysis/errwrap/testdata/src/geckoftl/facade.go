@@ -1,0 +1,46 @@
+// Fixture for errwrap rule 2: this package's path is the real module's root
+// ("geckoftl"), so its exported functions form the public API surface and
+// must classify errors from geckoftl/internal calls before returning them.
+package geckoftl
+
+import (
+	"fmt"
+
+	"geckoftl/internal/engine"
+)
+
+// BadPassThrough returns the internal error raw: internal sentinels leak
+// across the public boundary unclassified.
+func BadPassThrough(n int) error {
+	return engine.Do(n) // want `Do's error crosses the public API unwrapped`
+}
+
+// BadTuplePassThrough leaks the error half of a tuple the same way.
+func BadTuplePassThrough(n int) (int, error) {
+	return engine.Count(n) // want `Count's error crosses the public API unwrapped`
+}
+
+// GoodWrapped classifies through an explicit %w wrap.
+func GoodWrapped(n int) error {
+	if err := engine.Do(n); err != nil {
+		return fmt.Errorf("engine rejected %d: %w", n, err)
+	}
+	return nil
+}
+
+// GoodClassified routes through the package's classification helper.
+func GoodClassified(n int) error {
+	return wrapErr(engine.Do(n))
+}
+
+// unexported helpers are inside the boundary; raw internals are fine here.
+func passRaw(n int) error {
+	return engine.Do(n)
+}
+
+func wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("geckoftl: %w", err)
+}

@@ -1,0 +1,23 @@
+// Fixture stand-in for a geckoftl/internal package whose errors must not
+// cross the public boundary raw.
+package engine
+
+import "errors"
+
+var errBusy = errors.New("engine: busy")
+
+// Do fails for odd n.
+func Do(n int) error {
+	if n%2 == 1 {
+		return errBusy
+	}
+	return nil
+}
+
+// Count fails for negative n.
+func Count(n int) (int, error) {
+	if n < 0 {
+		return 0, errBusy
+	}
+	return n, nil
+}

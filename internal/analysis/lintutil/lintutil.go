@@ -1,0 +1,130 @@
+// Package lintutil holds the small helpers the geckolint analyzers share:
+// suppression comments, test-file detection and type predicates.
+package lintutil
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// IsTestFile reports whether pos lies in a _test.go file. The analyzers skip
+// test files for rules that only guard production invariants (detrand) and
+// keep them for rules whose bug class bites tests too.
+func IsTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	f := pass.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// Ignored reports whether the line holding pos, or the line directly above
+// it, carries a suppression comment of the form
+//
+//	//geckolint:ignore <name>[,<name>...] <reason>
+//
+// naming the given analyzer. Suppressions are per-line and per-analyzer so a
+// waiver cannot silently widen.
+func Ignored(pass *analysis.Pass, pos token.Pos, name string) bool {
+	tf := pass.Fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	line := tf.Line(pos)
+	for _, f := range pass.Files {
+		if pass.Fset.File(f.Pos()) != tf {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//geckolint:ignore")
+				if !ok {
+					continue
+				}
+				cline := tf.Line(c.Pos())
+				if cline != line && cline != line-1 {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				for _, n := range strings.Split(fields[0], ",") {
+					if n == name {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Report files a diagnostic unless a //geckolint:ignore comment waives it.
+func Report(pass *analysis.Pass, name string, rng analysis.Range, format string, args ...interface{}) {
+	if Ignored(pass, rng.Pos(), name) {
+		return
+	}
+	pass.Report(analysis.Diagnostic{
+		Pos:     rng.Pos(),
+		End:     rng.End(),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// IsErrorType reports whether t implements the built-in error interface.
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorInterface) ||
+		types.Implements(types.NewPointer(t), errorInterface)
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// CalleeFunc resolves the called *types.Func of a call expression, or nil
+// for calls through function-typed variables, built-ins and conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// ObjectOf returns the object an identifier expression resolves to, seeing
+// through parentheses. It returns nil for non-identifier expressions.
+func ObjectOf(info *types.Info, expr ast.Expr) types.Object {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// UsesObject reports whether any identifier under root resolves to obj.
+func UsesObject(info *types.Info, root ast.Node, obj types.Object) bool {
+	if obj == nil || root == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

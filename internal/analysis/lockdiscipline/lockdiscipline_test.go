@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"geckoftl/internal/analysis/atest"
+	"geckoftl/internal/analysis/lockdiscipline"
+)
+
+func TestLockdiscipline(t *testing.T) {
+	atest.Run(t, "testdata", lockdiscipline.Analyzer, "lockdiscipline")
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"geckoftl/internal/analysis/atest"
+	"geckoftl/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	atest.Run(t, "testdata", maporder.Analyzer, "maporder")
+}

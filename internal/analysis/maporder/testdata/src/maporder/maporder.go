@@ -1,0 +1,94 @@
+// Fixture for the maporder analyzer. BadVictim reproduces the PR 5
+// victim-selection bug in miniature: a greedy argmin over a map of
+// candidates whose winner flips between runs whenever valid-page counts tie.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BadVictim is the PR 5 bug class: argmin over map iteration, ties resolved
+// by whichever key the runtime yields first.
+func BadVictim(validPages map[int]int) int {
+	victim, best := -1, int(^uint(0)>>1)
+	for block, valid := range validPages {
+		if valid < best { // want `min/max selection of victim over map iteration is nondeterministic`
+			victim, best = block, valid
+		}
+	}
+	return victim
+}
+
+// BadCollect appends in map-iteration order and returns the slice unsorted.
+func BadCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `keys is appended to in map-iteration order and never sorted`
+	}
+	return keys
+}
+
+// BadPrint emits one line per entry in randomized order.
+func BadPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt.Printf inside a map range emits output in randomized map order`
+	}
+}
+
+// GoodSortedAfter collects then pins a total order before returning.
+func GoodSortedAfter(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodValueMax assigns exactly the compared value: ties assign equal values,
+// so the result is order-independent.
+func GoodValueMax(counts map[string]int) int {
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// GoodCounting aggregates order-independently.
+func GoodCounting(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// GoodLoopLocal appends to a loop-local scratch slice whose order dies with
+// the iteration.
+func GoodLoopLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var evens []int
+		for _, v := range vs {
+			if v%2 == 0 {
+				evens = append(evens, v)
+			}
+		}
+		total += len(evens)
+	}
+	return total
+}
+
+// GoodWaived documents a deliberately unordered collection.
+func GoodWaived(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//geckolint:ignore maporder consumer treats this as a set
+		keys = append(keys, k)
+	}
+	return keys
+}

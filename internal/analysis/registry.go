@@ -1,0 +1,29 @@
+// Package analysis assembles geckolint: the repo-specific analyzer suite
+// that turns this project's hard-won invariants — deterministic replay,
+// honest cancellation, a sealed error taxonomy, copy-safe locking — into
+// build breaks. Each analyzer is grounded in a bug class a past PR actually
+// shipped; docs/analysis.md catalogues the mapping.
+package analysis
+
+import (
+	goanalysis "golang.org/x/tools/go/analysis"
+
+	"geckoftl/internal/analysis/apiboundary"
+	"geckoftl/internal/analysis/ctxcheck"
+	"geckoftl/internal/analysis/detrand"
+	"geckoftl/internal/analysis/errwrap"
+	"geckoftl/internal/analysis/lockdiscipline"
+	"geckoftl/internal/analysis/maporder"
+)
+
+// All returns the full geckolint suite in a stable order.
+func All() []*goanalysis.Analyzer {
+	return []*goanalysis.Analyzer{
+		apiboundary.Analyzer,
+		ctxcheck.Analyzer,
+		detrand.Analyzer,
+		errwrap.Analyzer,
+		lockdiscipline.Analyzer,
+		maporder.Analyzer,
+	}
+}

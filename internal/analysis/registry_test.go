@@ -1,0 +1,49 @@
+package analysis_test
+
+import (
+	"testing"
+
+	goanalysis "golang.org/x/tools/go/analysis"
+
+	"geckoftl/internal/analysis"
+)
+
+// TestSuiteValid checks the suite against the framework's own validator:
+// names, docs, and the Requires graph must satisfy the go vet contract.
+func TestSuiteValid(t *testing.T) {
+	all := analysis.All()
+	if len(all) != 6 {
+		t.Fatalf("suite has %d analyzers, want 6", len(all))
+	}
+	if err := goanalysis.Validate(all); err != nil {
+		t.Fatalf("invalid suite: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, name := range []string{"ctxcheck", "maporder", "errwrap", "lockdiscipline", "detrand", "apiboundary"} {
+		if !seen[name] {
+			t.Errorf("suite is missing analyzer %q", name)
+		}
+	}
+}
+
+// TestStableOrder pins the registration order: go vet caches on the tool's
+// -V fingerprint plus flags, and a stable order keeps diagnostics grouped
+// consistently in CI logs.
+func TestStableOrder(t *testing.T) {
+	var got []string
+	for _, a := range analysis.All() {
+		got = append(got, a.Name)
+	}
+	want := []string{"apiboundary", "ctxcheck", "detrand", "errwrap", "lockdiscipline", "maporder"}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("analyzer order = %v, want %v", got, want)
+		}
+	}
+}

@@ -120,6 +120,12 @@ func (g *Gecko) RecoverDirectories() error {
 		}
 		candidates = append(candidates, candidate{id: id, createSeq: metas[0].writeSeq, pages: metas})
 	}
+	// candidates was assembled in map-iteration order; pin a total order so
+	// step 3's strict > comparison resolves createSeq ties to the lowest run
+	// ID on every recovery, not to whichever run the map yielded first.
+	// Recovery must replay identically or post-crash GC diverges between
+	// runs of the same crash image.
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].id < candidates[j].id })
 
 	// Step 3: newest complete run per level.
 	newestPerLevel := make(map[int]candidate)

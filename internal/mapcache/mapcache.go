@@ -3,6 +3,7 @@ package mapcache
 import (
 	"container/list"
 	"fmt"
+	"sort"
 
 	"geckoftl/internal/flash"
 )
@@ -246,9 +247,10 @@ func (c *Cache) Update(lpn flash.LPN, fn func(*Entry)) bool {
 }
 
 // EntriesOnTranslationPage returns the cached entries whose logical pages
-// belong to the given translation page, in ascending logical order is NOT
-// guaranteed; callers that need order must sort. This is the range query used
-// by synchronization operations.
+// belong to the given translation page, in ascending logical order. This is
+// the range query used by synchronization operations; the pinned order
+// means the entries a synchronization writes back — durable flash state —
+// do not depend on map iteration order.
 func (c *Cache) EntriesOnTranslationPage(tp int) []Entry {
 	set, ok := c.byTP[tp]
 	if !ok {
@@ -260,6 +262,7 @@ func (c *Cache) EntriesOnTranslationPage(tp int) []Entry {
 			out = append(out, el.Value.(*element).entry)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Logical < out[j].Logical })
 	return out
 }
 

@@ -1,6 +1,10 @@
 package pvl
 
-import "geckoftl/internal/flash"
+import (
+	"sort"
+
+	"geckoftl/internal/flash"
+)
 
 // IsLive reports whether the given flash page currently holds one of the
 // log's live pages. The FTL's garbage-collector uses it when a greedy
@@ -26,12 +30,15 @@ func (l *Log) Relocate(old, new flash.PPN) bool {
 	return false
 }
 
-// LivePages returns the physical addresses of every live log page. Recovery
-// uses it to rebuild per-block valid-page counts.
+// LivePages returns the physical addresses of every live log page in
+// ascending order. Recovery uses it to rebuild per-block valid-page counts;
+// the pinned order keeps the rebuild's IO schedule identical across
+// recoveries of the same crash image.
 func (l *Log) LivePages() []flash.PPN {
 	out := make([]flash.PPN, 0, len(l.pageOf))
 	for _, loc := range l.pageOf {
 		out = append(out, loc)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -45,11 +45,17 @@ const (
 const DefaultGCPagesPerWrite = ftl.DefaultGCPagesPerWrite
 
 // ParseGCMode maps "inline" or "incremental" to the GCMode; anything else is
-// an error. Command-line tools route their flags through it.
-func ParseGCMode(s string) (GCMode, error) { return ftl.ParseGCMode(s) }
+// an ErrInvalidConfig error. Command-line tools route their flags through it.
+func ParseGCMode(s string) (GCMode, error) {
+	m, err := ftl.ParseGCMode(s)
+	return m, configErr(err)
+}
 
 // ParseVictimPolicy maps "greedy" or "metadata-aware" to the VictimPolicy.
-func ParseVictimPolicy(s string) (VictimPolicy, error) { return ftl.ParseVictimPolicy(s) }
+func ParseVictimPolicy(s string) (VictimPolicy, error) {
+	p, err := ftl.ParseVictimPolicy(s)
+	return p, configErr(err)
+}
 
 // GeckoFTLOptions returns the paper's GeckoFTL configuration with the given
 // mapping-cache capacity.

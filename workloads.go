@@ -30,45 +30,53 @@ const (
 // ""), "sequential", "zipfian" (skew 1.2) or "hotcold" (20% of pages take
 // 80% of writes).
 func WorkloadByName(name string, logicalPages int64, seed int64) (Workload, error) {
-	return workload.ByName(name, logicalPages, seed)
+	w, err := workload.ByName(name, logicalPages, seed)
+	return w, configErr(err)
 }
 
 // NewUniform creates a uniformly random update workload.
 func NewUniform(logicalPages, seed int64) (Workload, error) {
-	return workload.NewUniform(logicalPages, seed)
+	w, err := workload.NewUniform(logicalPages, seed)
+	return w, configErr(err)
 }
 
 // NewSequential creates a wrapping sequential update workload.
 func NewSequential(logicalPages int64) (Workload, error) {
-	return workload.NewSequential(logicalPages)
+	w, err := workload.NewSequential(logicalPages)
+	return w, configErr(err)
 }
 
 // NewZipfian creates a Zipf-skewed update workload (skew > 1).
 func NewZipfian(logicalPages int64, skew float64, seed int64) (Workload, error) {
-	return workload.NewZipfian(logicalPages, skew, seed)
+	w, err := workload.NewZipfian(logicalPages, skew, seed)
+	return w, configErr(err)
 }
 
 // NewHotCold creates a workload where hotFraction of the pages receive
 // hotProbability of the writes.
 func NewHotCold(logicalPages int64, hotFraction, hotProbability float64, seed int64) (Workload, error) {
-	return workload.NewHotCold(logicalPages, hotFraction, hotProbability, seed)
+	w, err := workload.NewHotCold(logicalPages, hotFraction, hotProbability, seed)
+	return w, configErr(err)
 }
 
 // NewMixed wraps a write workload and interleaves uniform point reads at the
 // given ratio (0 <= readRatio < 1).
 func NewMixed(writes Workload, logicalPages int64, readRatio float64, seed int64) (Workload, error) {
-	return workload.NewMixed(writes, logicalPages, readRatio, seed)
+	w, err := workload.NewMixed(writes, logicalPages, readRatio, seed)
+	return w, configErr(err)
 }
 
 // NewTrimming wraps a write workload and interleaves host trims at the given
 // fraction (0 <= trimFraction < 1), drawing trim targets uniformly.
 func NewTrimming(writes Workload, logicalPages int64, trimFraction float64, seed int64) (Workload, error) {
-	return workload.NewTrimming(writes, logicalPages, trimFraction, seed)
+	w, err := workload.NewTrimming(writes, logicalPages, trimFraction, seed)
+	return w, configErr(err)
 }
 
 // ParseTrace reads a trace in the textual "R <page>" / "W <page>" format.
 func ParseTrace(name string, r io.Reader) (Workload, error) {
-	return workload.ParseTrace(name, r)
+	w, err := workload.ParseTrace(name, r)
+	return w, configErr(err)
 }
 
 // TakeBatch draws the next n operations from a workload.
