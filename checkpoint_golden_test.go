@@ -1,0 +1,104 @@
+package geckoftl_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"geckoftl"
+	"geckoftl/internal/checkpoint"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden checkpoint files")
+
+// goldenCheckpointBytes produces the canonical deterministic checkpoint: a
+// fixed single-channel device under a fixed seeded workload, cleanly
+// closed. Single-channel matters: with multiple shards the device-global
+// write sequence is assigned in goroutine-interleaving order, so only a
+// one-shard device checkpoints to reproducible bytes across runs and hosts.
+func goldenCheckpointBytes(t *testing.T) []byte {
+	t.Helper()
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "dev.ckpt")
+	dev := open(t,
+		geckoftl.WithCacheEntries(512),
+		geckoftl.WithCheckpointPath(path),
+	)
+	fillRandom(t, dev, 20160626) // SIGMOD '16 program week
+	if err := dev.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCheckpointGoldenV1 pins the version-1 on-disk format byte for byte
+// against a committed golden file. A mismatch means the encoding changed: if
+// intentional, bump checkpoint.Version so old files fall back cleanly, and
+// regenerate with `go test -run TestCheckpointGoldenV1 -update ./...`.
+func TestCheckpointGoldenV1(t *testing.T) {
+	data := goldenCheckpointBytes(t)
+	golden := filepath.Join("testdata", "checkpoint_v1.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("checkpoint bytes diverge from the committed v1 golden (%d bytes now, %d committed): format or determinism regression", len(data), len(want))
+	}
+	f, err := checkpoint.Decode(want)
+	if err != nil {
+		t.Fatalf("committed golden no longer decodes: %v", err)
+	}
+	if f.Version != 1 {
+		t.Fatalf("golden decodes as version %d, want 1", f.Version)
+	}
+}
+
+// TestCheckpointFutureVersionFallsBack pins forward compatibility: a
+// checkpoint stamped with an unknown future format version — everything
+// else intact — must be rejected at Open and fall back to a cold start, so
+// downgrading a deployment never loads state it cannot parse.
+func TestCheckpointFutureVersionFallsBack(t *testing.T) {
+	ctx := context.Background()
+	data := goldenCheckpointBytes(t)
+	// The version word sits after the 8-byte magic; it is outside any
+	// section checksum, so the bump alone makes a well-formed future file.
+	binary.LittleEndian.PutUint32(data[8:], 999)
+	if _, err := checkpoint.Decode(data); !errors.Is(err, checkpoint.ErrInvalid) {
+		t.Fatalf("future version decoded: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "dev.ckpt")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dev := ckptOpen(t, path)
+	defer dev.Close(ctx)
+	load := dev.CheckpointLoad()
+	if !load.Attempted || load.Loaded || !errors.Is(load.Err, geckoftl.ErrCheckpointInvalid) {
+		t.Fatalf("CheckpointLoad = %+v, want a classified rejection", load)
+	}
+	if err := dev.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	fillRandom(t, dev, 1)
+	if err := dev.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,9 +17,9 @@
 //
 // Experiments: fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec,
 // fig13wa, fig14, recovery, recovery-sweep, channels, latency, trim, wear,
-// endurance, summary, all.
+// endurance, restart, summary, all.
 //
-// Six experiments go beyond the paper: channels sweeps the device's
+// Seven experiments go beyond the paper: channels sweeps the device's
 // channel count and reports how the sharded engine's write throughput
 // scales; recovery-sweep (also run by -experiment recovery) crashes the
 // sharded engine and measures how recovery wall-clock scales with channel
@@ -31,9 +31,11 @@
 // monotonically; wear compares the single user write frontier against
 // hot/cold-separated frontiers with wear-aware block allocation, reporting
 // write-amplification and erase-count spread per victim policy and workload;
-// and endurance drives fault-injected devices with a finite per-block erase
+// endurance drives fault-injected devices with a finite per-block erase
 // budget until capacity exhaustion, reporting lifetime in host writes per
-// fault rate and allocation policy (see docs/benchmarks.md).
+// fault rate and allocation policy; and restart compares warm restarts from
+// the shutdown metadata checkpoint against cold GeckoRec recovery of the
+// identical state across device capacities (see docs/benchmarks.md).
 //
 // With -json, each experiment emits one JSON object per line of the form
 // {"experiment": name, "rows": [...]}, so benchmark trajectories can be
@@ -54,7 +56,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec, fig13wa, fig14, recovery, recovery-sweep, channels, latency, trim, wear, endurance, summary, all)")
+		experiment = flag.String("experiment", "all", "experiment to run (fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec, fig13wa, fig14, recovery, recovery-sweep, channels, latency, trim, wear, endurance, restart, summary, all)")
 		writes     = flag.Int64("writes", 0, "measured logical writes per simulation (0 = default)")
 		blocks     = flag.Int("blocks", 0, "simulated device blocks (0 = default)")
 		quick      = flag.Bool("quick", false, "use the small test-sized scale")
@@ -176,6 +178,7 @@ func experiments() []experimentSpec {
 		{name: "trim", rows: trimSweepRows, print: printTrimSweep},
 		{name: "wear", rows: wearSweepRows, print: printWearSweep},
 		{name: "endurance", rows: enduranceSweepRows, print: printEnduranceSweep},
+		{name: "restart", rows: restartSweepRows, print: printRestartSweep},
 		{name: "summary", rows: summaryRows, print: printSummary},
 	}
 }
@@ -445,6 +448,22 @@ func printEnduranceSweep(rows any) {
 		fmt.Printf("%-9s %-11s %6.2f %7d %10d %7v %6d %9d %7d\n",
 			p.Workload, p.Policy, p.FaultRate, p.MaxEraseCount, p.Lifetime, p.Capped,
 			p.BadBlocks, p.ProgramRetries, p.EraseSpread)
+	}
+}
+
+func restartSweepRows(scale geckoftl.ExperimentScale) (any, error) {
+	return geckoftl.RestartSweep(geckoftl.RestartSweepOptions{Scale: scale})
+}
+
+func printRestartSweep(rows any) {
+	fmt.Println("Restart sweep: warm restart from the shutdown checkpoint vs cold GeckoRec recovery of identical state")
+	fmt.Printf("%-9s %7s %7s %7s %10s %10s %10s %8s %11s %11s\n",
+		"channels", "shards", "blocks", "cache", "ckpt", "warm", "cold", "speedup", "model-warm", "model-cold")
+	for _, p := range rows.([]geckoftl.RestartPoint) {
+		fmt.Printf("%-9d %7d %7d %7d %10s %10s %10s %7.2fx %11s %11s\n",
+			p.Channels, p.Shards, p.Blocks, p.CacheEntries,
+			formatBytes(p.CheckpointBytes), fmtDur(p.WarmWallClock), fmtDur(p.ColdWallClock),
+			p.Speedup, fmtDur(p.ModelWarm), fmtDur(p.ModelCold))
 	}
 }
 

@@ -47,6 +47,30 @@ func TestVictimPolicyFlagRoundTrip(t *testing.T) {
 	}
 }
 
+// TestKnownExperimentNames pins that every spec registered in experiments()
+// is reachable through -experiment, including by its group selector, and
+// that the restart experiment is registered.
+func TestKnownExperimentNames(t *testing.T) {
+	found := false
+	for _, e := range experiments() {
+		if !knownExperiment(e.name) {
+			t.Errorf("experiment %q not selectable by name", e.name)
+		}
+		if e.group != "" && !knownExperiment(e.group) {
+			t.Errorf("group %q of experiment %q not selectable", e.group, e.name)
+		}
+		if e.name == "restart" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("restart experiment not registered")
+	}
+	if knownExperiment("bogus") {
+		t.Error("knownExperiment accepted bogus")
+	}
+}
+
 // TestParseSweep covers the pre-existing channel-list parser alongside the
 // new flag parsers.
 func TestParseSweep(t *testing.T) {

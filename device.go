@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"geckoftl/internal/checkpoint"
 	"geckoftl/internal/flash"
 	"geckoftl/internal/ftl"
+	"geckoftl/internal/model"
 )
 
 // LPN is a logical page number: the host-visible block-device address space
@@ -37,6 +40,17 @@ type Device struct {
 	baseMu       sync.Mutex
 	baseCounters flash.Counters
 	baseStats    ftl.Stats
+
+	// checkpointPath, when set by WithCheckpointPath, is where Close/Flush
+	// persist the metadata checkpoint and where Open/Restart load it from.
+	checkpointPath string
+
+	// ckptMu guards the checkpoint bookkeeping below.
+	ckptMu sync.Mutex
+	// ckptLoad is the outcome of the most recent checkpoint load attempt.
+	ckptLoad CheckpointLoad
+	// ckptBytes is the size of the most recently written checkpoint.
+	ckptBytes int64
 }
 
 // Open builds a device from functional options: geometry, topology, FTL
@@ -69,7 +83,108 @@ func Open(opts ...Option) (*Device, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
 	}
-	return &Device{eng: eng, dev: dev}, nil
+	d := &Device{eng: eng, dev: dev, checkpointPath: cfg.checkpointPath}
+	if d.checkpointPath != "" {
+		if err := d.loadCheckpointAtOpen(); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// loadCheckpointAtOpen attempts to start warm from the configured
+// checkpoint file. A missing file is an ordinary cold start; a found
+// checkpoint that fails any validation — magic, version, checksums, or the
+// stale-sequence check against device truth (a freshly opened simulated
+// device is blank, so any checkpoint describing written flash is stale) —
+// is recorded in CheckpointLoad and the device proceeds cold, never
+// half-loaded. Only an internal failure of the fallback itself is an error.
+func (d *Device) loadCheckpointAtOpen() error {
+	file, bytes, err := checkpoint.ReadFile(d.checkpointPath)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		d.setCheckpointLoad(CheckpointLoad{Attempted: true, Err: checkpointErr(err)})
+		return nil
+	}
+	// Validate read-only first: a checkpoint that does not match this
+	// device falls back cold without any state having been touched.
+	if err := d.eng.ValidateCheckpoint(file); err != nil {
+		d.setCheckpointLoad(CheckpointLoad{Attempted: true, Bytes: bytes, Err: checkpointErr(err)})
+		return nil
+	}
+	// The checkpoint matches device truth: import it through the restart
+	// path (drop RAM state, restore from the file).
+	if err := d.eng.PowerFail(); err != nil {
+		return wrapErr(err)
+	}
+	if err := d.eng.RestoreCheckpoint(file); err != nil {
+		d.setCheckpointLoad(CheckpointLoad{Attempted: true, Bytes: bytes, Err: checkpointErr(err)})
+		if _, rerr := d.eng.Recover(); rerr != nil {
+			return wrapErr(rerr)
+		}
+		return nil
+	}
+	d.setCheckpointLoad(CheckpointLoad{Attempted: true, Loaded: true, Bytes: bytes})
+	return nil
+}
+
+// CheckpointLoad describes the outcome of the most recent attempt to load a
+// metadata checkpoint, at Open or during Restart.
+type CheckpointLoad struct {
+	// Attempted reports that a checkpoint was found and considered.
+	Attempted bool
+	// Loaded reports that the checkpoint passed every validation and the
+	// device started warm from it.
+	Loaded bool
+	// Bytes is the checkpoint's encoded size.
+	Bytes int64
+	// Err is the reason a considered checkpoint was rejected, classified
+	// under ErrCheckpointInvalid; nil when Loaded or when nothing was found.
+	Err error
+}
+
+// CheckpointLoad returns the outcome of the most recent checkpoint load
+// attempt. The zero value means no checkpoint was found or configured.
+func (d *Device) CheckpointLoad() CheckpointLoad {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	return d.ckptLoad
+}
+
+// setCheckpointLoad records a checkpoint load outcome.
+func (d *Device) setCheckpointLoad(l CheckpointLoad) {
+	d.ckptMu.Lock()
+	d.ckptLoad = l
+	d.ckptMu.Unlock()
+}
+
+// writeCheckpoint exports and persists the metadata checkpoint; Close and
+// Flush call it after a successful flush. Configurations that cannot be
+// checkpointed (non-Gecko schemes, battery devices) skip silently, as does
+// a power failure racing the export — Close tolerates exactly that race on
+// the flush itself.
+func (d *Device) writeCheckpoint() error {
+	if d.checkpointPath == "" {
+		return nil
+	}
+	file, err := d.eng.ExportCheckpoint()
+	switch {
+	case err == nil:
+	case errors.Is(err, ftl.ErrCheckpointUnsupported), errors.Is(err, flash.ErrPowerFailed):
+		return nil
+	default:
+		return wrapErr(err)
+	}
+	n, err := checkpoint.WriteFile(d.checkpointPath, file)
+	if err != nil {
+		return err
+	}
+	d.ckptMu.Lock()
+	d.ckptBytes = n
+	d.ckptMu.Unlock()
+	return nil
 }
 
 // guard rejects operations on closed devices and honours the context.
@@ -189,12 +304,16 @@ func (d *Device) TrimBatch(ctx context.Context, lpns []LPN) error {
 
 // Flush forces all dirty state — mapping entries, page-validity buffers — to
 // flash, making every completed write and trim durable against power
-// failure.
+// failure. With WithCheckpointPath configured it also persists a fresh
+// metadata checkpoint, so a later Open of the same path starts warm.
 func (d *Device) Flush(ctx context.Context) error {
 	if err := d.guard(ctx); err != nil {
 		return err
 	}
-	return wrapErr(d.eng.Flush())
+	if err := d.eng.Flush(); err != nil {
+		return wrapErr(err)
+	}
+	return d.writeCheckpoint()
 }
 
 // Mapped reports whether a logical page currently holds host data: false
@@ -210,7 +329,10 @@ func (d *Device) Mapped(lpn LPN) (bool, error) {
 
 // Close flushes dirty state and marks the device closed; subsequent
 // operations return ErrClosed. Closing a power-failed device skips the flush
-// (there is no power to flush with) and still closes.
+// (there is no power to flush with) and still closes. With
+// WithCheckpointPath configured, a clean Close writes the shutdown
+// checkpoint after the flush; a power-failed Close writes nothing, so the
+// path holds at most the previous (still atomic, still loadable) checkpoint.
 func (d *Device) Close(ctx context.Context) error {
 	// Honour the context before latching the closed state: a cancelled
 	// Close must stay retryable, or the promised final flush could never
@@ -229,7 +351,7 @@ func (d *Device) Close(ctx context.Context) error {
 		}
 		return wrapErr(err)
 	}
-	return nil
+	return d.writeCheckpoint()
 }
 
 // PowerFail simulates a power failure. Without a battery the rail is cut
@@ -348,6 +470,104 @@ func (d *Device) Recover(ctx context.Context) (*RecoveryReport, error) {
 		})
 	}
 	return out, nil
+}
+
+// RestartReport describes a completed Restart: whether the device came back
+// warm from its shutdown checkpoint, and what the restart cost.
+type RestartReport struct {
+	// Warm reports that the restart restored all FTL metadata from the
+	// shutdown checkpoint instead of running GeckoRec.
+	Warm bool
+	// CheckpointBytes is the encoded size of the shutdown checkpoint, zero
+	// when checkpointing is unsupported for this configuration.
+	CheckpointBytes int64
+	// WallClock is the restart's cost: for a warm restart, the modeled host
+	// time to read and apply the checkpoint (model.WarmRestart); for a cold
+	// fallback, the simulated GeckoRec recovery wall-clock.
+	WallClock time.Duration
+	// Fallback is the classified reason the warm path was not taken
+	// (errors.Is ErrCheckpointInvalid); nil when Warm.
+	Fallback error
+	// Recovery is the cold fallback's recovery report; nil when Warm.
+	Recovery *RecoveryReport
+}
+
+// Restart simulates a clean shutdown and reboot on the same device: flush,
+// write the shutdown checkpoint, drop all RAM state, and come back up. With
+// a valid checkpoint the restart is warm — every piece of FTL metadata is
+// restored from the checkpoint at host-read speed, with zero flash IO. If
+// the checkpoint cannot be taken (ErrCheckpointUnsupported configurations),
+// written, or loaded, Restart falls back to GeckoRec cold recovery and
+// reports why in RestartReport.Fallback; a bad checkpoint is never an
+// error. Like Recover, a completed Restart starts a fresh measurement
+// window. Restarting a power-failed device fails with ErrPowerFailed — use
+// Recover for crashes; Restart models the orderly reboot.
+func (d *Device) Restart(ctx context.Context) (*RestartReport, error) {
+	if err := d.guard(ctx); err != nil {
+		return nil, err
+	}
+	if err := d.eng.Flush(); err != nil {
+		return nil, wrapErr(err)
+	}
+	var (
+		file     *checkpoint.File
+		bytes    int64
+		fallback error
+	)
+	file, err := d.eng.ExportCheckpoint()
+	switch {
+	case err == nil:
+		bytes = int64(len(checkpoint.Encode(file)))
+	case errors.Is(err, ftl.ErrCheckpointUnsupported):
+		file, fallback = nil, checkpointErr(err)
+	default:
+		return nil, wrapErr(err)
+	}
+	if file != nil && d.checkpointPath != "" {
+		// Persist the shutdown checkpoint and reload it through the real
+		// file path, so the restart exercises the same bytes a later Open
+		// would see.
+		if _, err := checkpoint.WriteFile(d.checkpointPath, file); err != nil {
+			return nil, err
+		}
+		d.ckptMu.Lock()
+		d.ckptBytes = bytes
+		d.ckptMu.Unlock()
+		if f, n, err := checkpoint.ReadFile(d.checkpointPath); err != nil {
+			file, fallback = nil, checkpointErr(err)
+		} else {
+			file, bytes = f, n
+		}
+	}
+	// The reboot: the rail drops and every RAM structure is lost.
+	if err := d.eng.PowerFail(); err != nil {
+		return nil, wrapErr(err)
+	}
+	if file != nil {
+		if err := d.eng.RestoreCheckpoint(file); err != nil {
+			file, fallback = nil, checkpointErr(err)
+		}
+	}
+	if file != nil {
+		d.setCheckpointLoad(CheckpointLoad{Attempted: true, Loaded: true, Bytes: bytes})
+		d.ResetStats()
+		return &RestartReport{
+			Warm:            true,
+			CheckpointBytes: bytes,
+			WallClock:       model.WarmRestart(bytes).WallClock,
+		}, nil
+	}
+	rep, err := d.Recover(ctx)
+	if err != nil {
+		return nil, err
+	}
+	d.setCheckpointLoad(CheckpointLoad{Attempted: bytes > 0, Bytes: bytes, Err: fallback})
+	return &RestartReport{
+		CheckpointBytes: bytes,
+		WallClock:       rep.WallClock,
+		Fallback:        fallback,
+		Recovery:        rep,
+	}, nil
 }
 
 // CheckConsistency audits every shard's translation map against the flash

@@ -35,7 +35,26 @@ var (
 	// data loss; configure WithScrubReadThreshold below the limit to prevent
 	// it.
 	ErrReadDecayed = errors.New("geckoftl: page payload decayed before scrub")
+	// ErrCheckpointInvalid classifies a rejected metadata checkpoint: bad
+	// magic, version skew, truncation, a checksum mismatch, or a stale
+	// content sequence versus device truth. It is never returned by Open or
+	// Restart — a rejected checkpoint falls back to a cold start / GeckoRec
+	// — but is inspectable via CheckpointLoad.Err and RestartReport.Fallback
+	// under errors.Is.
+	ErrCheckpointInvalid = errors.New("geckoftl: checkpoint file is invalid")
 )
+
+// checkpointErr classifies a checkpoint load failure under
+// ErrCheckpointInvalid, keeping the internal chain inspectable.
+func checkpointErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrCheckpointInvalid) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrCheckpointInvalid, err)
+}
 
 // configErr classifies a parameter-validation error from an internal
 // constructor or parser under ErrInvalidConfig. The raw internal error stays
@@ -58,7 +77,7 @@ func wrapErr(err error) error {
 		return nil
 	case errors.Is(err, ErrClosed), errors.Is(err, ErrPowerFailed),
 		errors.Is(err, ErrOutOfRange), errors.Is(err, ErrInvalidConfig),
-		errors.Is(err, ErrReadDecayed):
+		errors.Is(err, ErrReadDecayed), errors.Is(err, ErrCheckpointInvalid):
 		return err
 	case errors.Is(err, flash.ErrPowerFailed):
 		return fmt.Errorf("%w: %w", ErrPowerFailed, err)

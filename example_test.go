@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"geckoftl"
 )
@@ -68,6 +70,50 @@ func ExampleDevice_Trim() {
 	// Output:
 	// mapped after trim: false
 	// read after trim: <nil>
+}
+
+// ExampleDevice_warmRestart reboots a device cleanly through its metadata
+// checkpoint: Restart flushes, writes the checkpoint to the configured path,
+// drops all RAM state, and restores it warm — no GeckoRec flash scan.
+func ExampleDevice_warmRestart() {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "geckoftl-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	dev, err := geckoftl.Open(
+		geckoftl.WithChannels(2, 1),
+		geckoftl.WithCacheEntries(512),
+		geckoftl.WithCheckpointPath(filepath.Join(dir, "dev.ckpt")),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dev.Close(ctx)
+
+	for lpn := geckoftl.LPN(0); lpn < 500; lpn++ {
+		if err := dev.Write(ctx, lpn); err != nil {
+			log.Fatal(err)
+		}
+	}
+	report, err := dev.Restart(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("warm: %v, checkpointed: %v\n", report.Warm, report.CheckpointBytes > 0)
+
+	mapped, err := dev.Mapped(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("page 42 survives the reboot: %v\n", mapped)
+	fmt.Printf("consistency: %v\n", dev.CheckConsistency())
+	// Output:
+	// warm: true, checkpointed: true
+	// page 42 survives the reboot: true
+	// consistency: <nil>
 }
 
 // ExampleDevice_Recover crashes a device mid-workload and recovers it; the

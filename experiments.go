@@ -187,6 +187,22 @@ func WearSweep(opts WearSweepOptions) ([]WearPoint, error) {
 	return rows, wrapErr(err)
 }
 
+// RestartSweepOptions parameterizes RestartSweep; RestartPoint is one of its
+// rows.
+type (
+	RestartSweepOptions = sim.RestartSweepOptions
+	RestartPoint        = sim.RestartPoint
+)
+
+// RestartSweep compares warm restarts (restore all FTL metadata from the
+// shutdown checkpoint) against cold GeckoRec recovery of the identical
+// state, across device capacities, in both measurement and the analytic
+// model.
+func RestartSweep(opts RestartSweepOptions) ([]RestartPoint, error) {
+	rows, err := sim.RestartSweep(opts)
+	return rows, wrapErr(err)
+}
+
 // EnduranceSweepOptions parameterizes EnduranceSweep; EndurancePoint is one
 // of its rows.
 type (

@@ -1,0 +1,180 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Version is the current on-disk format version. Decoders reject any other
+// value: an unknown future version is indistinguishable from garbage to an
+// old decoder, and the correct response to both is a cold start.
+const Version = 1
+
+// magic identifies a checkpoint file. Exactly 8 bytes.
+const magic = "GFTLCKPT"
+
+const (
+	// headerSize is the fixed prefix before the first section: magic plus
+	// the version word.
+	headerSize = len(magic) + 4
+	// sectionOverhead is the framing cost of one section: id, length and
+	// checksum words. Also the minimum encoded size of a section, which
+	// bounds how many sections a decoder may need to allocate for.
+	sectionOverhead = 12
+)
+
+// ErrInvalid reports that a byte stream is not a loadable checkpoint: bad
+// magic, version skew, truncation, checksum mismatch, or framing damage.
+var ErrInvalid = errors.New("checkpoint: invalid checkpoint")
+
+// castagnoli is the CRC-32C table used for section checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Section is one length-prefixed, individually checksummed unit of a
+// checkpoint. The container does not interpret IDs or payloads.
+type Section struct {
+	ID      uint32
+	Payload []byte
+}
+
+// File is a decoded checkpoint: a format version plus its sections in file
+// order. Section order is part of the format — producers write a fixed
+// order and consumers are entitled to rely on it.
+type File struct {
+	Version  uint32
+	Sections []Section
+}
+
+// Encode serializes a checkpoint into the on-disk byte format.
+func Encode(f *File) []byte {
+	size := headerSize
+	for _, s := range f.Sections {
+		size += sectionOverhead + len(s.Payload)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, f.Version)
+	for _, s := range f.Sections {
+		start := len(buf)
+		buf = binary.LittleEndian.AppendUint32(buf, s.ID)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Payload)))
+		buf = append(buf, s.Payload...)
+		sum := crc32.Checksum(buf[start:], castagnoli)
+		buf = binary.LittleEndian.AppendUint32(buf, sum)
+	}
+	return buf
+}
+
+// Decode parses and validates the on-disk byte format. Payload slices alias
+// the input — Decode allocates only the section table, and never more of it
+// than the input length can justify, so hostile inputs cannot force
+// unbounded allocation. Any malformation returns an error wrapping
+// ErrInvalid and a nil File.
+func Decode(data []byte) (*File, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header", ErrInvalid, len(data), headerSize)
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrInvalid, data[:len(magic)])
+	}
+	version := binary.LittleEndian.Uint32(data[len(magic):headerSize])
+	if version != Version {
+		return nil, fmt.Errorf("%w: format version %d, this build reads version %d", ErrInvalid, version, Version)
+	}
+	body := data[headerSize:]
+	f := &File{
+		Version:  version,
+		Sections: make([]Section, 0, len(body)/sectionOverhead),
+	}
+	for off := 0; off < len(body); {
+		rest := body[off:]
+		if len(rest) < sectionOverhead {
+			return nil, fmt.Errorf("%w: truncated section framing at offset %d", ErrInvalid, headerSize+off)
+		}
+		id := binary.LittleEndian.Uint32(rest)
+		n := binary.LittleEndian.Uint32(rest[4:])
+		if uint64(n) > uint64(len(rest)-sectionOverhead) {
+			return nil, fmt.Errorf("%w: section %#x claims %d payload bytes with %d remaining", ErrInvalid, id, n, len(rest)-sectionOverhead)
+		}
+		payload := rest[8 : 8+n : 8+n]
+		sum := binary.LittleEndian.Uint32(rest[8+n:])
+		if got := crc32.Checksum(rest[:8+n], castagnoli); got != sum {
+			return nil, fmt.Errorf("%w: section %#x checksum mismatch (stored %#x, computed %#x)", ErrInvalid, id, sum, got)
+		}
+		f.Sections = append(f.Sections, Section{ID: id, Payload: payload})
+		off += sectionOverhead + int(n)
+	}
+	return f, nil
+}
+
+// Boundaries returns the byte offsets at which a valid checkpoint can be
+// cleanly cut: 0, the end of the magic, the end of the header, and the end
+// of every section. The final entry is len(data). Corruption tests truncate
+// at (and around) each of these to prove that every torn prefix is
+// rejected. The input must itself be a valid checkpoint.
+func Boundaries(data []byte) ([]int, error) {
+	f, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	bounds := []int{0, len(magic), headerSize}
+	off := headerSize
+	for _, s := range f.Sections {
+		off += sectionOverhead + len(s.Payload)
+		bounds = append(bounds, off)
+	}
+	return bounds, nil
+}
+
+// WriteFile atomically replaces path with the encoded checkpoint: the bytes
+// are written to a temporary file in the same directory, synced, and
+// renamed over the destination. A crash mid-write therefore leaves the
+// previous checkpoint (or no file) in place, never a torn one. It returns
+// the encoded size in bytes.
+func WriteFile(path string, f *File) (int64, error) {
+	data := Encode(f)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: creating temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("checkpoint: writing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("checkpoint: syncing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("checkpoint: chmod %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("checkpoint: closing %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, fmt.Errorf("checkpoint: renaming into place: %w", err)
+	}
+	return int64(len(data)), nil
+}
+
+// ReadFile reads and decodes a checkpoint file. Read errors (including a
+// missing file, which callers should treat as an ordinary cold start) come
+// back as the underlying OS error; content errors wrap ErrInvalid.
+func ReadFile(path string) (*File, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: reading %s: %w", path, err)
+	}
+	f, err := Decode(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, int64(len(data)), nil
+}

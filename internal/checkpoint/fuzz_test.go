@@ -1,0 +1,58 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// FuzzCheckpointDecode throws arbitrary bytes at the checkpoint decoder. The
+// invariants: Decode never panics, never allocates beyond what the input
+// length justifies (the section table is capped at len/sectionOverhead
+// entries and payloads alias the input), and either round-trips exactly —
+// Encode(Decode(data)) == data, the format is canonical — or returns an
+// error wrapping ErrInvalid with a nil File.
+func FuzzCheckpointDecode(f *testing.F) {
+	valid := Encode(sample())
+	f.Add(valid)
+	f.Add(Encode(&File{Version: Version}))
+	f.Add(Encode(&File{Version: Version, Sections: []Section{{ID: 0x01, Payload: make([]byte, 64)}}}))
+	// Hand-mutated seeds: each class of damage the decoder must reject.
+	truncated := append([]byte(nil), valid...)
+	f.Add(truncated[:len(truncated)-1])
+	f.Add(truncated[:headerSize])
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] ^= 0xFF
+	f.Add(badMagic)
+	futureVersion := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(futureVersion[len(magic):], Version+1)
+	f.Add(futureVersion)
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped)
+	overclaim := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(overclaim[headerSize+4:], 0xFFFFFFFF)
+	f.Add(overclaim)
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("Decode error %v does not wrap ErrInvalid", err)
+			}
+			if decoded != nil {
+				t.Fatal("Decode returned partial state alongside an error")
+			}
+			return
+		}
+		if decoded.Version != Version {
+			t.Fatalf("accepted version %d", decoded.Version)
+		}
+		if !bytes.Equal(Encode(decoded), data) {
+			t.Fatal("accepted input does not round-trip canonically")
+		}
+	})
+}

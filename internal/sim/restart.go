@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"geckoftl/internal/checkpoint"
+	"geckoftl/internal/flash"
+	"geckoftl/internal/ftl"
+	"geckoftl/internal/model"
+	"geckoftl/internal/workload"
+)
+
+// RestartPoint is one measurement of the restart sweep: the same filled,
+// flushed GeckoFTL engine is restarted twice — warm, importing the metadata
+// checkpoint it wrote at shutdown (zero flash IO, cost set by reading the
+// checkpoint at host bandwidth), and cold, running GeckoRec as if the
+// checkpoint had been lost — and the two wall-clocks are compared.
+type RestartPoint struct {
+	// Channels and Shards describe the topology; Blocks the device size.
+	Channels, Shards, Blocks int
+	// CacheEntries is the engine-wide mapping-cache budget.
+	CacheEntries int
+	// PreWrites is the number of logical writes issued before the shutdown.
+	PreWrites int64
+	// CheckpointBytes is the encoded size of the checkpoint file the warm
+	// path loads.
+	CheckpointBytes int64
+	// WarmWallClock is the modeled warm-restart time: checkpoint read at
+	// host bandwidth plus validation, with zero flash IO (the import itself
+	// consumes no simulated device time).
+	WarmWallClock time.Duration
+	// ColdWallClock and ColdSerial are the measured GeckoRec recovery of the
+	// identical state: slowest-shard critical path and summed per-shard cost.
+	ColdWallClock, ColdSerial time.Duration
+	// Speedup is ColdWallClock/WarmWallClock.
+	Speedup float64
+	// ModelWarm and ModelCold are the analytic predictions for the same
+	// geometry: model.WarmRestart over the predicted checkpoint size versus
+	// model.EngineRecovery for GeckoFTL. Compare trends, not absolutes.
+	ModelWarm, ModelCold time.Duration
+}
+
+// RestartSweepOptions parameterizes RestartSweep.
+type RestartSweepOptions struct {
+	// Scale sizes the device, cache budget and workload seed.
+	Scale ExperimentScale
+	// Channels is the engine topology of every point. Zero means 1: warm
+	// restart cost is capacity- and parallelism-independent, so the sweep
+	// varies capacity and pins the topology.
+	Channels int
+	// CapacityFactors lists device-size multipliers. Empty means 1,2,4.
+	CapacityFactors []int
+}
+
+// RestartSweep measures warm versus cold restart across device sizes. Every
+// point fills a GeckoFTL engine to steady state, flushes it, exports the
+// shutdown checkpoint, reboots warm from it (auditing consistency), then
+// crashes and recovers the same state cold with GeckoRec. Cold recovery
+// scans grow with device capacity even though GeckoRec bounds the
+// per-structure work; the warm restore costs only the checkpoint read, so
+// warm beats cold at every size and the gap widens with capacity.
+func RestartSweep(opts RestartSweepOptions) ([]RestartPoint, error) {
+	scale := opts.Scale
+	channels := opts.Channels
+	if channels <= 0 {
+		channels = 1
+	}
+	if min := MinSweepShardBlocks * channels; scale.Device.Blocks < min {
+		scale.Device.Blocks = min
+	}
+	if min := minSweepShardCache * channels; scale.CacheEntries < min {
+		scale.CacheEntries = min
+	}
+	factors := opts.CapacityFactors
+	if len(factors) == 0 {
+		factors = []int{1, 2, 4}
+	}
+
+	var points []RestartPoint
+	for _, factor := range factors {
+		if factor < 1 {
+			factor = 1
+		}
+		p, err := restartPoint(scale, channels, scale.Device.Blocks*factor)
+		if err != nil {
+			return nil, fmt.Errorf("sim: restart sweep, x%d capacity: %w", factor, err)
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// restartPoint fills one engine, shuts it down cleanly, restarts it warm
+// from its checkpoint, then crashes and recovers the same state cold.
+func restartPoint(scale ExperimentScale, channels, blocks int) (RestartPoint, error) {
+	spec := scale.Device
+	spec.Blocks = blocks
+	spec.Channels = channels
+	dev, err := spec.NewDevice()
+	if err != nil {
+		return RestartPoint{}, err
+	}
+	cfg := dev.Config()
+	opts := ftl.GeckoFTLOptions(scale.CacheEntries / channels)
+	// Scale the GC reserve with the shard size, as in recoveryPoint: a
+	// Logarithmic Gecko merge must fit inside the reserve.
+	if shardBlocks := blocks / channels; 4+shardBlocks/128 > opts.GCFreeBlockReserve {
+		opts.GCFreeBlockReserve = 4 + shardBlocks/128
+	}
+	eng, err := ftl.NewEngine(dev, opts, 0)
+	if err != nil {
+		return RestartPoint{}, err
+	}
+	gen, err := workload.NewUniform(eng.LogicalPages(), scale.Seed)
+	if err != nil {
+		return RestartPoint{}, err
+	}
+
+	pre := 2 * eng.LogicalPages()
+	batch := make([]flash.LPN, 8*cfg.Dies())
+	for done := int64(0); done < pre; done += int64(len(batch)) {
+		for i := range batch {
+			batch[i] = gen.Next().Page
+		}
+		if err := eng.WriteBatch(context.Background(), batch); err != nil {
+			return RestartPoint{}, fmt.Errorf("fill: %w", err)
+		}
+	}
+
+	// Clean shutdown: flush dirty state, then export the checkpoint the
+	// warm restart will load.
+	if err := eng.Flush(); err != nil {
+		return RestartPoint{}, fmt.Errorf("shutdown flush: %w", err)
+	}
+	file, err := eng.ExportCheckpoint()
+	if err != nil {
+		return RestartPoint{}, fmt.Errorf("checkpoint export: %w", err)
+	}
+	encoded := checkpoint.Encode(file)
+
+	// Warm restart: reboot (drop all RAM state) and import the checkpoint.
+	if err := eng.PowerFail(); err != nil {
+		return RestartPoint{}, err
+	}
+	if err := eng.RestoreCheckpoint(file); err != nil {
+		return RestartPoint{}, fmt.Errorf("warm restore: %w", err)
+	}
+	if err := eng.CheckConsistency(); err != nil {
+		return RestartPoint{}, fmt.Errorf("post-warm-restore audit: %w", err)
+	}
+
+	// Cold restart of the identical state: crash again and run GeckoRec.
+	if err := eng.PowerFail(); err != nil {
+		return RestartPoint{}, err
+	}
+	report, err := eng.Recover()
+	if err != nil {
+		return RestartPoint{}, fmt.Errorf("cold recovery: %w", err)
+	}
+	if err := eng.CheckConsistency(); err != nil {
+		return RestartPoint{}, fmt.Errorf("post-cold-recovery audit: %w", err)
+	}
+
+	warm := model.WarmRestart(int64(len(encoded)))
+
+	mp := model.Default()
+	mp.Blocks = int64(cfg.Blocks)
+	mp.PagesPerBlock = int64(cfg.PagesPerBlock)
+	mp.PageSize = int64(cfg.PageSize)
+	mp.OverProvision = cfg.OverProvision
+	mp.CacheEntries = int64(scale.CacheEntries)
+	mp.Latency = cfg.Latency
+	cold := model.EngineRecovery(model.GeckoFTL, mp, eng.Shards())
+
+	speedup := 0.0
+	if warm.WallClock > 0 {
+		speedup = float64(report.WallClock) / float64(warm.WallClock)
+	}
+	return RestartPoint{
+		Channels:        channels,
+		Shards:          eng.Shards(),
+		Blocks:          cfg.Blocks,
+		CacheEntries:    scale.CacheEntries,
+		PreWrites:       pre,
+		CheckpointBytes: int64(len(encoded)),
+		WarmWallClock:   warm.WallClock,
+		ColdWallClock:   report.WallClock,
+		ColdSerial:      report.SerialTime,
+		Speedup:         speedup,
+		ModelWarm:       model.WarmRestart(model.CheckpointSize(mp)).WallClock,
+		ModelCold:       cold.WallClock,
+	}, nil
+}

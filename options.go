@@ -119,6 +119,10 @@ type config struct {
 	// faults, when set by WithFaultPlan, is installed on the device at Open,
 	// before any IO.
 	faults *FaultPlan
+
+	// checkpointPath, when set by WithCheckpointPath, is where Close/Flush
+	// write the metadata checkpoint and where Open looks for one to load.
+	checkpointPath string
 }
 
 // defaultConfig sizes a small device that exercises every subsystem quickly:
@@ -280,6 +284,25 @@ func WithWearLeveling(on bool) Option {
 // backwards scan (GeckoFTL's Section 4.3 behaviour, on by default for it).
 func WithCheckpoints(on bool) Option {
 	return func(c *config) error { c.checkpoints = &on; return nil }
+}
+
+// WithCheckpointPath enables durable metadata checkpoints at the given host
+// file path. Close and Flush write a versioned, checksummed snapshot of all
+// FTL metadata there (atomically: temp file + rename), and Open attempts to
+// load it for a warm start; Restart uses it to model a clean
+// shutdown-and-reboot cycle. A missing, corrupt, version-skewed or stale
+// checkpoint is never an error — the device falls back to a cold start (or
+// GeckoRec, after a crash) and records the reason, inspectable via
+// CheckpointLoad. Only battery-less GeckoFTL devices write checkpoints;
+// other schemes silently skip them.
+func WithCheckpointPath(path string) Option {
+	return func(c *config) error {
+		if path == "" {
+			return fmt.Errorf("%w: checkpoint path must not be empty", ErrInvalidConfig)
+		}
+		c.checkpointPath = path
+		return nil
+	}
 }
 
 // WithFTLOptions hands Open a fully explicit FTL configuration, overriding

@@ -99,6 +99,10 @@ type Snapshot struct {
 	// models (mapping cache, GMD, BVC, page-validity store, wear state,
 	// heat classifier).
 	RAMBytes int64
+	// CheckpointBytes is the encoded size of the most recent metadata
+	// checkpoint written to the WithCheckpointPath file; zero when
+	// checkpointing is disabled or none has been written yet.
+	CheckpointBytes int64
 	// SimulatedTime is the total device time consumed since Open, summed
 	// over dies (the serial single-plane cost).
 	SimulatedTime time.Duration
@@ -124,6 +128,9 @@ func (d *Device) Snapshot() Snapshot {
 	d.baseMu.Unlock()
 	delta := d.dev.Config().Latency.WriteReadRatio()
 	minErase, maxErase, meanErase := d.dev.BlocksEndurance()
+	d.ckptMu.Lock()
+	ckptBytes := d.ckptBytes
+	d.ckptMu.Unlock()
 
 	return Snapshot{
 		Ops: OpCounts{
@@ -154,6 +161,7 @@ func (d *Device) Snapshot() Snapshot {
 		EraseSpread:     maxErase - minErase,
 		MeanEraseCount:  meanErase,
 		RAMBytes:        d.eng.RAMBytes(),
+		CheckpointBytes: ckptBytes,
 		SimulatedTime:   d.dev.SimulatedTime(),
 		WriteLatency:    toLatencySummary(es.Writes),
 		ReadLatency:     toLatencySummary(es.Reads),
