@@ -453,6 +453,40 @@ func BenchmarkWearSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkQueueSweep measures the async submission engine against the
+// synchronous baseline and the queueing model's saturation knee (see
+// docs/benchmarks.md, "Queueing experiments"). It reports the closed-loop
+// throughput per depth, the overload row's delivered rate against the
+// modeled knee, and the p99.9 contrast between bounded admission and the
+// unbounded queue.
+func BenchmarkQueueSweep(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		points, err := sim.QueueSweep(sim.QueueSweepOptions{Scale: scale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for j, p := range points {
+				tag := fmt.Sprintf("%s_%s_d%d", p.Mode, p.Policy, p.Depth)
+				if p.Offered > 0 {
+					// Open rows repeat the same policy and depth at
+					// different offered rates; the row index keeps their
+					// metric names distinct.
+					tag = fmt.Sprintf("%s_r%d", tag, j)
+					b.ReportMetric(p.Offered, "offered_per_s_"+tag)
+				}
+				b.ReportMetric(p.Throughput, "tput_per_s_"+tag)
+				if p.Shed > 0 {
+					b.ReportMetric(float64(p.Shed), "shed_"+tag)
+				}
+				b.ReportMetric(p.Latency.P999.Seconds()*1000, "p999_ms_"+tag)
+				b.ReportMetric(p.ModelKnee, "model_knee_per_s_"+tag)
+			}
+		}
+	}
+}
+
 // BenchmarkParallelModel documents the parallelism-aware latency model's
 // predictions at the paper's full-scale latencies.
 func BenchmarkParallelModel(b *testing.B) {

@@ -13,13 +13,14 @@
 //	geckobench -experiment trim -trim-fractions 0,0.1,0.2,0.3 -json
 //	geckobench -experiment wear -json
 //	geckobench -experiment endurance -json
+//	geckobench -experiment queue -depth 8 -admission shed -json
 //	geckobench -experiment summary
 //
 // Experiments: fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec,
 // fig13wa, fig14, recovery, recovery-sweep, channels, latency, trim, wear,
-// endurance, restart, summary, all.
+// endurance, restart, queue, summary, all.
 //
-// Seven experiments go beyond the paper: channels sweeps the device's
+// Eight experiments go beyond the paper: channels sweeps the device's
 // channel count and reports how the sharded engine's write throughput
 // scales; recovery-sweep (also run by -experiment recovery) crashes the
 // sharded engine and measures how recovery wall-clock scales with channel
@@ -35,7 +36,10 @@
 // budget until capacity exhaustion, reporting lifetime in host writes per
 // fault rate and allocation policy; and restart compares warm restarts from
 // the shutdown metadata checkpoint against cold GeckoRec recovery of the
-// identical state across device capacities (see docs/benchmarks.md).
+// identical state across device capacities; and queue drives the async
+// submission path with open-loop arrival processes across queue depths and
+// admission policies, locating the saturation knee and showing bounded
+// backpressure keeping tail latency finite past it (see docs/benchmarks.md).
 //
 // With -json, each experiment emits one JSON object per line of the form
 // {"experiment": name, "rows": [...]}, so benchmark trajectories can be
@@ -56,7 +60,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec, fig13wa, fig14, recovery, recovery-sweep, channels, latency, trim, wear, endurance, restart, summary, all)")
+		experiment = flag.String("experiment", "all", "experiment to run (fig1, table1, fig9, fig10, fig11, fig12, fig13ram, fig13rec, fig13wa, fig14, recovery, recovery-sweep, channels, latency, trim, wear, endurance, restart, queue, summary, all)")
 		writes     = flag.Int64("writes", 0, "measured logical writes per simulation (0 = default)")
 		blocks     = flag.Int("blocks", 0, "simulated device blocks (0 = default)")
 		quick      = flag.Bool("quick", false, "use the small test-sized scale")
@@ -68,6 +72,9 @@ func main() {
 		policies   = flag.String("policy", "both", "victim policies for the latency and wear experiments: greedy, metadata-aware, cost-benefit, or both (wear defaults to metadata-aware + cost-benefit)")
 		gcPages    = flag.Int("gc-pages", 0, "incremental GC step budget per write for the latency experiment (0 = default)")
 		trimFracs  = flag.String("trim-fractions", "0,0.1,0.2,0.3", "trim fractions for the trim experiment")
+		depth      = flag.Int("depth", 0, "per-shard submission queue depth for the queue experiment's open-loop rows (0 = default)")
+		depthsList = flag.String("depths", "", "queue depths for the queue experiment's closed-loop ladder, e.g. 1,4,8,16 (empty = default)")
+		admission  = flag.String("admission", "", "admission policy for the queue experiment's open-loop rate rows: shed or wait (empty = shed)")
 	)
 	flag.Parse()
 	sweep, err := parseSweep(*sweepList)
@@ -94,6 +101,18 @@ func main() {
 	if err != nil {
 		usageExit(err)
 	}
+	if *depth < 0 {
+		usageExit(fmt.Errorf("-depth %d must be >= 0", *depth))
+	}
+	depths, err := parseDepths(*depthsList)
+	if err != nil {
+		usageExit(err)
+	}
+	if *admission != "" {
+		if _, err := geckoftl.ParseAdmissionPolicy(*admission); err != nil {
+			usageExit(err)
+		}
+	}
 	sweepOpts = geckoftl.ChannelSweepOptions{Channels: sweep, Workload: *sweepWL}
 	sweepDies = *dies
 	jsonMode = *jsonOut
@@ -104,6 +123,7 @@ func main() {
 	if *policies != "both" && *policies != "" {
 		wearOpts = geckoftl.WearSweepOptions{Policies: pols}
 	}
+	queueOpts = geckoftl.QueueSweepOptions{Depth: *depth, Depths: depths, Policy: *admission, Workload: *sweepWL}
 
 	scale := geckoftl.FullScale()
 	if *quick {
@@ -118,7 +138,7 @@ func main() {
 
 	name := strings.ToLower(*experiment)
 	if !knownExperiment(name) {
-		usageExit(fmt.Errorf("unknown experiment %q", *experiment))
+		usageExit(fmt.Errorf("unknown experiment %q (valid: %s)", *experiment, strings.Join(experimentNames(), ", ")))
 	}
 	if err := run(name, scale); err != nil {
 		fmt.Fprintf(os.Stderr, "geckobench: %v\n", err)
@@ -137,6 +157,23 @@ func knownExperiment(name string) bool {
 		}
 	}
 	return false
+}
+
+// experimentNames lists every selectable experiment name, in declaration
+// order, ending with the "all" selector. Group selectors that match an
+// experiment name (e.g. "recovery") are not repeated.
+func experimentNames() []string {
+	var names []string
+	seen := make(map[string]bool)
+	for _, e := range experiments() {
+		for _, n := range []string{e.name, e.group} {
+			if n != "" && !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+	return append(names, "all")
 }
 
 // usageExit reports a bad flag value and exits with the conventional
@@ -179,6 +216,7 @@ func experiments() []experimentSpec {
 		{name: "wear", rows: wearSweepRows, print: printWearSweep},
 		{name: "endurance", rows: enduranceSweepRows, print: printEnduranceSweep},
 		{name: "restart", rows: restartSweepRows, print: printRestartSweep},
+		{name: "queue", rows: queueSweepRows, print: printQueueSweep},
 		{name: "summary", rows: summaryRows, print: printSummary},
 	}
 }
@@ -209,7 +247,7 @@ func run(experiment string, scale geckoftl.ExperimentScale) error {
 		fmt.Println()
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q", experiment)
+		return fmt.Errorf("unknown experiment %q (valid: %s)", experiment, strings.Join(experimentNames(), ", "))
 	}
 	return nil
 }
@@ -363,14 +401,15 @@ func printSummary(rows any) {
 	fmt.Printf("  flash-resident PVB:                                %5.1f%%  (paper: 98%%)\n", 100*s.ValidityWAReduction)
 }
 
-// sweepOpts, sweepDies, latencyOpts, trimOpts and jsonMode carry flags to
-// the experiment drivers.
+// sweepOpts, sweepDies, latencyOpts, trimOpts, queueOpts and jsonMode carry
+// flags to the experiment drivers.
 var (
 	sweepOpts   geckoftl.ChannelSweepOptions
 	sweepDies   int
 	latencyOpts geckoftl.LatencySweepOptions
 	trimOpts    geckoftl.TrimSweepOptions
 	wearOpts    geckoftl.WearSweepOptions
+	queueOpts   geckoftl.QueueSweepOptions
 	jsonMode    bool
 )
 
@@ -464,6 +503,55 @@ func printRestartSweep(rows any) {
 			p.Channels, p.Shards, p.Blocks, p.CacheEntries,
 			formatBytes(p.CheckpointBytes), fmtDur(p.WarmWallClock), fmtDur(p.ColdWallClock),
 			p.Speedup, fmtDur(p.ModelWarm), fmtDur(p.ModelCold))
+	}
+}
+
+// parseDepths parses the -depths flag: a comma-separated queue-depth list,
+// e.g. "1,4,8,16". Empty keeps the sweep's default ladder.
+func parseDepths(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		n, err := strconv.Atoi(field)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad queue depth %q in -depths", field)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-depths %q lists no depths", s)
+	}
+	return out, nil
+}
+
+func queueSweepRows(scale geckoftl.ExperimentScale) (any, error) {
+	opts := queueOpts
+	opts.Scale = scale
+	return geckoftl.QueueSweep(opts)
+}
+
+func printQueueSweep(rows any) {
+	fmt.Println("Queue sweep: async submission engine vs the synchronous baseline and the queueing model's saturation knee")
+	fmt.Printf("%-7s %-19s %-10s %6s %9s %9s %7s %8s %9s %8s %9s %9s %9s %9s\n",
+		"mode", "workload", "policy", "depth", "offered/s", "tput/s", "WA", "knee/s", "shed", "delayed", "p50", "p99", "p99.9", "bound")
+	for _, p := range rows.([]geckoftl.QueuePoint) {
+		offered := "-"
+		if p.Offered > 0 {
+			offered = fmt.Sprintf("%.0f", p.Offered)
+		}
+		bound := "-"
+		if p.DelayBound > 0 {
+			bound = fmtDur(p.DelayBound)
+		}
+		fmt.Printf("%-7s %-19s %-10s %6d %9s %9.0f %7.3f %8.0f %9d %8d %9s %9s %9s %9s\n",
+			p.Mode, p.Workload, p.Policy, p.Depth, offered, p.Throughput, p.WA, p.ModelKnee,
+			p.Shed, p.Delayed, fmtDur(p.Latency.P50), fmtDur(p.Latency.P99), fmtDur(p.Latency.P999), bound)
 	}
 }
 

@@ -71,6 +71,67 @@ func TestKnownExperimentNames(t *testing.T) {
 	}
 }
 
+// TestAdmissionFlagRoundTrip pins that every geckoftl.AdmissionPolicy's
+// String() is accepted verbatim by -admission, so the policy labels printed
+// in queue-sweep rows can be pasted back into the command line.
+func TestAdmissionFlagRoundTrip(t *testing.T) {
+	for _, p := range []geckoftl.AdmissionPolicy{geckoftl.AdmitShed, geckoftl.AdmitWait} {
+		got, err := geckoftl.ParseAdmissionPolicy(p.String())
+		if err != nil {
+			t.Fatalf("-admission %q rejected: %v", p.String(), err)
+		}
+		if got != p {
+			t.Fatalf("-admission %q parsed to %v", p.String(), got)
+		}
+	}
+	if _, err := geckoftl.ParseAdmissionPolicy("bogus"); err == nil {
+		t.Fatal("-admission bogus accepted")
+	}
+}
+
+// TestParseDepths covers the -depths queue-depth ladder parser: empty keeps
+// the sweep default, lists parse with whitespace tolerance, and zero or
+// malformed depths are rejected.
+func TestParseDepths(t *testing.T) {
+	if got, err := parseDepths(""); err != nil || got != nil {
+		t.Fatalf("parseDepths(\"\") = %v, %v; want nil, nil", got, err)
+	}
+	got, err := parseDepths("1, 4,16")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 16 {
+		t.Fatalf("parseDepths = %v, %v", got, err)
+	}
+	for _, bad := range []string{"0", "x", "-4", ","} {
+		if _, err := parseDepths(bad); err == nil {
+			t.Errorf("parseDepths(%q) accepted", bad)
+		}
+	}
+}
+
+// TestExperimentNamesListed pins the usage-error contract: the valid-name
+// list offered on an unknown -experiment contains every selectable name
+// exactly once, ends with the "all" selector, and includes queue.
+func TestExperimentNamesListed(t *testing.T) {
+	names := experimentNames()
+	seen := make(map[string]bool)
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("experiment name %q listed twice", n)
+		}
+		seen[n] = true
+		if !knownExperiment(n) {
+			t.Errorf("listed name %q is not selectable", n)
+		}
+	}
+	for _, want := range []string{"queue", "recovery", "all"} {
+		if !seen[want] {
+			t.Errorf("name list %v is missing %q", names, want)
+		}
+	}
+	if names[len(names)-1] != "all" {
+		t.Errorf("name list %v does not end with the all selector", names)
+	}
+}
+
 // TestParseSweep covers the pre-existing channel-list parser alongside the
 // new flag parsers.
 func TestParseSweep(t *testing.T) {

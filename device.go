@@ -13,6 +13,7 @@ import (
 	"geckoftl/internal/flash"
 	"geckoftl/internal/ftl"
 	"geckoftl/internal/model"
+	"geckoftl/internal/queue"
 )
 
 // LPN is a logical page number: the host-visible block-device address space
@@ -44,6 +45,16 @@ type Device struct {
 	// checkpointPath, when set by WithCheckpointPath, is where Close/Flush
 	// persist the metadata checkpoint and where Open/Restart load it from.
 	checkpointPath string
+	// checkpointLock is the held host-side lock on checkpointPath, released
+	// at Close; nil when checkpointing is disabled.
+	checkpointLock *checkpoint.Lock
+
+	// qMu guards the lazily started submission engine (async.go);
+	// queueDepth and queueAdmission are its configuration, fixed at Open.
+	qMu            sync.Mutex
+	q              *queue.Engine
+	queueDepth     int
+	queueAdmission AdmissionPolicy
 
 	// ckptMu guards the checkpoint bookkeeping below.
 	ckptMu sync.Mutex
@@ -83,9 +94,24 @@ func Open(opts ...Option) (*Device, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
 	}
-	d := &Device{eng: eng, dev: dev, checkpointPath: cfg.checkpointPath}
+	d := &Device{
+		eng:            eng,
+		dev:            dev,
+		checkpointPath: cfg.checkpointPath,
+		queueDepth:     cfg.queueDepth,
+		queueAdmission: cfg.queueAdmission,
+	}
 	if d.checkpointPath != "" {
+		// Own the path for this device's lifetime: a second Open of the same
+		// path fails fast with ErrCheckpointLocked instead of the two devices
+		// silently clobbering each other's checkpoints.
+		lock, err := checkpoint.Acquire(d.checkpointPath)
+		if err != nil {
+			return nil, wrapErr(err)
+		}
+		d.checkpointLock = lock
 		if err := d.loadCheckpointAtOpen(); err != nil {
+			_ = lock.Release()
 			return nil, err
 		}
 	}
@@ -345,6 +371,19 @@ func (d *Device) Close(ctx context.Context) error {
 	if d.closed.Swap(true) {
 		return ErrClosed
 	}
+	// Stop the asynchronous submission path first: queued operations execute
+	// to completion before the workers exit, so nothing lands after the flush
+	// and checkpoint below.
+	d.stopQueue()
+	err := d.closeFlush()
+	if rerr := d.checkpointLock.Release(); rerr != nil && err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// closeFlush is Close's flush-and-checkpoint step.
+func (d *Device) closeFlush() error {
 	if err := d.eng.Flush(); err != nil {
 		if wrapped := wrapErr(err); errors.Is(wrapped, ErrPowerFailed) {
 			return nil

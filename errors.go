@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 
+	"geckoftl/internal/checkpoint"
 	"geckoftl/internal/flash"
+	"geckoftl/internal/queue"
 )
 
 // The public error taxonomy. Every data-path failure a Device method returns
@@ -42,6 +44,19 @@ var (
 	// — but is inspectable via CheckpointLoad.Err and RestartReport.Fallback
 	// under errors.Is.
 	ErrCheckpointInvalid = errors.New("geckoftl: checkpoint file is invalid")
+	// ErrCheckpointLocked is returned by Open when the WithCheckpointPath
+	// file is already locked by another live device: two devices flushing
+	// checkpoints to one path would silently corrupt each other's warm
+	// restarts, so the second Open fails fast instead.
+	ErrCheckpointLocked = errors.New("geckoftl: checkpoint path is locked by another device")
+	// ErrQueueFull is delivered through a Ticket when the shedding admission
+	// policy (AdmitShed) drops an asynchronous submission whose shard backlog
+	// exceeded the queue depth's budget; the drop is counted in
+	// Snapshot.Queue.Shed.
+	ErrQueueFull = errors.New("geckoftl: submission queue is full")
+	// ErrPending is returned by Ticket.Err while the submitted operation is
+	// still in flight.
+	ErrPending = errors.New("geckoftl: operation still in flight")
 )
 
 // checkpointErr classifies a checkpoint load failure under
@@ -77,7 +92,9 @@ func wrapErr(err error) error {
 		return nil
 	case errors.Is(err, ErrClosed), errors.Is(err, ErrPowerFailed),
 		errors.Is(err, ErrOutOfRange), errors.Is(err, ErrInvalidConfig),
-		errors.Is(err, ErrReadDecayed), errors.Is(err, ErrCheckpointInvalid):
+		errors.Is(err, ErrReadDecayed), errors.Is(err, ErrCheckpointInvalid),
+		errors.Is(err, ErrCheckpointLocked), errors.Is(err, ErrQueueFull),
+		errors.Is(err, ErrPending):
 		return err
 	case errors.Is(err, flash.ErrPowerFailed):
 		return fmt.Errorf("%w: %w", ErrPowerFailed, err)
@@ -85,6 +102,14 @@ func wrapErr(err error) error {
 		return fmt.Errorf("%w: %w", ErrOutOfRange, err)
 	case errors.Is(err, flash.ErrReadDecayed):
 		return fmt.Errorf("%w: %w", ErrReadDecayed, err)
+	case errors.Is(err, checkpoint.ErrLocked):
+		return fmt.Errorf("%w: %w", ErrCheckpointLocked, err)
+	case errors.Is(err, queue.ErrFull):
+		return fmt.Errorf("%w: %w", ErrQueueFull, err)
+	case errors.Is(err, queue.ErrClosed):
+		return fmt.Errorf("%w: %w", ErrClosed, err)
+	case errors.Is(err, queue.ErrPending):
+		return fmt.Errorf("%w: %w", ErrPending, err)
 	default:
 		return err
 	}

@@ -39,6 +39,10 @@ func TestConfigErrorsClassified(t *testing.T) {
 		{"ParseTrace", func() error { _, err := ParseTrace("bad", strings.NewReader("X 42\n")); return err }},
 		{"ParseGCMode", func() error { _, err := ParseGCMode("nosuch"); return err }},
 		{"ParseVictimPolicy", func() error { _, err := ParseVictimPolicy("nosuch"); return err }},
+		{"ParseAdmissionPolicy", func() error { _, err := ParseAdmissionPolicy("nosuch"); return err }},
+		{"NewPoissonArrivals", func() error { _, err := NewPoissonArrivals(0, 1); return err }},
+		{"NewBurstyArrivals", func() error { _, err := NewBurstyArrivals(100, 1, 1, 1); return err }},
+		{"NewOpenLoop", func() error { _, err := NewOpenLoop(nil, nil); return err }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -203,6 +203,23 @@ func RestartSweep(opts RestartSweepOptions) ([]RestartPoint, error) {
 	return rows, wrapErr(err)
 }
 
+// QueueSweepOptions parameterizes QueueSweep; QueuePoint is one of its rows.
+type (
+	QueueSweepOptions = sim.QueueSweepOptions
+	QueuePoint        = sim.QueuePoint
+)
+
+// QueueSweep measures the asynchronous submission/completion engine: closed-
+// loop rows pin how throughput scales with queue depth against the
+// synchronous ceiling, open-loop rows drive Poisson and bursty arrival
+// streams at multiples of the queueing model's saturation knee and pin that
+// admission control keeps the latency tail bounded under overload where an
+// unbounded queue collapses.
+func QueueSweep(opts QueueSweepOptions) ([]QueuePoint, error) {
+	rows, err := sim.QueueSweep(opts)
+	return rows, wrapErr(err)
+}
+
 // EnduranceSweepOptions parameterizes EnduranceSweep; EndurancePoint is one
 // of its rows.
 type (

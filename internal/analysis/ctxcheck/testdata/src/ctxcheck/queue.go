@@ -1,0 +1,54 @@
+// Fixture for the ctxcheck analyzer: the async submission engine's
+// completion-callback shape. A worker draining a queue resolves each item's
+// ticket via a callback; the per-item work is fallible through the callback
+// even when the loop body itself returns nothing, so the drain must still
+// consult the submission context at every operation boundary — queued items
+// whose submitter has gone away get failed fast, not executed.
+package ctxcheck
+
+import "context"
+
+type ticket struct{ done chan error }
+
+func (t *ticket) complete(err error) { t.done <- err }
+
+type item struct {
+	ctx context.Context
+	lpn int64
+	tk  *ticket
+}
+
+// BadCompletionDrain resolves every queued ticket without ever consulting
+// the item's context: cancelled submissions still execute.
+func BadCompletionDrain(ctx context.Context, d *device, items []item) {
+	_ = ctx.Err()
+	for _, it := range items { // want `never consults ctx`
+		it.tk.complete(d.op(it.lpn))
+	}
+}
+
+// GoodCompletionDrain is the engine's worker shape: each dequeued item's
+// context is checked first, and a dead submitter's ticket is completed with
+// the cancellation error instead of the operation running.
+func GoodCompletionDrain(ctx context.Context, d *device, items []item) {
+	for _, it := range items {
+		if err := ctx.Err(); err != nil {
+			it.tk.complete(err)
+			continue
+		}
+		it.tk.complete(d.op(it.lpn))
+	}
+}
+
+// GoodPerItemContext consults each item's own submission context — the
+// queue carries a context per submission, and checking that context is
+// consulting cancellation state just as checking the worker's own would be.
+func GoodPerItemContext(d *device, items []item) {
+	for _, it := range items {
+		if err := it.ctx.Err(); err != nil {
+			it.tk.complete(err)
+			continue
+		}
+		it.tk.complete(d.op(it.lpn))
+	}
+}

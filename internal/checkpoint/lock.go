@@ -1,0 +1,62 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ErrLocked is returned by Acquire when the path's lock file already exists:
+// another live device owns the checkpoint path.
+var ErrLocked = errors.New("checkpoint: path is locked")
+
+// Lock is a held host-side lock on a checkpoint path. Two devices flushing
+// checkpoints to the same file would silently clobber each other's warm
+// restarts — the loser's metadata would describe a different device's flash —
+// so the path is owned exclusively for a device's lifetime.
+//
+// The lock is a sibling file created with O_CREATE|O_EXCL, which is atomic on
+// every platform the simulator runs on and needs no extra dependencies. A
+// crashed process leaves the file behind; removing it is the operator's
+// explicit acknowledgement that no device is live, exactly as with a stale
+// pidfile.
+type Lock struct {
+	path string
+}
+
+// LockPath returns the lock file guarding a checkpoint path.
+func LockPath(path string) string { return path + ".lock" }
+
+// Acquire takes the exclusive lock for path, failing with ErrLocked when a
+// live (or crashed) owner already holds it.
+func Acquire(path string) (*Lock, error) {
+	lp := LockPath(path)
+	f, err := os.OpenFile(lp, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("%w: %s exists (remove it if no other device is live)", ErrLocked, lp)
+		}
+		return nil, fmt.Errorf("checkpoint: acquiring lock %s: %w", lp, err)
+	}
+	// The content is diagnostic only; ownership is the file's existence.
+	fmt.Fprintf(f, "pid %d\n", os.Getpid())
+	if err := f.Close(); err != nil {
+		os.Remove(lp)
+		return nil, fmt.Errorf("checkpoint: acquiring lock %s: %w", lp, err)
+	}
+	return &Lock{path: lp}, nil
+}
+
+// Release removes the lock file. Safe on a nil receiver and idempotent, so
+// every Open error path can release unconditionally.
+func (l *Lock) Release() error {
+	if l == nil || l.path == "" {
+		return nil
+	}
+	path := l.path
+	l.path = ""
+	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("checkpoint: releasing lock %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLockAcquireRelease(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	l, err := Acquire(path)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if _, err := os.Stat(LockPath(path)); err != nil {
+		t.Fatalf("lock file missing after Acquire: %v", err)
+	}
+	if _, err := Acquire(path); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Acquire = %v; want ErrLocked", err)
+	}
+	if err := l.Release(); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if _, err := os.Stat(LockPath(path)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("lock file survived Release: %v", err)
+	}
+	// Released, the path can be taken again.
+	l2, err := Acquire(path)
+	if err != nil {
+		t.Fatalf("re-Acquire: %v", err)
+	}
+	if err := l2.Release(); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+}
+
+func TestLockReleaseIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	l, err := Acquire(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Release(); err != nil {
+			t.Fatalf("Release %d: %v", i, err)
+		}
+	}
+	var nilLock *Lock
+	if err := nilLock.Release(); err != nil {
+		t.Fatalf("nil Release: %v", err)
+	}
+}
+
+func TestLockAcquireUncreatablePath(t *testing.T) {
+	// The lock's parent directory does not exist: the failure is an ordinary
+	// error, not ErrLocked.
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "ckpt.bin")
+	if _, err := Acquire(path); err == nil || errors.Is(err, ErrLocked) {
+		t.Fatalf("Acquire in a missing directory = %v; want a non-ErrLocked error", err)
+	}
+}

@@ -516,6 +516,21 @@ func (d *Device) SyncArrival() time.Duration {
 	}
 }
 
+// AdvanceArrival ratchets the device-wide arrival clock forward to at least
+// t (never backward). Open-loop drivers stamp a generated arrival instant
+// with it before issuing IO; see Partition.AdvanceArrival.
+func (d *Device) AdvanceArrival(t time.Duration) {
+	for {
+		cur := d.arrival.Load()
+		if int64(t) <= cur {
+			return
+		}
+		if d.arrival.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}
+
 // BusyUntil returns the instant on the virtual timeline at which the last
 // operation issued to any die completes, floored at the arrival clock (so an
 // idle device reports the current virtual now rather than a stale

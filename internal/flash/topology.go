@@ -107,6 +107,12 @@ type Plane interface {
 	// *Partition it is the partition's own, so concurrent shards' arrival
 	// stamps never interfere with (or lock) each other's dies.
 	SyncArrival() time.Duration
+	// AdvanceArrival ratchets the plane's arrival clock forward to at least
+	// t (never backward): subsequent operations start no earlier than t.
+	// Open-loop drivers use it to stamp an operation's generated arrival
+	// instant before issuing it, so an op that reaches an idle plane still
+	// starts at its arrival time rather than at the plane's last completion.
+	AdvanceArrival(t time.Duration)
 	// PowerFail, PowerOn and Powered operate on the plane's own power
 	// domain: the whole device for a *Device, the partition's domain for a
 	// *Partition. Partitions of one device fail and recover independently.
@@ -335,6 +341,22 @@ func (p *Partition) SyncArrival() time.Duration {
 		}
 		if p.arrival.CompareAndSwap(cur, int64(now)) {
 			return now
+		}
+	}
+}
+
+// AdvanceArrival ratchets the partition's arrival clock forward to at least
+// t. Unlike SyncArrival it does not consult the dies: the caller names the
+// arrival instant (an open-loop generator's stamp), and IO issued afterwards
+// starts no earlier than it even on an idle die.
+func (p *Partition) AdvanceArrival(t time.Duration) {
+	for {
+		cur := p.arrival.Load()
+		if int64(t) <= cur {
+			return
+		}
+		if p.arrival.CompareAndSwap(cur, int64(t)) {
+			return
 		}
 	}
 }

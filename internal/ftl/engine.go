@@ -175,6 +175,32 @@ func (e *Engine) shardOf(lpn flash.LPN) (int, flash.LPN, error) {
 	return int(int64(lpn) % n), flash.LPN(int64(lpn) / n), nil
 }
 
+// ShardOf routes a logical page to its shard index without issuing IO; the
+// async submission queue uses it to pick a per-shard queue. The error matches
+// flash.ErrOutOfRange for pages outside [0, LogicalPages()).
+func (e *Engine) ShardOf(lpn flash.LPN) (int, error) {
+	s, _, err := e.shardOf(lpn)
+	return s, err
+}
+
+// ShardClock returns shard s's current virtual completion instant: the
+// busy-until of the shard's own plane. It reads the die clocks without taking
+// the shard lock, so concurrent operations on other shards never contend; a
+// reading that races an in-flight operation on the same shard is merely a
+// lower bound, which is all the queue's admission control needs.
+func (e *Engine) ShardClock(s int) time.Duration {
+	return e.shards[s].ftl.Device().BusyUntil()
+}
+
+// ShardAdvanceArrival ratchets shard s's arrival clock forward to at least t,
+// so the shard's next operation starts no earlier than t even on idle dies.
+// Open-loop drivers stamp each operation's generated arrival instant with it
+// before executing the op; closed-loop drivers stamp the completion instant
+// of the op the caller waited on, modeling the host-side dependency chain.
+func (e *Engine) ShardAdvanceArrival(s int, t time.Duration) {
+	e.shards[s].ftl.Device().AdvanceArrival(t)
+}
+
 // Write serves one application write. Safe for concurrent use.
 //
 // A single-page operation's arrival instant is stamped on the shard's own

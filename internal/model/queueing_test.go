@@ -1,0 +1,80 @@
+package model
+
+import (
+	"testing"
+	"time"
+
+	"geckoftl/internal/flash"
+)
+
+func queueingFixture(depth int) (QueueingParams, flash.Latency) {
+	lat := flash.Latency{PageRead: 100 * time.Microsecond, PageWrite: time.Millisecond}
+	return QueueingParams{
+		Parallel: ParallelParams{Channels: 4, DiesPerChannel: 2},
+		Depth:    depth,
+	}, lat
+}
+
+func TestSaturationKneeMatchesParallelCeiling(t *testing.T) {
+	q, lat := queueingFixture(8)
+	// 8 dies at 1ms per page write and WA 2: 8 / (2 * 1ms) = 4000 writes/s.
+	if got, want := q.SaturationKnee(lat, 2), 4000.0; !close20(got, want, 1e-9) {
+		t.Errorf("knee = %.0f; want %.0f", got, want)
+	}
+	// The knee is the open-queue view of the closed-loop ceiling: the two
+	// must agree exactly.
+	if knee, ceiling := q.SaturationKnee(lat, 3.5), q.Parallel.WriteThroughput(lat, 3.5); knee != ceiling {
+		t.Errorf("knee %.0f != parallel ceiling %.0f", knee, ceiling)
+	}
+}
+
+func TestDeliveredThroughputPlateaus(t *testing.T) {
+	q, lat := queueingFixture(8)
+	knee := q.SaturationKnee(lat, 2)
+	if got := q.DeliveredThroughput(0.5*knee, lat, 2); got != 0.5*knee {
+		t.Errorf("below the knee delivered %.0f; want the offered %.0f", got, 0.5*knee)
+	}
+	if got := q.DeliveredThroughput(2*knee, lat, 2); got != knee {
+		t.Errorf("above the knee delivered %.0f; want the knee %.0f", got, knee)
+	}
+}
+
+func TestUtilizationAndShedFraction(t *testing.T) {
+	q, lat := queueingFixture(8)
+	knee := q.SaturationKnee(lat, 2)
+	if rho := q.Utilization(0.25*knee, lat, 2); !close20(rho, 0.25, 1e-9) {
+		t.Errorf("rho at quarter load = %g; want 0.25", rho)
+	}
+	if f := q.ShedFraction(0.5*knee, lat, 2); f != 0 {
+		t.Errorf("shed fraction below the knee = %g; want 0", f)
+	}
+	// At 2x overload half the offered stream must be shed.
+	if f := q.ShedFraction(2*knee, lat, 2); !close20(f, 0.5, 1e-9) {
+		t.Errorf("shed fraction at 2x = %g; want 0.5", f)
+	}
+}
+
+func TestDelayBound(t *testing.T) {
+	q, lat := queueingFixture(8)
+	if got, want := q.DelayBound(lat, 3), 24*time.Millisecond; got != want {
+		t.Errorf("delay bound = %v; want %v (8 quanta of 3 page writes)", got, want)
+	}
+	// WA below 1 and depth below 1 clamp rather than shrinking the budget
+	// to nothing.
+	q.Depth = 0
+	if got, want := q.DelayBound(lat, 0.5), time.Millisecond; got != want {
+		t.Errorf("clamped delay bound = %v; want %v", got, want)
+	}
+}
+
+// close20 reports whether got is within tol of want (absolute on the ratio).
+func close20(got, want, tol float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	r := got/want - 1
+	if r < 0 {
+		r = -r
+	}
+	return r <= tol
+}

@@ -1,0 +1,25 @@
+// Package queue is the asynchronous submission/completion engine: per-shard
+// submission queues of configurable depth in front of the sharded FTL engine,
+// io_uring-style. A host goroutine submits an operation and receives a Ticket
+// (a future) instead of parking until the op's die frees up; one worker
+// goroutine per shard executes submissions in FIFO order and completes the
+// tickets. Decoupling submission from execution is what lets a single caller
+// keep Channels × DiesPerChannel dies busy: each shard's virtual timeline
+// advances independently, so measured throughput is bounded by the topology,
+// not by caller concurrency.
+//
+// Admission control keeps overload from collapsing tail latency. Every
+// operation carries a virtual arrival instant; the queue's budget is
+// Depth × Quantum of backlog (depth expressed in service slots). An operation
+// arriving when its shard is further behind than the budget is either shed
+// with ErrFull (AdmitShed — the op is dropped and counted, completed work
+// keeps a bounded p99.9) or admitted as delayed (AdmitWait — never dropped,
+// the wait is accounted from the instant the queue had room and counted).
+// Admission decisions are made by the shard worker against the shard's own
+// virtual clock, in submission order, so for a single submitting goroutine
+// the shed/delay pattern is deterministic regardless of host scheduling.
+//
+// The queue is glued to the layers below through Config's hooks (ShardOf,
+// Exec, Clock, Advance) rather than importing them, so it can front any
+// sharded executor with a virtual clock.
+package queue

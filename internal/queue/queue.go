@@ -1,0 +1,478 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geckoftl/internal/flash"
+	"geckoftl/internal/stats"
+)
+
+var (
+	// ErrFull is returned (on the Submit call for a full transport queue,
+	// through the Ticket for a shed admission) when AdmitShed drops an
+	// operation instead of letting backlog grow past the depth budget.
+	ErrFull = errors.New("queue: submission queue is full")
+	// ErrClosed is returned by Submit and Drain after Close.
+	ErrClosed = errors.New("queue: engine is closed")
+	// ErrPending is returned by Ticket.Err while the operation is still in
+	// flight.
+	ErrPending = errors.New("queue: operation still in flight")
+)
+
+// Policy selects what admission control does with an operation that arrives
+// when its shard's backlog already exceeds the depth budget.
+type Policy int
+
+const (
+	// AdmitShed drops the operation: the submission fails fast with ErrFull
+	// (or the Ticket completes with it) and the drop is counted. Completed
+	// operations keep a bounded tail because nothing ever waits behind more
+	// than the budget.
+	AdmitShed Policy = iota
+	// AdmitWait admits the operation anyway: the transport send blocks until
+	// there is room (honouring ctx), the overflow is counted as a delay, and
+	// the operation's waiting time is accounted from the instant the queue
+	// had room for it. Nothing is ever dropped.
+	AdmitWait
+)
+
+// String returns the flag-friendly policy name.
+func (p Policy) String() string {
+	switch p {
+	case AdmitShed:
+		return "shed"
+	case AdmitWait:
+		return "wait"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps "shed" or "wait" to the Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "shed":
+		return AdmitShed, nil
+	case "wait":
+		return AdmitWait, nil
+	default:
+		return 0, fmt.Errorf("queue: unknown admission policy %q (want shed or wait)", s)
+	}
+}
+
+// OpKind is the operation type of a submission.
+type OpKind int
+
+const (
+	// OpWrite updates a logical page.
+	OpWrite OpKind = iota
+	// OpRead reads a logical page.
+	OpRead
+	// OpTrim discards a logical page.
+	OpTrim
+	// opBarrier is Drain's internal fence: it completes when every earlier
+	// submission of its shard has completed, executes nothing, and bypasses
+	// admission control.
+	opBarrier OpKind = -1
+)
+
+// Request is one submitted operation.
+type Request struct {
+	// Kind is the operation type.
+	Kind OpKind
+	// LPN is the logical page the operation targets.
+	LPN flash.LPN
+	// Arrival is the operation's virtual arrival instant; meaningful only
+	// when Timed. Open-loop generators stamp it from their arrival process;
+	// the public API stamps the host's last observed device instant.
+	Arrival time.Duration
+	// Timed enables virtual-time accounting for the request: admission
+	// control measures the shard's backlog against Arrival, the shard's
+	// arrival clock is ratcheted to it before execution (so the op cannot
+	// start before it arrived), and the submission-to-completion latency is
+	// recorded. Untimed requests skip all three.
+	Timed bool
+}
+
+// Config wires an Engine to the executor underneath it.
+type Config struct {
+	// Shards is the number of submission queues (one per executor shard).
+	Shards int
+	// Depth is the per-shard queue depth: both the transport capacity and,
+	// times Quantum, the virtual backlog budget admission control enforces.
+	Depth int
+	// Policy selects what admission control does at the budget; see
+	// AdmitShed and AdmitWait.
+	Policy Policy
+	// Quantum is the service-slot estimate admission control multiplies
+	// Depth by to obtain the backlog budget; typically the device's
+	// page-program latency. Zero selects a millisecond.
+	Quantum time.Duration
+	// ShardOf routes a logical page to its shard.
+	ShardOf func(lpn flash.LPN) (int, error)
+	// Exec executes one admitted request on its shard. It is called from the
+	// shard's worker goroutine only, one call at a time per shard.
+	Exec func(shard int, req Request) error
+	// Clock returns the shard's current virtual completion instant; nil
+	// disables virtual admission and latency accounting.
+	Clock func(shard int) time.Duration
+	// Advance ratchets the shard's arrival clock forward to at least t; nil
+	// disables pre-execution arrival stamping.
+	Advance func(shard int, t time.Duration)
+}
+
+// Ticket is the future of one submission: it completes when the operation
+// has executed (or been shed or cancelled), carrying the outcome.
+type Ticket struct {
+	done chan struct{}
+	// The fields below are written by the shard worker before done is
+	// closed; readers may touch them only after observing Done.
+	err         error
+	arrival     time.Duration
+	completedAt time.Duration
+}
+
+// Done returns a channel closed when the operation has completed.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Err returns the operation's outcome: nil for success, ErrFull for a shed
+// admission, the submission ctx's error for a cancellation observed before
+// execution, the executor's error otherwise. Before completion it returns
+// ErrPending.
+func (t *Ticket) Err() error {
+	select {
+	case <-t.done:
+		return t.err
+	default:
+		return ErrPending
+	}
+}
+
+// Wait blocks until the operation completes or ctx is cancelled, returning
+// the operation's outcome (or ctx's error). A nil ctx waits indefinitely.
+func (t *Ticket) Wait(ctx context.Context) error {
+	if ctx == nil {
+		<-t.done
+		return t.err
+	}
+	select {
+	case <-t.done:
+		return t.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Arrival returns the operation's effective virtual arrival instant: the
+// stamped arrival, pushed forward to the instant the queue had room when
+// AdmitWait delayed it. Closed-loop drivers read it to advance their producer
+// clock. Valid once Done is closed.
+func (t *Ticket) Arrival() time.Duration { return t.arrival }
+
+// CompletedAt returns the operation's virtual completion instant on its
+// shard's timeline; zero for shed or cancelled operations. Valid once Done
+// is closed.
+func (t *Ticket) CompletedAt() time.Duration { return t.completedAt }
+
+// item is one queued submission.
+type item struct {
+	ctx context.Context
+	req Request
+	tk  *Ticket
+}
+
+// shardQueue is one shard's submission queue and its counters.
+type shardQueue struct {
+	// mu guards ch against Close: submitters send under RLock, Close closes
+	// the channel under Lock.
+	mu     sync.RWMutex
+	ch     chan *item
+	closed bool
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	shed      atomic.Int64
+	delayed   atomic.Int64
+	cancelled atomic.Int64
+	inFlight  atomic.Int64
+
+	// latMu guards lat: the worker records, Stats merges.
+	latMu sync.Mutex
+	lat   *stats.Histogram
+}
+
+// Stats is the queue's instrumentation: cumulative counters and, for timed
+// submissions, the submission-to-completion latency distribution (queueing
+// behind the shard's backlog included).
+type Stats struct {
+	// Depth is the configured per-shard queue depth.
+	Depth int
+	// Policy is the configured admission policy's name.
+	Policy string
+	// Submitted counts submissions accepted by Submit (sheds at the full
+	// transport included, barriers excluded).
+	Submitted int64
+	// Completed counts operations that executed, successfully or not.
+	Completed int64
+	// Shed counts operations dropped by AdmitShed admission control.
+	Shed int64
+	// Delayed counts operations AdmitWait admitted past the backlog budget.
+	Delayed int64
+	// Cancelled counts operations whose submission ctx was observed
+	// cancelled before execution.
+	Cancelled int64
+	// InFlight is the number of submissions currently queued or executing.
+	InFlight int64
+	// Latency is the timed submissions' arrival-to-completion distribution.
+	Latency stats.Summary
+}
+
+// Engine is the asynchronous submission/completion engine; build one with
+// New, submit with Submit, stop it with Close.
+type Engine struct {
+	cfg    Config
+	budget time.Duration
+	shards []*shardQueue
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// New validates cfg, starts one worker goroutine per shard and returns the
+// running engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("queue: shard count %d must be at least 1", cfg.Shards)
+	}
+	if cfg.Depth < 1 {
+		return nil, fmt.Errorf("queue: depth %d must be at least 1", cfg.Depth)
+	}
+	if cfg.Policy != AdmitShed && cfg.Policy != AdmitWait {
+		return nil, fmt.Errorf("queue: unknown admission policy %v", cfg.Policy)
+	}
+	if cfg.ShardOf == nil || cfg.Exec == nil {
+		return nil, errors.New("queue: ShardOf and Exec hooks are required")
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = time.Millisecond
+	}
+	e := &Engine{cfg: cfg, budget: time.Duration(cfg.Depth) * cfg.Quantum}
+	for i := 0; i < cfg.Shards; i++ {
+		e.shards = append(e.shards, &shardQueue{
+			ch:  make(chan *item, cfg.Depth),
+			lat: stats.NewHistogram(),
+		})
+	}
+	for i := range e.shards {
+		e.wg.Add(1)
+		go e.worker(i)
+	}
+	return e, nil
+}
+
+// Submit enqueues one operation and returns its Ticket. Under AdmitShed a
+// full transport queue fails fast with ErrFull (and no Ticket); under
+// AdmitWait the send blocks until there is room, honouring ctx. The deeper
+// admission decision — whether the shard's virtual backlog exceeds the depth
+// budget — is made by the shard worker in submission order and delivered
+// through the Ticket. ctx is also consulted by the worker before execution,
+// so cancelling it fails queued-but-unexecuted operations with ctx's error.
+func (e *Engine) Submit(ctx context.Context, req Request) (*Ticket, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	s, err := e.cfg.ShardOf(req.LPN)
+	if err != nil {
+		return nil, err
+	}
+	sq := e.shards[s]
+	sq.submitted.Add(1)
+	it := &item{ctx: ctx, req: req, tk: &Ticket{done: make(chan struct{})}}
+	sq.inFlight.Add(1)
+	if err := e.send(ctx, sq, it); err != nil {
+		sq.inFlight.Add(-1)
+		return nil, err
+	}
+	return it.tk, nil
+}
+
+// send performs the transport admission: a non-blocking attempt first, then
+// policy-dependent handling of a full queue. Only untimed requests shed here
+// — the transport queue reflects host-time backlog, which is the right
+// admission domain for a host submitting without virtual arrival stamps. A
+// timed request's admission is decided by the shard worker against the
+// virtual clock instead (deterministically, in submission order), so its
+// transport send always blocks for room.
+func (e *Engine) send(ctx context.Context, sq *shardQueue, it *item) error {
+	sq.mu.RLock()
+	defer sq.mu.RUnlock()
+	if sq.closed {
+		return ErrClosed
+	}
+	select {
+	case sq.ch <- it:
+		return nil
+	default:
+	}
+	if e.cfg.Policy == AdmitShed && !it.req.Timed && it.req.Kind != opBarrier {
+		sq.shed.Add(1)
+		return ErrFull
+	}
+	if ctx == nil {
+		sq.ch <- it
+		return nil
+	}
+	select {
+	case sq.ch <- it:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker drains shard s's queue in FIFO order until Close closes it,
+// executing each admitted item and completing its ticket.
+func (e *Engine) worker(s int) {
+	defer e.wg.Done()
+	sq := e.shards[s]
+	for it := range sq.ch {
+		e.process(s, sq, it)
+	}
+}
+
+// finish completes a ticket.
+func finish(tk *Ticket, arrival, completedAt time.Duration, err error) {
+	tk.arrival = arrival
+	tk.completedAt = completedAt
+	tk.err = err
+	close(tk.done)
+}
+
+// process admits and executes one dequeued item. Virtual admission happens
+// here, on the worker, because only the worker sees the shard's clock advance
+// in submission order: a shed/delay decision is then a pure function of the
+// shard's arrival stream, deterministic regardless of host scheduling.
+func (e *Engine) process(s int, sq *shardQueue, it *item) {
+	if it.req.Kind == opBarrier {
+		finish(it.tk, it.req.Arrival, 0, nil)
+		return
+	}
+	defer sq.inFlight.Add(-1)
+	// The cancellation boundary: an operation whose submission ctx died
+	// while queued fails here, before any IO.
+	if it.ctx != nil {
+		if err := it.ctx.Err(); err != nil {
+			sq.cancelled.Add(1)
+			finish(it.tk, it.req.Arrival, 0, err)
+			return
+		}
+	}
+	arr := it.req.Arrival
+	timed := it.req.Timed && e.cfg.Clock != nil
+	if timed {
+		if lag := e.cfg.Clock(s) - arr; lag > e.budget {
+			switch e.cfg.Policy {
+			case AdmitShed:
+				sq.shed.Add(1)
+				finish(it.tk, arr, 0, ErrFull)
+				return
+			case AdmitWait:
+				// Admit, accounting the wait from the instant the backlog
+				// last fit the budget — the instant a blocked producer
+				// would have been released to submit.
+				sq.delayed.Add(1)
+				arr = e.cfg.Clock(s) - e.budget
+			}
+		}
+		if e.cfg.Advance != nil {
+			e.cfg.Advance(s, arr)
+		}
+	}
+	err := e.cfg.Exec(s, it.req)
+	sq.completed.Add(1)
+	var done time.Duration
+	if e.cfg.Clock != nil {
+		done = e.cfg.Clock(s)
+	}
+	if timed && err == nil {
+		sq.latMu.Lock()
+		sq.lat.Record(done - arr)
+		sq.latMu.Unlock()
+	}
+	finish(it.tk, arr, done, err)
+}
+
+// Drain blocks until every operation submitted before the call has completed,
+// by fencing each shard's queue with a barrier and waiting for all of them.
+// Operations submitted concurrently with Drain may or may not be covered.
+func (e *Engine) Drain(ctx context.Context) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	tickets := make([]*Ticket, 0, len(e.shards))
+	for _, sq := range e.shards {
+		it := &item{req: Request{Kind: opBarrier}, tk: &Ticket{done: make(chan struct{})}}
+		if err := e.send(ctx, sq, it); err != nil {
+			return err
+		}
+		tickets = append(tickets, it.tk)
+	}
+	for _, tk := range tickets {
+		if err := tk.Wait(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops the engine: new submissions fail with ErrClosed, already
+// queued operations execute to completion, and the shard workers exit.
+// Close is idempotent and safe to call concurrently with Submit.
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	for _, sq := range e.shards {
+		sq.mu.Lock()
+		sq.closed = true
+		close(sq.ch)
+		sq.mu.Unlock()
+	}
+	e.wg.Wait()
+}
+
+// Stats sums the shards' counters and merges their latency histograms.
+func (e *Engine) Stats() Stats {
+	merged := stats.NewHistogram()
+	out := Stats{Depth: e.cfg.Depth, Policy: e.cfg.Policy.String()}
+	for _, sq := range e.shards {
+		out.Submitted += sq.submitted.Load()
+		out.Completed += sq.completed.Load()
+		out.Shed += sq.shed.Load()
+		out.Delayed += sq.delayed.Load()
+		out.Cancelled += sq.cancelled.Load()
+		out.InFlight += sq.inFlight.Load()
+		sq.latMu.Lock()
+		merged.Merge(sq.lat)
+		sq.latMu.Unlock()
+	}
+	if out.InFlight < 0 {
+		out.InFlight = 0
+	}
+	out.Latency = merged.Summary()
+	return out
+}
+
+// ResetLatency empties the latency histograms (counters are untouched),
+// typically after a warm-up phase.
+func (e *Engine) ResetLatency() {
+	for _, sq := range e.shards {
+		sq.latMu.Lock()
+		sq.lat.Reset()
+		sq.latMu.Unlock()
+	}
+}

@@ -1,0 +1,439 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"geckoftl/internal/flash"
+)
+
+// testEngine builds an engine over an in-memory executor: ShardOf is a modulo
+// route, Exec optionally gates on a channel, and the virtual clock is a fixed
+// per-test value (virtual admission compares it against request arrivals).
+type testEngine struct {
+	*Engine
+	execed   atomic.Int64
+	advanced atomic.Int64 // last Advance instant, nanoseconds
+	gate     chan struct{}
+	gateOnce sync.Once
+}
+
+type testConfig struct {
+	shards  int
+	depth   int
+	policy  Policy
+	clock   time.Duration // fixed Clock value; negative disables the hook
+	gate    chan struct{} // if non-nil, Exec receives from it before returning
+	execErr error
+}
+
+// closeGate releases the engine's Exec gate (idempotently), so cleanup can
+// always unblock the workers before Close waits for them.
+func (te *testEngine) closeGate() {
+	if te.gate != nil {
+		te.gateOnce.Do(func() { close(te.gate) })
+	}
+}
+
+func newTestEngine(t *testing.T, tc testConfig) *testEngine {
+	t.Helper()
+	te := &testEngine{gate: tc.gate}
+	cfg := Config{
+		Shards:  tc.shards,
+		Depth:   tc.depth,
+		Policy:  tc.policy,
+		Quantum: time.Millisecond,
+		ShardOf: func(lpn flash.LPN) (int, error) {
+			return int(lpn) % tc.shards, nil
+		},
+		Exec: func(shard int, req Request) error {
+			if tc.gate != nil {
+				<-tc.gate
+			}
+			te.execed.Add(1)
+			return tc.execErr
+		},
+	}
+	if tc.clock >= 0 {
+		cfg.Clock = func(shard int) time.Duration { return tc.clock }
+		cfg.Advance = func(shard int, at time.Duration) { te.advanced.Store(int64(at)) }
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	te.Engine = eng
+	t.Cleanup(func() {
+		te.closeGate()
+		eng.Close()
+	})
+	return te
+}
+
+// waitWorkerIdle spins until shard's transport queue is empty, i.e. the worker
+// has dequeued everything submitted so far (it may still be executing).
+func waitWorkerIdle(t *testing.T, e *Engine, shard int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(e.shards[shard].ch) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("shard %d queue never drained", shard)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	shardOf := func(lpn flash.LPN) (int, error) { return 0, nil }
+	exec := func(shard int, req Request) error { return nil }
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no shards", Config{Depth: 1, ShardOf: shardOf, Exec: exec}},
+		{"no depth", Config{Shards: 1, ShardOf: shardOf, Exec: exec}},
+		{"bad policy", Config{Shards: 1, Depth: 1, Policy: Policy(7), ShardOf: shardOf, Exec: exec}},
+		{"no hooks", Config{Shards: 1, Depth: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.cfg); err == nil {
+				t.Errorf("New(%+v) accepted an invalid config", tc.cfg)
+			}
+		})
+	}
+}
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, p := range []Policy{AdmitShed, AdmitWait} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", p.String(), got, err, p)
+		}
+	}
+	if _, err := ParsePolicy("drop"); err == nil {
+		t.Error("ParsePolicy accepted an unknown policy name")
+	}
+}
+
+func TestSubmitCompletes(t *testing.T) {
+	e := newTestEngine(t, testConfig{shards: 2, depth: 4, policy: AdmitWait, clock: -1})
+	var tickets []*Ticket
+	for i := 0; i < 8; i++ {
+		tk, err := e.Submit(context.Background(), Request{Kind: OpWrite, LPN: flash.LPN(i)})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		if err := tk.Err(); err != ErrPending && err != nil {
+			t.Fatalf("Ticket.Err before completion = %v; want ErrPending or nil", err)
+		}
+		tickets = append(tickets, tk)
+	}
+	for i, tk := range tickets {
+		if err := tk.Wait(context.Background()); err != nil {
+			t.Errorf("ticket %d: %v", i, err)
+		}
+	}
+	st := e.Stats()
+	if st.Submitted != 8 || st.Completed != 8 || st.InFlight != 0 || st.Shed != 0 {
+		t.Errorf("stats after 8 ops: %+v", st)
+	}
+	if n := e.execed.Load(); n != 8 {
+		t.Errorf("executor ran %d times, want 8", n)
+	}
+}
+
+func TestExecErrorReachesTicket(t *testing.T) {
+	boom := errors.New("media failure")
+	e := newTestEngine(t, testConfig{shards: 1, depth: 2, policy: AdmitWait, clock: -1, execErr: boom})
+	tk, err := e.Submit(context.Background(), Request{Kind: OpWrite, LPN: 0})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := tk.Wait(nil); !errors.Is(err, boom) {
+		t.Errorf("ticket error = %v; want %v", err, boom)
+	}
+	if st := e.Stats(); st.Completed != 1 {
+		t.Errorf("an executed-but-failed op must count as completed: %+v", st)
+	}
+}
+
+func TestTransportShedWhenFull(t *testing.T) {
+	gate := make(chan struct{})
+	e := newTestEngine(t, testConfig{shards: 1, depth: 1, policy: AdmitShed, clock: -1, gate: gate})
+	// First op occupies the worker, second fills the depth-1 transport queue.
+	first, err := e.Submit(context.Background(), Request{Kind: OpWrite, LPN: 0})
+	if err != nil {
+		t.Fatalf("Submit 1: %v", err)
+	}
+	waitWorkerIdle(t, e.Engine, 0) // the worker holds op 1; op 2 fills the queue
+	second, err := e.Submit(context.Background(), Request{Kind: OpWrite, LPN: 0})
+	if err != nil {
+		t.Fatalf("Submit 2: %v", err)
+	}
+	// The transport is now full: an untimed shed-policy submission fails fast.
+	if _, err := e.Submit(context.Background(), Request{Kind: OpWrite, LPN: 0}); !errors.Is(err, ErrFull) {
+		t.Fatalf("Submit on full queue = %v; want ErrFull", err)
+	}
+	e.closeGate()
+	for _, tk := range []*Ticket{first, second} {
+		if err := tk.Wait(context.Background()); err != nil {
+			t.Errorf("admitted op failed: %v", err)
+		}
+	}
+	st := e.Stats()
+	if st.Shed != 1 || st.Completed != 2 {
+		t.Errorf("stats: %+v; want 1 shed, 2 completed", st)
+	}
+}
+
+func TestSubmitBlocksUnderWaitPolicy(t *testing.T) {
+	gate := make(chan struct{})
+	e := newTestEngine(t, testConfig{shards: 1, depth: 1, policy: AdmitWait, clock: -1, gate: gate})
+	if _, err := e.Submit(context.Background(), Request{Kind: OpWrite, LPN: 0}); err != nil {
+		t.Fatalf("Submit 1: %v", err)
+	}
+	waitWorkerIdle(t, e.Engine, 0)
+	if _, err := e.Submit(context.Background(), Request{Kind: OpWrite, LPN: 0}); err != nil {
+		t.Fatalf("Submit 2: %v", err)
+	}
+	// Transport full; a wait-policy Submit blocks until ctx dies.
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(10*time.Millisecond, cancel)
+	if _, err := e.Submit(ctx, Request{Kind: OpWrite, LPN: 0}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("blocked Submit = %v; want context.Canceled", err)
+	}
+	e.closeGate()
+}
+
+func TestVirtualAdmissionSheds(t *testing.T) {
+	// Clock far ahead of the request's arrival: backlog 100ms against a
+	// 4 x 1ms budget, so a shed-policy timed request must fail via its ticket.
+	e := newTestEngine(t, testConfig{shards: 1, depth: 4, policy: AdmitShed, clock: 100 * time.Millisecond})
+	tk, err := e.Submit(context.Background(), Request{Kind: OpWrite, LPN: 0, Arrival: 0, Timed: true})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := tk.Wait(context.Background()); !errors.Is(err, ErrFull) {
+		t.Fatalf("ticket error = %v; want ErrFull", err)
+	}
+	if tk.CompletedAt() != 0 {
+		t.Errorf("shed op has completion instant %v", tk.CompletedAt())
+	}
+	st := e.Stats()
+	if st.Shed != 1 || st.Completed != 0 || e.execed.Load() != 0 {
+		t.Errorf("shed op must not execute: %+v, execed=%d", st, e.execed.Load())
+	}
+	// An arrival inside the budget is admitted and executed.
+	tk, err = e.Submit(context.Background(), Request{Kind: OpWrite, LPN: 0, Arrival: 99 * time.Millisecond, Timed: true})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := tk.Wait(context.Background()); err != nil {
+		t.Fatalf("in-budget op failed: %v", err)
+	}
+	if at := time.Duration(e.advanced.Load()); at != 99*time.Millisecond {
+		t.Errorf("arrival advanced to %v; want 99ms", at)
+	}
+}
+
+func TestVirtualAdmissionWaitRestampsArrival(t *testing.T) {
+	e := newTestEngine(t, testConfig{shards: 1, depth: 4, policy: AdmitWait, clock: 100 * time.Millisecond})
+	tk, err := e.Submit(context.Background(), Request{Kind: OpWrite, LPN: 0, Arrival: 0, Timed: true})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := tk.Wait(context.Background()); err != nil {
+		t.Fatalf("delayed op failed: %v", err)
+	}
+	// The effective arrival is pushed to clock minus budget: the instant the
+	// backlog last fit, i.e. when a blocked producer would have been released.
+	if want := 96 * time.Millisecond; tk.Arrival() != want {
+		t.Errorf("effective arrival %v; want %v", tk.Arrival(), want)
+	}
+	st := e.Stats()
+	if st.Delayed != 1 || st.Shed != 0 || st.Completed != 1 {
+		t.Errorf("stats: %+v; want 1 delayed, 1 completed", st)
+	}
+	if st.Latency.Count != 1 || st.Latency.Max != 4*time.Millisecond {
+		t.Errorf("latency %+v; want one 4ms sample (completion 100ms - arrival 96ms)", st.Latency)
+	}
+}
+
+func TestCancelledContextFailsQueuedOps(t *testing.T) {
+	gate := make(chan struct{})
+	e := newTestEngine(t, testConfig{shards: 1, depth: 8, policy: AdmitWait, clock: -1, gate: gate})
+	blocker, err := e.Submit(context.Background(), Request{Kind: OpWrite, LPN: 0})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var doomed []*Ticket
+	for i := 0; i < 5; i++ {
+		tk, err := e.Submit(ctx, Request{Kind: OpWrite, LPN: 0})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		doomed = append(doomed, tk)
+	}
+	cancel()
+	gate <- struct{}{} // release the blocker only; doomed ops observe the dead ctx
+	e.closeGate()
+	if err := blocker.Wait(context.Background()); err != nil {
+		t.Fatalf("pre-cancel op failed: %v", err)
+	}
+	for i, tk := range doomed {
+		if err := tk.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+			t.Errorf("queued op %d after cancel: %v; want context.Canceled", i, err)
+		}
+	}
+	st := e.Stats()
+	if st.Cancelled != 5 || st.Completed != 1 {
+		t.Errorf("stats: %+v; want 5 cancelled, 1 completed", st)
+	}
+	if n := e.execed.Load(); n != 1 {
+		t.Errorf("executor ran %d times; cancelled ops must not execute", n)
+	}
+}
+
+func TestDrainWaitsForSubmitted(t *testing.T) {
+	e := newTestEngine(t, testConfig{shards: 4, depth: 4, policy: AdmitWait, clock: -1})
+	for i := 0; i < 32; i++ {
+		if _, err := e.Submit(context.Background(), Request{Kind: OpWrite, LPN: flash.LPN(i)}); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	st := e.Stats()
+	if st.Completed != 32 || st.InFlight != 0 {
+		t.Errorf("after Drain: %+v; want 32 completed, 0 in flight", st)
+	}
+}
+
+func TestCloseStopsSubmissions(t *testing.T) {
+	e := newTestEngine(t, testConfig{shards: 2, depth: 4, policy: AdmitShed, clock: -1})
+	var tickets []*Ticket
+	for i := 0; i < 6; i++ {
+		tk, err := e.Submit(context.Background(), Request{Kind: OpWrite, LPN: flash.LPN(i)})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		tickets = append(tickets, tk)
+	}
+	e.Close()
+	e.Close() // idempotent
+	// Close drains: everything queued before it completes.
+	for i, tk := range tickets {
+		if err := tk.Err(); err != nil {
+			t.Errorf("op %d after Close: %v", i, err)
+		}
+	}
+	if _, err := e.Submit(context.Background(), Request{Kind: OpWrite, LPN: 0}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close = %v; want ErrClosed", err)
+	}
+	if err := e.Drain(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Errorf("Drain after Close = %v; want ErrClosed", err)
+	}
+}
+
+func TestResetLatency(t *testing.T) {
+	e := newTestEngine(t, testConfig{shards: 1, depth: 4, policy: AdmitWait, clock: 5 * time.Millisecond})
+	tk, err := e.Submit(context.Background(), Request{Kind: OpWrite, LPN: 0, Arrival: 4 * time.Millisecond, Timed: true})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := tk.Wait(nil); err != nil {
+		t.Fatalf("op failed: %v", err)
+	}
+	if st := e.Stats(); st.Latency.Count != 1 {
+		t.Fatalf("latency count %d; want 1", st.Latency.Count)
+	}
+	e.ResetLatency()
+	st := e.Stats()
+	if st.Latency.Count != 0 {
+		t.Errorf("latency count %d after reset; want 0", st.Latency.Count)
+	}
+	if st.Completed != 1 {
+		t.Errorf("ResetLatency must not clear counters: %+v", st)
+	}
+}
+
+// TestSubmitCompleteHammer drives concurrent producers, a Drain caller, and a
+// Stats poller through the engine to give the race detector the whole
+// submit/complete path. Counter accounting must balance at the end.
+func TestSubmitCompleteHammer(t *testing.T) {
+	const producers, perProducer = 8, 200
+	e := newTestEngine(t, testConfig{shards: 4, depth: 8, policy: AdmitShed, clock: -1})
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				e.Stats()
+			}
+		}
+	}()
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = e.Drain(context.Background())
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	var shed atomic.Int64
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				tk, err := e.Submit(context.Background(), Request{Kind: OpKind(i % 3), LPN: flash.LPN(p*perProducer + i)})
+				if errors.Is(err, ErrFull) {
+					shed.Add(1)
+					continue
+				}
+				if err != nil {
+					t.Errorf("producer %d: %v", p, err)
+					return
+				}
+				if i%4 == 0 {
+					if err := tk.Wait(context.Background()); err != nil {
+						t.Errorf("producer %d wait: %v", p, err)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatalf("final Drain: %v", err)
+	}
+	close(stop)
+	aux.Wait()
+	st := e.Stats()
+	if st.Submitted != producers*perProducer {
+		t.Errorf("submitted %d; want %d", st.Submitted, producers*perProducer)
+	}
+	if st.Completed+st.Shed != st.Submitted || st.Shed != shed.Load() {
+		t.Errorf("accounting: %+v vs %d observed sheds", st, shed.Load())
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in flight %d after drain; want 0", st.InFlight)
+	}
+}

@@ -1,0 +1,504 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"geckoftl/internal/flash"
+	"geckoftl/internal/ftl"
+	"geckoftl/internal/model"
+	"geckoftl/internal/queue"
+	"geckoftl/internal/stats"
+	"geckoftl/internal/workload"
+)
+
+// QueuePoint is one row of the queue sweep.
+type QueuePoint struct {
+	// Mode is "closed" (a caller that keeps Depth operations in flight and
+	// issues the next when the oldest completes) or "open" (operations
+	// arrive on an arrival process's schedule, regardless of completions).
+	Mode string
+	// Workload names the page stream, with the arrival process appended for
+	// open rows (e.g. "uniform+poisson").
+	Workload string
+	// Policy is the admission policy: "sync" for the synchronous baseline,
+	// "wait"/"shed" for queued rows, "unbounded" for the no-admission
+	// contrast row.
+	Policy string
+	// Depth is the per-shard queue depth (0 for the synchronous baseline and
+	// the unbounded row).
+	Depth int
+	// Channels and Dies describe the topology.
+	Channels, Dies int
+	// Ops is the number of operations offered in the measured window;
+	// Completed, Shed and Delayed partition their fates (Delayed ops also
+	// complete).
+	Ops, Completed, Shed, Delayed int64
+	// Offered is the measured offered rate in ops/sec (0 for closed rows,
+	// where the caller offers exactly what completes).
+	Offered float64
+	// Throughput is the delivered rate: completed ops per second of virtual
+	// time from the window's start to the last completion.
+	Throughput float64
+	// WA is the measured write-amplification of the window.
+	WA float64
+	// ModelKnee is the queueing model's predicted saturation knee for this
+	// topology at the row's measured WA; ModelDelivered is the fluid-limit
+	// delivered rate min(Offered, ModelKnee).
+	ModelKnee, ModelDelivered float64
+	// DelayBound is the admission budget: the model's bound on the virtual
+	// backlog an admitted operation can wait behind.
+	DelayBound time.Duration
+	// Latency is the arrival-to-completion distribution of completed
+	// operations (for the synchronous baseline, the engine's per-write
+	// service times).
+	Latency stats.Summary
+}
+
+// QueueSweepOptions parameterizes QueueSweep.
+type QueueSweepOptions struct {
+	// Scale sizes the device, cache budget and measured window; the device
+	// and cache grow until every shard stays workable, as in ChannelSweep.
+	Scale ExperimentScale
+	// Channels is the engine width of every row. Zero means 4.
+	Channels int
+	// Depth is the per-shard queue depth of the open-loop rows. Zero means 8.
+	Depth int
+	// Depths lists the closed-loop depths swept. Empty means 1, 4, 8, 16.
+	Depths []int
+	// Workload names the page stream. Empty means uniform.
+	Workload string
+	// RateMultiples lists the open-loop offered rates as multiples of the
+	// calibrated saturation knee. Empty means 0.25, 0.5, 1.0, 2.0.
+	RateMultiples []float64
+	// Policy is the admission policy of the rate-multiple rows, "shed" or
+	// "wait". Empty means shed. The 2x wait and unbounded contrast rows run
+	// regardless.
+	Policy string
+	// BurstRatio is the burst-to-lull rate ratio of the bursty row. Zero
+	// means 4; values <= 1 skip the row.
+	BurstRatio float64
+}
+
+// QueueSweep measures the async submission/completion engine against the
+// synchronous baseline and the queueing model, in two parts.
+//
+// Closed-loop rows pin the depth-scaling story: one synchronous caller —
+// every operation's arrival chained to the previous completion — is bounded
+// by a single die's service rate no matter how many channels the device has,
+// while a caller keeping Depth operations in flight approaches the
+// Channels × DiesPerChannel ceiling once the depth covers the die count.
+//
+// Open-loop rows pin the saturation knee and admission control: operations
+// arrive on a Poisson schedule at multiples of the model's predicted knee.
+// Below the knee delivered throughput tracks the offered rate; above it the
+// device delivers the knee. At 2x overload the shedding policy keeps the
+// completed operations' p99.9 within the admission budget's neighborhood and
+// counts the drops, where the unbounded row lets queueing delay grow with
+// the backlog — the latency collapse admission control exists to prevent.
+//
+// All rows are deterministic for a given scale: admission decisions are made
+// by each shard's worker in submission order against the shard's own virtual
+// clock, so host goroutine scheduling never changes a result.
+func QueueSweep(opts QueueSweepOptions) ([]QueuePoint, error) {
+	if opts.Scale.MeasureWrites <= 0 {
+		return nil, fmt.Errorf("sim: measure writes %d must be positive", opts.Scale.MeasureWrites)
+	}
+	channels := opts.Channels
+	if channels <= 0 {
+		channels = 4
+	}
+	depth := opts.Depth
+	if depth <= 0 {
+		depth = 8
+	}
+	depths := opts.Depths
+	if len(depths) == 0 {
+		depths = []int{1, 4, 8, 16}
+	}
+	wl := opts.Workload
+	if wl == "" {
+		wl = "uniform"
+	}
+	multiples := opts.RateMultiples
+	if len(multiples) == 0 {
+		multiples = []float64{0.25, 0.5, 1.0, 2.0}
+	}
+	burst := opts.BurstRatio
+	if burst == 0 {
+		burst = 4
+	}
+	ratePolicy := queue.AdmitShed
+	if opts.Policy != "" {
+		var err error
+		if ratePolicy, err = queue.ParsePolicy(opts.Policy); err != nil {
+			return nil, fmt.Errorf("sim: queue sweep: %w", err)
+		}
+	}
+	// Grow the device and cache once so every shard stays workable; the
+	// grown geometry applies to every row (see ChannelSweep).
+	if min := MinSweepShardBlocks * channels; opts.Scale.Device.Blocks < min {
+		opts.Scale.Device.Blocks = min
+	}
+	if min := minSweepShardCache * channels; opts.Scale.CacheEntries < min {
+		opts.Scale.CacheEntries = min
+	}
+
+	var points []QueuePoint
+
+	// Synchronous baseline: calibrates the model knee's WA besides anchoring
+	// the depth-scaling comparison.
+	sync, err := queueSyncPoint(opts, channels, wl)
+	if err != nil {
+		return nil, fmt.Errorf("sim: queue sweep (sync): %w", err)
+	}
+	points = append(points, sync)
+
+	for _, d := range depths {
+		p, err := queueClosedPoint(opts, channels, wl, d)
+		if err != nil {
+			return nil, fmt.Errorf("sim: queue sweep (closed, depth %d): %w", d, err)
+		}
+		points = append(points, p)
+	}
+
+	// The calibrated knee sets the open-loop offered rates; each row then
+	// reports the model knee at its own measured WA.
+	knee := sync.ModelKnee
+	if knee <= 0 {
+		return nil, fmt.Errorf("sim: calibrated saturation knee %g must be positive", knee)
+	}
+	type openRow struct {
+		rate   float64
+		policy queue.Policy
+		depth  int
+		label  string
+		burst  float64
+	}
+	var rows []openRow
+	for _, m := range multiples {
+		rows = append(rows, openRow{rate: m * knee, policy: ratePolicy, depth: depth, label: ratePolicy.String()})
+	}
+	over := 2 * knee
+	rows = append(rows, openRow{rate: over, policy: queue.AdmitWait, depth: depth, label: "wait"})
+	// The unbounded contrast row: a queue deep enough that admission control
+	// never engages, so the overload's backlog lands in the latency tail.
+	rows = append(rows, openRow{rate: over, policy: queue.AdmitWait, depth: 4 * int(opts.Scale.MeasureWrites), label: "unbounded"})
+	if burst > 1 {
+		rows = append(rows, openRow{rate: knee, policy: ratePolicy, depth: depth, label: ratePolicy.String(), burst: burst})
+	}
+	for _, r := range rows {
+		p, err := queueOpenPoint(opts, channels, wl, r.rate, r.policy, r.depth, r.label, r.burst)
+		if err != nil {
+			return nil, fmt.Errorf("sim: queue sweep (open, %s, %.0f ops/s): %w", r.label, r.rate, err)
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// queueBench is the warmed engine + device every row starts from.
+type queueBench struct {
+	dev  *flash.Device
+	eng  *ftl.Engine
+	gen  workload.Generator
+	cfg  flash.Config
+	t0   time.Duration
+	base flash.Counters
+	ops  ftl.Stats
+}
+
+// newQueueBench builds a fresh device and engine, warms them with two full
+// overwrites through the batched path, and anchors the measurement window:
+// stats reset, counters snapshotted, and the device-wide arrival clock
+// ratcheted so every shard's clock starts at the same virtual instant t0.
+func newQueueBench(opts QueueSweepOptions, channels int, wl string) (*queueBench, error) {
+	scale := opts.Scale
+	spec := scale.Device
+	spec.Channels = channels
+	dev, err := spec.NewDevice()
+	if err != nil {
+		return nil, err
+	}
+	cfg := dev.Config()
+	// Incremental GC scheduling: the queue sweep is about tail latency, and
+	// an inline collector's whole-victim stalls (tens of milliseconds) would
+	// dominate every distribution and blur the saturation knee the model
+	// predicts from mean service rates.
+	ftlOpts := ftl.GeckoFTLOptions(scale.CacheEntries / channels)
+	ftlOpts.GCMode = ftl.GCIncremental
+	eng, err := ftl.NewEngine(dev, ftlOpts, 0)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.ByName(wl, eng.LogicalPages(), scale.Seed)
+	if err != nil {
+		return nil, err
+	}
+	batchSize := 2 * cfg.Dies()
+	var done int64
+	for warm := 2 * eng.LogicalPages(); done < warm; {
+		_, targets, _ := workload.SplitBatch(workload.TakeBatch(gen, batchSize))
+		if len(targets) == 0 {
+			continue
+		}
+		if err := eng.WriteBatch(context.Background(), targets); err != nil {
+			return nil, fmt.Errorf("warm-up: %w", err)
+		}
+		done += int64(len(targets))
+	}
+	eng.ResetLatencyStats()
+	return &queueBench{
+		dev:  dev,
+		eng:  eng,
+		gen:  gen,
+		cfg:  cfg,
+		t0:   dev.SyncArrival(),
+		base: dev.Counters(),
+		ops:  eng.Stats(),
+	}, nil
+}
+
+// point assembles the common fields of a finished row. end is the last
+// completion instant on the virtual timeline; offered is 0 for closed rows.
+func (b *queueBench) point(mode, wlName, policy string, depth int, end time.Duration, completed int64, offered float64) QueuePoint {
+	window := end - b.t0
+	after := b.eng.Stats()
+	writes := after.LogicalWrites - b.ops.LogicalWrites
+	wa := b.dev.Counters().Sub(b.base).WriteAmplification(writes, b.cfg.Latency.WriteReadRatio())
+	qp := model.QueueingParams{
+		Parallel: model.ParallelParams{
+			Channels:       b.cfg.NumChannels(),
+			DiesPerChannel: b.cfg.Dies() / b.cfg.NumChannels(),
+		},
+		Depth: depth,
+	}
+	p := QueuePoint{
+		Mode:       mode,
+		Workload:   wlName,
+		Policy:     policy,
+		Depth:      depth,
+		Channels:   b.cfg.NumChannels(),
+		Dies:       b.cfg.Dies(),
+		Completed:  completed,
+		Offered:    offered,
+		WA:         wa,
+		ModelKnee:  qp.SaturationKnee(b.cfg.Latency, wa),
+		DelayBound: qp.DelayBound(b.cfg.Latency, wa),
+	}
+	if window > 0 {
+		p.Throughput = float64(completed) / window.Seconds()
+	}
+	p.ModelDelivered = p.ModelKnee
+	if offered > 0 && offered < p.ModelKnee {
+		p.ModelDelivered = offered
+	}
+	return p
+}
+
+// queueSyncPoint measures the synchronous ceiling at caller concurrency one:
+// each operation's arrival is the previous operation's completion, the
+// host-side dependency chain of a caller that waits. The chain crosses
+// shards, so the device can never overlap two of the caller's operations no
+// matter how many dies it has.
+func queueSyncPoint(opts QueueSweepOptions, channels int, wl string) (QueuePoint, error) {
+	b, err := newQueueBench(opts, channels, wl)
+	if err != nil {
+		return QueuePoint{}, err
+	}
+	pc := b.t0
+	n := opts.Scale.MeasureWrites
+	for i := int64(0); i < n; i++ {
+		op := b.gen.Next()
+		s, err := b.eng.ShardOf(op.Page)
+		if err != nil {
+			return QueuePoint{}, err
+		}
+		b.eng.ShardAdvanceArrival(s, pc)
+		if err := execOp(b.eng, op); err != nil {
+			return QueuePoint{}, err
+		}
+		pc = b.eng.ShardClock(s)
+	}
+	p := b.point("closed", wl, "sync", 0, pc, n, 0)
+	p.Ops = n
+	p.Latency = b.eng.LatencyStats().Writes
+	return p, nil
+}
+
+// execOp issues one closed-loop operation synchronously.
+func execOp(eng *ftl.Engine, op workload.Op) error {
+	switch op.Kind {
+	case workload.OpRead:
+		return eng.Read(op.Page)
+	case workload.OpTrim:
+		return eng.Trim(op.Page)
+	default:
+		return eng.Write(op.Page)
+	}
+}
+
+// newQueue opens a submission queue over the bench's engine.
+func (b *queueBench) newQueue(depth int, policy queue.Policy) (*queue.Engine, error) {
+	return queue.New(queue.Config{
+		Shards:  b.eng.Shards(),
+		Depth:   depth,
+		Policy:  policy,
+		Quantum: b.cfg.Latency.PageWrite,
+		ShardOf: b.eng.ShardOf,
+		Exec: func(_ int, req queue.Request) error {
+			switch req.Kind {
+			case queue.OpRead:
+				return b.eng.Read(req.LPN)
+			case queue.OpTrim:
+				return b.eng.Trim(req.LPN)
+			default:
+				return b.eng.Write(req.LPN)
+			}
+		},
+		Clock:   b.eng.ShardClock,
+		Advance: b.eng.ShardAdvanceArrival,
+	})
+}
+
+// queueClosedPoint measures a caller keeping depth operations in flight
+// through the submission queue: operation i's arrival is the completion
+// instant of operation i-depth (the oldest in-flight one the caller waited
+// on). Depth 1 degenerates to the synchronous chain; once the window covers
+// the die count the shards' timelines overlap and throughput approaches the
+// topology's ceiling.
+func queueClosedPoint(opts QueueSweepOptions, channels int, wl string, depth int) (QueuePoint, error) {
+	b, err := newQueueBench(opts, channels, wl)
+	if err != nil {
+		return QueuePoint{}, err
+	}
+	q, err := b.newQueue(depth, queue.AdmitWait)
+	if err != nil {
+		return QueuePoint{}, err
+	}
+	defer q.Close()
+	ctx := context.Background()
+	n := opts.Scale.MeasureWrites
+	window := make([]*queue.Ticket, 0, depth)
+	pc := b.t0
+	end := b.t0
+	advance := func(tk *queue.Ticket) error {
+		if err := tk.Wait(ctx); err != nil {
+			return err
+		}
+		if at := tk.CompletedAt(); at > end {
+			end = at
+			if at > pc {
+				pc = at
+			}
+		}
+		return nil
+	}
+	for i := int64(0); i < n; i++ {
+		if int64(len(window)) == int64(depth) {
+			if err := advance(window[0]); err != nil {
+				return QueuePoint{}, err
+			}
+			window = window[1:]
+		}
+		op := b.gen.Next()
+		tk, err := q.Submit(ctx, queue.Request{Kind: queueKind(op.Kind), LPN: op.Page, Arrival: pc, Timed: true})
+		if err != nil {
+			return QueuePoint{}, err
+		}
+		window = append(window, tk)
+	}
+	for _, tk := range window {
+		if err := advance(tk); err != nil {
+			return QueuePoint{}, err
+		}
+	}
+	qs := q.Stats()
+	p := b.point("closed", wl, qs.Policy, depth, end, qs.Completed, 0)
+	p.Ops = qs.Submitted
+	p.Shed, p.Delayed = qs.Shed, qs.Delayed
+	p.Latency = qs.Latency
+	return p, nil
+}
+
+// queueKind maps a workload op kind to the queue's.
+func queueKind(k workload.OpKind) queue.OpKind {
+	switch k {
+	case workload.OpRead:
+		return queue.OpRead
+	case workload.OpTrim:
+		return queue.OpTrim
+	default:
+		return queue.OpWrite
+	}
+}
+
+// queueOpenPoint measures an open-loop arrival stream at the given offered
+// rate: operations arrive on the process's schedule whether or not earlier
+// ones completed, which is what exposes saturation. burst > 1 swaps the
+// Poisson process for the bursty one at the same nominal rate.
+func queueOpenPoint(opts QueueSweepOptions, channels int, wl string, rate float64, policy queue.Policy, depth int, label string, burst float64) (QueuePoint, error) {
+	b, err := newQueueBench(opts, channels, wl)
+	if err != nil {
+		return QueuePoint{}, err
+	}
+	var proc workload.ArrivalProcess
+	if burst > 1 {
+		meanGap := time.Duration(float64(time.Second) / rate)
+		proc, err = workload.NewBursty(rate, burst, 50*meanGap, opts.Scale.Seed+1)
+	} else {
+		proc, err = workload.NewPoisson(rate, opts.Scale.Seed+1)
+	}
+	if err != nil {
+		return QueuePoint{}, err
+	}
+	ol, err := workload.NewOpenLoop(b.gen, proc)
+	if err != nil {
+		return QueuePoint{}, err
+	}
+	q, err := b.newQueue(depth, policy)
+	if err != nil {
+		return QueuePoint{}, err
+	}
+	defer q.Close()
+	ctx := context.Background()
+	n := opts.Scale.MeasureWrites
+	tickets := make([]*queue.Ticket, 0, n)
+	last := b.t0
+	for i := int64(0); i < n; i++ {
+		a := ol.Next()
+		at := b.t0 + a.At
+		tk, err := q.Submit(ctx, queue.Request{Kind: queueKind(a.Op.Kind), LPN: a.Op.Page, Arrival: at, Timed: true})
+		if err != nil {
+			return QueuePoint{}, err
+		}
+		tickets = append(tickets, tk)
+		last = at
+	}
+	if err := q.Drain(ctx); err != nil {
+		return QueuePoint{}, err
+	}
+	for _, tk := range tickets {
+		if err := tk.Err(); err != nil && !errors.Is(err, queue.ErrFull) {
+			return QueuePoint{}, err
+		}
+	}
+	end := b.t0
+	for s := 0; s < b.eng.Shards(); s++ {
+		if c := b.eng.ShardClock(s); c > end {
+			end = c
+		}
+	}
+	var offered float64
+	if last > b.t0 {
+		offered = float64(n) / (last - b.t0).Seconds()
+	}
+	qs := q.Stats()
+	p := b.point("open", ol.Name(), label, depth, end, qs.Completed, offered)
+	p.Ops = qs.Submitted
+	p.Shed, p.Delayed = qs.Shed, qs.Delayed
+	p.Latency = qs.Latency
+	return p, nil
+}

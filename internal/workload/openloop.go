@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// The closed-loop generators in this package answer "which page next?"; the
+// open-loop machinery here answers "when does the next operation arrive?",
+// independent of when earlier operations complete. That independence is what
+// makes overload expressible: a closed-loop driver can never offer more load
+// than the device absorbs, an open-loop one keeps arriving on schedule and
+// exposes the saturation knee and the tail-latency collapse behind it.
+
+// ArrivalProcess generates the inter-arrival gaps of an open-loop stream.
+// Implementations are deterministic for a given seed.
+type ArrivalProcess interface {
+	// NextGap returns the virtual-time gap to the next arrival; always >= 0.
+	NextGap() time.Duration
+	// Name identifies the process in experiment output.
+	Name() string
+}
+
+// Poisson is a Poisson arrival process: independent exponentially distributed
+// inter-arrival gaps at a fixed mean rate, the memoryless baseline of open
+// systems.
+type Poisson struct {
+	rng  *rand.Rand
+	mean float64 // mean gap in nanoseconds
+}
+
+// NewPoisson creates a Poisson arrival process with the given rate in
+// operations per second. It returns an error if rate is not positive.
+func NewPoisson(rate float64, seed int64) (*Poisson, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("workload: arrival rate %g must be positive", rate)
+	}
+	return &Poisson{rng: rand.New(rand.NewSource(seed)), mean: float64(time.Second) / rate}, nil
+}
+
+// NextGap returns an exponentially distributed gap with the configured mean.
+func (p *Poisson) NextGap() time.Duration {
+	return time.Duration(p.rng.ExpFloat64() * p.mean)
+}
+
+// Name implements ArrivalProcess.
+func (p *Poisson) Name() string { return "poisson" }
+
+// Bursty is a two-state modulated Poisson process (on/off MMPP): the stream
+// alternates between a burst phase arriving at burst × rate and a lull phase
+// arriving at rate ÷ burst, with exponentially distributed phase durations.
+// The long-run mean rate sits between the two; the bursts are what stress a
+// queue's admission control in ways a smooth Poisson stream cannot.
+type Bursty struct {
+	rng        *rand.Rand
+	burstMean  float64 // mean gap during a burst, nanoseconds
+	lullMean   float64 // mean gap during a lull, nanoseconds
+	dwellMean  float64 // mean phase duration, nanoseconds
+	inBurst    bool
+	phaseLeft  float64 // nanoseconds remaining in the current phase
+	burstRatio float64
+}
+
+// NewBursty creates a bursty arrival process: rate is the nominal rate in
+// operations per second, burst > 1 is the burst-to-lull rate ratio, and dwell
+// is the mean duration of each phase. It returns an error for a non-positive
+// rate or dwell, or a burst ratio not greater than 1.
+func NewBursty(rate, burst float64, dwell time.Duration, seed int64) (*Bursty, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("workload: arrival rate %g must be positive", rate)
+	}
+	if burst <= 1 {
+		return nil, fmt.Errorf("workload: burst ratio %g must be greater than 1", burst)
+	}
+	if dwell <= 0 {
+		return nil, fmt.Errorf("workload: phase dwell %v must be positive", dwell)
+	}
+	mean := float64(time.Second) / rate
+	b := &Bursty{
+		rng:        rand.New(rand.NewSource(seed)),
+		burstMean:  mean / burst,
+		lullMean:   mean * burst,
+		dwellMean:  float64(dwell),
+		burstRatio: burst,
+	}
+	b.phaseLeft = b.rng.ExpFloat64() * b.dwellMean
+	return b, nil
+}
+
+// NextGap returns the next inter-arrival gap, advancing through burst and
+// lull phases as their exponentially distributed durations expire.
+func (b *Bursty) NextGap() time.Duration {
+	mean := b.lullMean
+	if b.inBurst {
+		mean = b.burstMean
+	}
+	gap := b.rng.ExpFloat64() * mean
+	b.phaseLeft -= gap
+	for b.phaseLeft <= 0 {
+		b.inBurst = !b.inBurst
+		b.phaseLeft += b.rng.ExpFloat64() * b.dwellMean
+	}
+	return time.Duration(gap)
+}
+
+// Name implements ArrivalProcess.
+func (b *Bursty) Name() string { return fmt.Sprintf("bursty(%g)", b.burstRatio) }
+
+// Arrival is one operation of an open-loop stream with its arrival instant.
+type Arrival struct {
+	// Op is the operation (page and kind) from the wrapped generator.
+	Op Op
+	// At is the operation's virtual arrival instant, measured from the
+	// stream's origin; non-decreasing across the stream.
+	At time.Duration
+}
+
+// OpenLoop pairs a page generator with an arrival process: a full open-loop
+// workload, deterministic for given seeds.
+type OpenLoop struct {
+	gen  Generator
+	proc ArrivalProcess
+	now  time.Duration
+}
+
+// NewOpenLoop wraps gen's operations with proc's arrival instants. It returns
+// an error if either is nil.
+func NewOpenLoop(gen Generator, proc ArrivalProcess) (*OpenLoop, error) {
+	if gen == nil || proc == nil {
+		return nil, fmt.Errorf("workload: open-loop stream needs a generator and an arrival process")
+	}
+	return &OpenLoop{gen: gen, proc: proc}, nil
+}
+
+// Next returns the stream's next operation and advances the arrival clock.
+func (o *OpenLoop) Next() Arrival {
+	o.now += o.proc.NextGap()
+	return Arrival{Op: o.gen.Next(), At: o.now}
+}
+
+// Name identifies the combined stream in experiment output.
+func (o *OpenLoop) Name() string { return o.gen.Name() + "+" + o.proc.Name() }

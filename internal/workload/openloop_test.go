@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPoissonValidation(t *testing.T) {
+	for _, rate := range []float64{0, -1} {
+		if _, err := NewPoisson(rate, 1); err == nil {
+			t.Errorf("NewPoisson(rate=%g) accepted a non-positive rate", rate)
+		}
+	}
+}
+
+func TestBurstyValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		rate  float64
+		burst float64
+		dwell time.Duration
+	}{
+		{"zero rate", 0, 4, time.Second},
+		{"burst ratio 1", 100, 1, time.Second},
+		{"burst ratio below 1", 100, 0.5, time.Second},
+		{"zero dwell", 100, 4, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewBursty(tc.rate, tc.burst, tc.dwell, 1); err == nil {
+				t.Error("NewBursty accepted an invalid config")
+			}
+		})
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	const rate, n = 1000.0, 100000
+	p, err := NewPoisson(rate, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		gap := p.NextGap()
+		if gap < 0 {
+			t.Fatalf("negative gap %v", gap)
+		}
+		total += gap
+	}
+	// n arrivals over total virtual time: the empirical rate must sit near
+	// the configured one (law of large numbers; the band is generous).
+	empirical := float64(n) / total.Seconds()
+	if empirical < 0.97*rate || empirical > 1.03*rate {
+		t.Errorf("empirical rate %.0f ops/s; want within 3%% of %.0f", empirical, rate)
+	}
+}
+
+func TestBurstyAlternatesPhases(t *testing.T) {
+	const rate, burst = 1000.0, 8.0
+	b, err := NewBursty(rate, burst, 10*time.Millisecond, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a burst-to-lull ratio of 8, gaps drawn in bursts cluster well
+	// below the nominal mean and lull gaps well above it; seeing both sides
+	// over a long stream means the phases actually alternate.
+	mean := time.Duration(float64(time.Second) / rate)
+	var short, long int
+	for i := 0; i < 50000; i++ {
+		gap := b.NextGap()
+		if gap < 0 {
+			t.Fatalf("negative gap %v", gap)
+		}
+		if gap < mean/4 {
+			short++
+		}
+		if gap > 4*mean {
+			long++
+		}
+	}
+	if short == 0 || long == 0 {
+		t.Errorf("no phase alternation: %d short gaps, %d long gaps", short, long)
+	}
+}
+
+// TestOpenLoopDeterminism pins the open-loop contract the queue sweep depends
+// on: the same seeds reproduce the identical arrival stream, and different
+// seeds diverge.
+func TestOpenLoopDeterminism(t *testing.T) {
+	stream := func(procSeed, genSeed int64) []Arrival {
+		gen, err := NewUniform(4096, genSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proc, err := NewPoisson(500, procSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ol, err := NewOpenLoop(gen, proc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]Arrival, 2000)
+		for i := range out {
+			out[i] = ol.Next()
+		}
+		return out
+	}
+	a, b := stream(11, 22), stream(11, 22)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seeds diverged at op %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := stream(12, 22)
+	same := true
+	for i := range a {
+		if a[i].At != c[i].At {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different arrival seeds produced an identical arrival stream")
+	}
+}
+
+func TestOpenLoopArrivalsMonotone(t *testing.T) {
+	gen, err := NewSequential(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := NewBursty(2000, 4, 5*time.Millisecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ol, err := NewOpenLoop(gen, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ol.Name(), "sequential+bursty(4)"; got != want {
+		t.Errorf("Name() = %q; want %q", got, want)
+	}
+	var last time.Duration
+	for i := 0; i < 10000; i++ {
+		a := ol.Next()
+		if a.At < last {
+			t.Fatalf("arrival %d went backwards: %v after %v", i, a.At, last)
+		}
+		last = a.At
+	}
+}
+
+func TestOpenLoopNilParts(t *testing.T) {
+	gen, err := NewUniform(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewOpenLoop(nil, &Poisson{}); err == nil {
+		t.Error("NewOpenLoop accepted a nil generator")
+	}
+	if _, err := NewOpenLoop(gen, nil); err == nil {
+		t.Error("NewOpenLoop accepted a nil arrival process")
+	}
+}

@@ -123,6 +123,11 @@ type config struct {
 	// checkpointPath, when set by WithCheckpointPath, is where Close/Flush
 	// write the metadata checkpoint and where Open looks for one to load.
 	checkpointPath string
+
+	// queueDepth and queueAdmission configure the asynchronous submission
+	// path (Device.SubmitWrite and friends).
+	queueDepth     int
+	queueAdmission AdmissionPolicy
 }
 
 // defaultConfig sizes a small device that exercises every subsystem quickly:
@@ -130,11 +135,13 @@ type config struct {
 // ratio, one channel, GeckoFTL with a 1024-entry mapping cache.
 func defaultConfig() config {
 	return config{
-		blocks:        256,
-		pagesPerBlock: 32,
-		pageSize:      1024,
-		overProvision: flash.DefaultOverProvision,
-		cacheEntries:  1024,
+		blocks:         256,
+		pagesPerBlock:  32,
+		pageSize:       1024,
+		overProvision:  flash.DefaultOverProvision,
+		cacheEntries:   1024,
+		queueDepth:     DefaultQueueDepth,
+		queueAdmission: AdmitWait,
 	}
 }
 
@@ -301,6 +308,41 @@ func WithCheckpointPath(path string) Option {
 			return fmt.Errorf("%w: checkpoint path must not be empty", ErrInvalidConfig)
 		}
 		c.checkpointPath = path
+		return nil
+	}
+}
+
+// DefaultQueueDepth is the asynchronous submission path's default per-shard
+// queue depth.
+const DefaultQueueDepth = 32
+
+// WithQueueDepth sets the asynchronous submission path's per-shard queue
+// depth: both the number of submissions a shard buffers and, times the
+// page-program latency, the virtual backlog budget admission control enforces
+// (see WithAdmissionPolicy). Deeper queues reach more of the device's
+// parallelism and tolerate burstier arrivals; shallower ones bound the
+// latency an admitted operation can queue behind.
+func WithQueueDepth(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("%w: queue depth %d must be at least 1", ErrInvalidConfig, n)
+		}
+		c.queueDepth = n
+		return nil
+	}
+}
+
+// WithAdmissionPolicy selects what the asynchronous submission path does with
+// an operation whose shard backlog exceeds the queue depth's budget: AdmitShed
+// drops it (the Ticket fails with ErrQueueFull, keeping the completed
+// operations' tail bounded), AdmitWait — the default — admits it anyway and
+// counts the delay.
+func WithAdmissionPolicy(p AdmissionPolicy) Option {
+	return func(c *config) error {
+		if p != AdmitShed && p != AdmitWait {
+			return fmt.Errorf("%w: unknown admission policy %v", ErrInvalidConfig, p)
+		}
+		c.queueAdmission = p
 		return nil
 	}
 }

@@ -52,6 +52,34 @@ type GCStats struct {
 	MaxStall time.Duration
 }
 
+// QueueStats describe the asynchronous submission path (Device.SubmitWrite
+// and friends) since Open: queue configuration, the fates of submitted
+// operations, and the submission-to-completion latency distribution.
+type QueueStats struct {
+	// Depth is the configured per-shard queue depth (WithQueueDepth).
+	Depth int
+	// Policy is the configured admission policy's name (WithAdmissionPolicy).
+	Policy string
+	// Submitted counts operations accepted by Submit*.
+	Submitted int64
+	// Completed counts operations that executed, successfully or not.
+	Completed int64
+	// Shed counts operations dropped by the AdmitShed admission policy; their
+	// Tickets failed with ErrQueueFull.
+	Shed int64
+	// Delayed counts operations the AdmitWait policy admitted past the
+	// backlog budget.
+	Delayed int64
+	// Cancelled counts operations whose submission context was observed
+	// cancelled before execution.
+	Cancelled int64
+	// InFlight is the number of submissions currently queued or executing.
+	InFlight int64
+	// Latency is the submission-to-completion distribution of completed
+	// operations on the virtual timeline, queueing included.
+	Latency LatencySummary
+}
+
 // Snapshot is a stable, self-consistent view of the device's statistics:
 // logical operation counts, write-amplification over the current measurement
 // window, RAM footprint, and per-operation latency percentiles.
@@ -113,6 +141,10 @@ type Snapshot struct {
 	// GCStalledWrites summarizes the service times of the host operations
 	// that performed garbage-collection work.
 	GCStalledWrites LatencySummary
+
+	// Queue describes the asynchronous submission path; its counters stay
+	// zero on a device that only used the synchronous methods.
+	Queue QueueStats
 }
 
 // Snapshot captures the device's statistics. It may run concurrently with
@@ -167,6 +199,7 @@ func (d *Device) Snapshot() Snapshot {
 		ReadLatency:     toLatencySummary(es.Reads),
 		TrimLatency:     toLatencySummary(es.Trims),
 		GCStalledWrites: toLatencySummary(es.GCStalledWrites),
+		Queue:           d.queueStats(),
 	}
 }
 

@@ -2,6 +2,7 @@ package geckoftl
 
 import (
 	"io"
+	"time"
 
 	"geckoftl/internal/workload"
 )
@@ -77,6 +78,51 @@ func NewTrimming(writes Workload, logicalPages int64, trimFraction float64, seed
 func ParseTrace(name string, r io.Reader) (Workload, error) {
 	w, err := workload.ParseTrace(name, r)
 	return w, configErr(err)
+}
+
+// ArrivalProcess generates the inter-arrival gaps of an open-loop stream;
+// see NewPoissonArrivals and NewBurstyArrivals.
+type ArrivalProcess = workload.ArrivalProcess
+
+// OpenLoopWorkload pairs a page workload with an arrival process: each drawn
+// operation carries the virtual instant it arrives at, independent of when
+// earlier operations complete. That independence is what makes overload
+// expressible — a closed-loop caller can never offer more load than the
+// device absorbs; an open-loop stream keeps arriving on schedule and exposes
+// the saturation knee. Deterministic for given seeds.
+type OpenLoopWorkload = workload.OpenLoop
+
+// WorkloadArrival is one operation of an open-loop stream with its virtual
+// arrival instant.
+type WorkloadArrival = workload.Arrival
+
+// NewPoissonArrivals creates a Poisson arrival process at the given rate in
+// operations per second: independent exponentially distributed gaps, the
+// memoryless baseline of open systems.
+func NewPoissonArrivals(rate float64, seed int64) (ArrivalProcess, error) {
+	p, err := workload.NewPoisson(rate, seed)
+	if err != nil {
+		return nil, configErr(err)
+	}
+	return p, nil
+}
+
+// NewBurstyArrivals creates a two-state bursty arrival process: the stream
+// alternates between a burst phase at burst x rate and a lull phase at
+// rate / burst, with exponentially distributed phase durations of mean dwell.
+func NewBurstyArrivals(rate, burst float64, dwell time.Duration, seed int64) (ArrivalProcess, error) {
+	b, err := workload.NewBursty(rate, burst, dwell, seed)
+	if err != nil {
+		return nil, configErr(err)
+	}
+	return b, nil
+}
+
+// NewOpenLoop wraps a page workload's operations with an arrival process's
+// instants.
+func NewOpenLoop(gen Workload, proc ArrivalProcess) (*OpenLoopWorkload, error) {
+	ol, err := workload.NewOpenLoop(gen, proc)
+	return ol, configErr(err)
 }
 
 // TakeBatch draws the next n operations from a workload.
