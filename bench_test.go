@@ -32,6 +32,7 @@ func benchScale() sim.ExperimentScale {
 // BenchmarkFigure1 reproduces Figure 1: LazyFTL's integrated RAM requirement
 // and recovery time as device capacity grows (analytical, full scale).
 func BenchmarkFigure1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		points := sim.Figure1()
 		if i == 0 {
@@ -46,6 +47,7 @@ func BenchmarkFigure1(b *testing.B) {
 // BenchmarkTable1 reproduces Table 1: the per-operation IO costs and RAM of
 // the three page-validity schemes (analytical, full scale).
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := sim.Table1()
 		if i == 0 {
@@ -66,6 +68,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkFigure9 reproduces Figure 9: Logarithmic Gecko under size ratios
 // T = 2..32 versus a flash-resident PVB, under uniform random updates.
 func BenchmarkFigure9(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	for i := 0; i < b.N; i++ {
 		rows, err := sim.Figure9(scale)
@@ -83,6 +86,7 @@ func BenchmarkFigure9(b *testing.B) {
 // BenchmarkFigure10 reproduces Figure 10: entry-partitioning makes
 // write-amplification independent of the block size B.
 func BenchmarkFigure10(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	for i := 0; i < b.N; i++ {
 		rows, err := sim.Figure10(scale)
@@ -104,6 +108,7 @@ func BenchmarkFigure10(b *testing.B) {
 // BenchmarkFigure11 reproduces Figure 11: write-amplification versus the
 // number of blocks K for Logarithmic Gecko and the flash PVB.
 func BenchmarkFigure11(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	for i := 0; i < b.N; i++ {
 		rows, err := sim.Figure11(scale)
@@ -122,6 +127,7 @@ func BenchmarkFigure11(b *testing.B) {
 // BenchmarkFigure12 reproduces Figure 12: the effect of over-provisioning on
 // Logarithmic Gecko's IO.
 func BenchmarkFigure12(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	for i := 0; i < b.N; i++ {
 		rows, err := sim.Figure12(scale)
@@ -140,6 +146,7 @@ func BenchmarkFigure12(b *testing.B) {
 // BenchmarkFigure13RAM reproduces the top part of Figure 13: the integrated
 // RAM breakdown of every FTL (analytical, full scale).
 func BenchmarkFigure13RAM(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := sim.Figure13RAM()
 		if i == 0 {
@@ -153,6 +160,7 @@ func BenchmarkFigure13RAM(b *testing.B) {
 // BenchmarkFigure13Recovery reproduces the middle part of Figure 13: the
 // recovery-time breakdown of every FTL (analytical, full scale).
 func BenchmarkFigure13Recovery(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := sim.Figure13Recovery()
 		if i == 0 {
@@ -166,6 +174,7 @@ func BenchmarkFigure13Recovery(b *testing.B) {
 // BenchmarkFigure13WA reproduces the bottom part of Figure 13: the simulated
 // write-amplification breakdown of every FTL under uniform random writes.
 func BenchmarkFigure13WA(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	for i := 0; i < b.N; i++ {
 		rows, err := sim.Figure13WA(scale)
@@ -185,6 +194,7 @@ func BenchmarkFigure13WA(b *testing.B) {
 // BenchmarkFigure14 reproduces Figure 14: with an equal RAM budget, the RAM
 // freed by dropping the PVB is spent on a larger mapping cache.
 func BenchmarkFigure14(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	for i := 0; i < b.N; i++ {
 		rows, err := sim.Figure14(scale)
@@ -203,6 +213,7 @@ func BenchmarkFigure14(b *testing.B) {
 // BenchmarkRecoverySimulation complements the analytical Figure 13 middle
 // with an executable crash-recovery measurement of every FTL.
 func BenchmarkRecoverySimulation(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	scale.MeasureWrites = 10000
 	for i := 0; i < b.N; i++ {
@@ -220,6 +231,7 @@ func BenchmarkRecoverySimulation(b *testing.B) {
 
 // BenchmarkHeadlineSummary evaluates the paper's three headline claims.
 func BenchmarkHeadlineSummary(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	for i := 0; i < b.N; i++ {
 		s, err := sim.Headlines(scale)
@@ -255,6 +267,7 @@ func runVariant(b *testing.B, opts ftl.Options) sim.Result {
 // victim-selection policy (Section 4.2) against the greedy policy used by
 // existing FTLs, holding everything else fixed.
 func BenchmarkAblationGCPolicy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		aware := ftl.GeckoFTLOptions(benchScale().CacheEntries)
 		greedy := aware
@@ -272,6 +285,7 @@ func BenchmarkAblationGCPolicy(b *testing.B) {
 // BenchmarkAblationMultiWayMerge compares two-way against multi-way merging
 // (Appendix A) inside GeckoFTL.
 func BenchmarkAblationMultiWayMerge(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		twoWay := ftl.GeckoFTLOptions(benchScale().CacheEntries)
 		multi := twoWay
@@ -290,6 +304,7 @@ func BenchmarkAblationMultiWayMerge(b *testing.B) {
 // GeckoFTL's runtime checkpoints (Section 4.3): the paper argues it is
 // negligible.
 func BenchmarkAblationCheckpoints(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		with := ftl.GeckoFTLOptions(benchScale().CacheEntries)
 		without := with
@@ -309,6 +324,7 @@ func BenchmarkAblationCheckpoints(b *testing.B) {
 // 128-page blocks: with smaller blocks the recommended partitioning factor is
 // already 1 and there is nothing to ablate.
 func BenchmarkAblationPartitioning(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	scale.Device.PagesPerBlock = 128
 	scale.Device.Blocks = 128
@@ -342,6 +358,7 @@ func BenchmarkAblationPartitioning(b *testing.B) {
 // GeckoFTL variant forced to bound its dirty entries (as LazyFTL does) pays
 // more translation-metadata write-amplification.
 func BenchmarkAblationDirtyBound(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		unbounded := ftl.GeckoFTLOptions(benchScale().CacheEntries)
 		bounded := unbounded
@@ -361,6 +378,7 @@ func BenchmarkAblationDirtyBound(b *testing.B) {
 // the paper; see docs/benchmarks.md). It reports simulated logical writes
 // per second and the speedup over one channel.
 func BenchmarkChannelSweep(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	for i := 0; i < b.N; i++ {
 		points, err := sim.ChannelSweep(sim.ChannelSweepOptions{Scale: scale})
@@ -382,6 +400,7 @@ func BenchmarkChannelSweep(b *testing.B) {
 // "Recovery experiments"). It reports the recovery wall-clock per channel
 // count and the parallel speedup over the serial scan.
 func BenchmarkRecoverySweep(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	for i := 0; i < b.N; i++ {
 		points, err := sim.RecoverySweep(sim.RecoverySweepOptions{Scale: scale})
@@ -406,6 +425,7 @@ func BenchmarkRecoverySweep(b *testing.B) {
 // maximum write latency plus the worst GC stall per mode, under zipfian
 // skew at both victim policies.
 func BenchmarkLatencySweep(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	for i := 0; i < b.N; i++ {
 		points, err := sim.LatencySweep(sim.LatencySweepOptions{
@@ -431,6 +451,7 @@ func BenchmarkLatencySweep(b *testing.B) {
 // skewed workloads, reporting write-amplification and erase spread per
 // frontier configuration.
 func BenchmarkWearSweep(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	for i := 0; i < b.N; i++ {
 		points, err := sim.WearSweep(sim.WearSweepOptions{
@@ -460,6 +481,7 @@ func BenchmarkWearSweep(b *testing.B) {
 // modeled knee, and the p99.9 contrast between bounded admission and the
 // unbounded queue.
 func BenchmarkQueueSweep(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	for i := 0; i < b.N; i++ {
 		points, err := sim.QueueSweep(sim.QueueSweepOptions{Scale: scale})
@@ -490,6 +512,7 @@ func BenchmarkQueueSweep(b *testing.B) {
 // BenchmarkParallelModel documents the parallelism-aware latency model's
 // predictions at the paper's full-scale latencies.
 func BenchmarkParallelModel(b *testing.B) {
+	b.ReportAllocs()
 	lat := flash.DefaultLatency()
 	for i := 0; i < b.N; i++ {
 		for _, c := range []int{1, 8, 16} {
@@ -508,6 +531,7 @@ func BenchmarkParallelModel(b *testing.B) {
 // BenchmarkRAMModel exercises the analytical RAM model across the five FTLs;
 // it is cheap and mostly documents the model's outputs in bench_output.txt.
 func BenchmarkRAMModel(b *testing.B) {
+	b.ReportAllocs()
 	p := model.Default()
 	for i := 0; i < b.N; i++ {
 		for _, k := range model.Kinds() {

@@ -42,8 +42,13 @@
 // backpressure keeping tail latency finite past it (see docs/benchmarks.md).
 //
 // With -json, each experiment emits one JSON object per line of the form
-// {"experiment": name, "rows": [...]}, so benchmark trajectories can be
-// recorded by machines instead of scraped from tables.
+// {"experiment": name, "rows": [...], "alloc": {...}}, so benchmark
+// trajectories can be recorded by machines instead of scraped from tables.
+// The alloc block is the host-side counterpart of the geckolint -hotpath
+// gate: total heap allocations and bytes during the experiment, plus
+// allocs/op normalized by the scale's measured writes, so an allocation
+// regression on the hot path shows up in the artifact diff even when it
+// slips past the static gate.
 package main
 
 import (
@@ -51,6 +56,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -221,6 +227,36 @@ func experiments() []experimentSpec {
 	}
 }
 
+// allocStats is the host-side allocation profile of one experiment run: the
+// measured counterpart of the geckolint -hotpath static gate.
+type allocStats struct {
+	// Mallocs and AllocBytes are heap allocation deltas over the experiment
+	// (all phases: setup, warm-up and measurement).
+	Mallocs    uint64 `json:"mallocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// AllocsPerOp normalizes Mallocs by the scale's measured writes — a
+	// coarse per-operation figure (setup allocations included) whose drift
+	// between runs of the same experiment flags a hot-path regression.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// measureAllocs runs fn and returns its result alongside the heap
+// allocation delta, normalized by ops (when positive).
+func measureAllocs(fn func() (any, error), ops int64) (any, allocStats, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	rows, err := fn()
+	runtime.ReadMemStats(&after)
+	st := allocStats{
+		Mallocs:    after.Mallocs - before.Mallocs,
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+	}
+	if ops > 0 {
+		st.AllocsPerOp = float64(st.Mallocs) / float64(ops)
+	}
+	return rows, st, err
+}
+
 func run(experiment string, scale geckoftl.ExperimentScale) error {
 	all := experiment == "all"
 	ran := false
@@ -230,15 +266,16 @@ func run(experiment string, scale geckoftl.ExperimentScale) error {
 			continue
 		}
 		ran = true
-		rows, err := e.rows(scale)
+		rows, alloc, err := measureAllocs(func() (any, error) { return e.rows(scale) }, scale.MeasureWrites)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.name, err)
 		}
 		if jsonMode {
 			if err := enc.Encode(struct {
-				Experiment string `json:"experiment"`
-				Rows       any    `json:"rows"`
-			}{e.name, rows}); err != nil {
+				Experiment string     `json:"experiment"`
+				Rows       any        `json:"rows"`
+				Alloc      allocStats `json:"alloc"`
+			}{e.name, rows, alloc}); err != nil {
 				return fmt.Errorf("%s: %w", e.name, err)
 			}
 			continue

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	//geckolint:ignore apiboundary the linter command carries its own analyzers
+	"geckoftl/internal/analysis/hotalloc"
+	//geckolint:ignore apiboundary the linter command carries its own analyzers
+	"geckoftl/internal/analysis/lintutil"
+)
+
+// hotpathMain is the escape analysis gate behind geckolint -hotpath: rebuild
+// the module with -gcflags=-m, parse the compiler's escape diagnostics, and
+// fail on any heap allocation whose position falls inside a function
+// annotated //geckolint:hotpath. The static hotalloc analyzer catches the
+// allocations knowable from the AST; this gate catches the rest with the
+// compiler's own proof. Exit codes: 0 clean, 1 findings, 2 failure.
+func hotpathMain(jsonOut bool) int {
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "geckolint: locating module root: %v\n", err)
+		return 2
+	}
+
+	fset := token.NewFileSet()
+	astFiles := map[string]*ast.File{} // abs path -> parsed file, for waiver lookup
+	var funcs []hotalloc.Func
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "third_party" || name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if perr != nil {
+			return perr
+		}
+		if fns := hotalloc.FuncsInFile(fset, f); len(fns) > 0 {
+			astFiles[path] = f
+			funcs = append(funcs, fns...)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "geckolint: scanning for hotpath annotations: %v\n", err)
+		return 2
+	}
+	if len(funcs) == 0 {
+		fmt.Fprintln(os.Stderr, "geckolint: -hotpath found no //geckolint:hotpath annotations; the gate guards nothing (run it from the module root)")
+		return 2
+	}
+
+	// -a defeats the build cache: cached packages replay -m diagnostics
+	// inconsistently, and a gate that silently sees nothing passes wrongly.
+	cmd := exec.Command("go", "build", "-a", "-gcflags=geckoftl/...=-m", "./...")
+	cmd.Dir = root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "geckolint: go build -gcflags=-m failed: %v\n%s", err, stderr.String())
+		return 2
+	}
+
+	var diags []Diag
+	for _, esc := range hotalloc.ParseEscapes(stderr.String()) {
+		path := esc.File
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(root, path)
+		}
+		fn, ok := enclosingHotFunc(funcs, path, esc.Line)
+		if !ok {
+			continue
+		}
+		if f := astFiles[path]; f != nil && waived(fset, f, esc.Line, esc.Col) {
+			continue
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			rel = path
+		}
+		diags = append(diags, Diag{
+			File: rel, Line: esc.Line, Col: esc.Col, Analyzer: "hotalloc",
+			Message: fmt.Sprintf("hotpath function %s allocates: %s", fn.Name, esc.Msg),
+		})
+	}
+
+	if jsonOut {
+		return emitDiags(diags)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s:%d:%d: %s\n", d.File, d.Line, d.Col, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "geckolint: %d allocation(s) in hotpath functions (waive with //geckolint:ignore hotalloc <reason>)\n", len(diags))
+		return 1
+	}
+	fmt.Printf("geckolint: hotpath gate clean: %d annotated function(s) allocation-free\n", len(funcs))
+	return 0
+}
+
+// enclosingHotFunc finds the annotated function whose span contains the
+// diagnostic, if any.
+func enclosingHotFunc(funcs []hotalloc.Func, path string, line int) (hotalloc.Func, bool) {
+	for _, fn := range funcs {
+		if fn.File == path && fn.StartLine <= line && line <= fn.EndLine {
+			return fn, true
+		}
+	}
+	return hotalloc.Func{}, false
+}
+
+// waived reports whether a //geckolint:ignore hotalloc waiver covers the
+// diagnostic position, using the same statement-scoped rule as the in-vet
+// analyzers.
+func waived(fset *token.FileSet, f *ast.File, line, col int) bool {
+	tf := fset.File(f.Pos())
+	if tf == nil || line < 1 || line > tf.LineCount() {
+		return false
+	}
+	pos := tf.LineStart(line) + token.Pos(col-1)
+	return lintutil.IgnoredIn(fset, f, pos, "hotalloc")
+}
+
+// moduleRoot resolves the directory holding go.mod for the current
+// directory's module.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", err
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}

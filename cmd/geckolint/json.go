@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Diag is one finding in the machine-readable output: the flat shape CI
+// turns into GitHub annotations without having to understand vet's nested
+// per-package, per-analyzer JSON.
+type Diag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonMain runs the suite through go vet -json and re-emits the findings as
+// a flat sorted array on stdout. Exit codes: 0 clean, 1 findings, 2 failure.
+func jsonMain(exe string, args []string) int {
+	vetArgs := append([]string{"vet", "-json", "-vettool=" + exe}, args...)
+	if !hasPackagePattern(args) {
+		vetArgs = append(vetArgs, "./...")
+	}
+	cmd := exec.Command("go", vetArgs...)
+	var stderr bytes.Buffer
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = &stderr
+	runErr := cmd.Run()
+
+	diags, err := parseVetJSON(stderr.String())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "geckolint: parsing vet output: %v\nraw output:\n%s", err, stderr.String())
+		return 2
+	}
+	if runErr != nil && len(diags) == 0 {
+		// vet failed before producing diagnostics (build error, bad flag):
+		// its own message is the only useful output.
+		fmt.Fprint(os.Stderr, stderr.String())
+		return 2
+	}
+	return emitDiags(diags)
+}
+
+// emitDiags prints the findings as a JSON array on stdout and returns the
+// process exit code.
+func emitDiags(diags []Diag) int {
+	sortDiags(diags)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if diags == nil {
+		diags = []Diag{}
+	}
+	if err := enc.Encode(diags); err != nil {
+		fmt.Fprintf(os.Stderr, "geckolint: encoding findings: %v\n", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// parseVetJSON decodes go vet -json output: interleaved "# pkg" comment
+// lines and JSON objects of the form
+//
+//	{"pkgpath": {"analyzer": [{"posn": "file:line:col", "message": "..."}]}}
+func parseVetJSON(out string) ([]Diag, error) {
+	var jsonText strings.Builder
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		jsonText.WriteString(line)
+		jsonText.WriteString("\n")
+	}
+	type vetDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	var diags []Diag
+	dec := json.NewDecoder(strings.NewReader(jsonText.String()))
+	for dec.More() {
+		var obj map[string]map[string][]vetDiag
+		if err := dec.Decode(&obj); err != nil {
+			return nil, err
+		}
+		for _, byAnalyzer := range obj {
+			for analyzer, ds := range byAnalyzer {
+				for _, d := range ds {
+					file, line, col, err := splitPosn(d.Posn)
+					if err != nil {
+						return nil, fmt.Errorf("diagnostic %q: %w", d.Posn, err)
+					}
+					//geckolint:ignore maporder sorted by sortDiags before returning, behind a helper the analyzer cannot see through
+					diags = append(diags, Diag{
+						File: file, Line: line, Col: col,
+						Analyzer: analyzer, Message: d.Message,
+					})
+				}
+			}
+		}
+	}
+	sortDiags(diags)
+	return diags, nil
+}
+
+// sortDiags orders findings by file, line, col, analyzer, message — the
+// iteration above walks maps, so without this the output order would be
+// randomized run to run.
+func sortDiags(diags []Diag) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+var posnRe = regexp.MustCompile(`^(.*):(\d+):(\d+)$`)
+
+// splitPosn splits vet's "file:line:col" position string.
+func splitPosn(posn string) (file string, line, col int, err error) {
+	m := posnRe.FindStringSubmatch(posn)
+	if m == nil {
+		return "", 0, 0, fmt.Errorf("malformed position")
+	}
+	line, err1 := strconv.Atoi(m[2])
+	col, err2 := strconv.Atoi(m[3])
+	if err1 != nil || err2 != nil {
+		return "", 0, 0, fmt.Errorf("malformed position")
+	}
+	return m[1], line, col, nil
+}

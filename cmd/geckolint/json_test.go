@@ -1,0 +1,72 @@
+package main
+
+import "testing"
+
+// TestParseVetJSON feeds canned go vet -json output: "#" package comment
+// lines interleaved with the nested per-package, per-analyzer objects.
+func TestParseVetJSON(t *testing.T) {
+	out := `# geckoftl/internal/ftl
+{
+	"geckoftl/internal/ftl": {
+		"ctxcheck": [
+			{
+				"posn": "/repo/internal/ftl/engine.go:120:2",
+				"message": "loop body does not check ctx"
+			}
+		],
+		"maporder": [
+			{
+				"posn": "/repo/internal/ftl/gc.go:33:7",
+				"message": "map iteration order leaks"
+			}
+		]
+	}
+}
+# geckoftl/internal/queue
+{
+	"geckoftl/internal/queue": {}
+}
+`
+	diags, err := parseVetJSON(out)
+	if err != nil {
+		t.Fatalf("parseVetJSON: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(diags), diags)
+	}
+	byAnalyzer := map[string]Diag{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = d
+	}
+	cc := byAnalyzer["ctxcheck"]
+	if cc.File != "/repo/internal/ftl/engine.go" || cc.Line != 120 || cc.Col != 2 ||
+		cc.Message != "loop body does not check ctx" {
+		t.Errorf("ctxcheck diag = %+v", cc)
+	}
+	if mo := byAnalyzer["maporder"]; mo.File != "/repo/internal/ftl/gc.go" || mo.Line != 33 {
+		t.Errorf("maporder diag = %+v", mo)
+	}
+}
+
+// TestParseVetJSONEmpty pins the clean-run shape: comments only, no objects.
+func TestParseVetJSONEmpty(t *testing.T) {
+	diags, err := parseVetJSON("# geckoftl/internal/stats\n{\n\t\"geckoftl/internal/stats\": {}\n}\n")
+	if err != nil {
+		t.Fatalf("parseVetJSON: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("got %d diagnostics, want 0", len(diags))
+	}
+}
+
+// TestSplitPosn covers the position splitter, including a path containing
+// colons ahead of the line:col suffix.
+func TestSplitPosn(t *testing.T) {
+	file, line, col, err := splitPosn("/tmp/x:y/eng.go:12:7")
+	if err != nil || file != "/tmp/x:y/eng.go" || line != 12 || col != 7 {
+		t.Errorf("splitPosn = %q %d %d %v", file, line, col, err)
+	}
+	if _, _, _, err := splitPosn("no-position-here"); err == nil {
+		t.Error("splitPosn accepted a malformed position")
+	}
+}

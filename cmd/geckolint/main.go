@@ -10,7 +10,13 @@
 //	go vet -vettool=$(which geckolint) ./...
 //
 // Standalone invocation accepts the usual package patterns (defaulting to
-// ./...) plus -<analyzer>.* flags, which are forwarded to the vet run.
+// ./...) plus -<analyzer>.* flags, which are forwarded to the vet run, and
+// two modes of its own:
+//
+//	geckolint -json ./...   # findings as a flat JSON array for CI annotations
+//	geckolint -hotpath      # escape analysis gate over //geckolint:hotpath
+//
+// The modes combine: -hotpath -json emits the gate's findings as JSON.
 package main
 
 import (
@@ -43,10 +49,29 @@ func main() {
 // package loading, caching and export data. Exit codes follow go vet: 0
 // clean, non-zero on findings or failure.
 func standalone(args []string) int {
+	var jsonOut, hotpath bool
+	rest := make([]string, 0, len(args))
+	for _, a := range args {
+		switch a {
+		case "-json", "--json":
+			jsonOut = true
+		case "-hotpath", "--hotpath":
+			hotpath = true
+		default:
+			rest = append(rest, a)
+		}
+	}
+	args = rest
+	if hotpath {
+		return hotpathMain(jsonOut)
+	}
 	exe, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "geckolint: locating own binary: %v\n", err)
 		return 2
+	}
+	if jsonOut {
+		return jsonMain(exe, args)
 	}
 	vetArgs := append([]string{"vet", "-vettool=" + exe}, args...)
 	if !hasPackagePattern(args) {

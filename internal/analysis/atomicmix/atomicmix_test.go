@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"geckoftl/internal/analysis/atest"
+	"geckoftl/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	atest.Run(t, "testdata", atomicmix.Analyzer, "atomicmix")
+}

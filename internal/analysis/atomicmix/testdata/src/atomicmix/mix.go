@@ -1,0 +1,72 @@
+// Fixture for the atomicmix analyzer: fields and package variables accessed
+// both through sync/atomic free functions and through plain loads/stores,
+// against the disciplines that stay quiet — typed atomics, all-atomic
+// access, and plainly-accessed fields that never meet sync/atomic.
+package atomicmix
+
+import "sync/atomic"
+
+type engine struct {
+	busyUntil int64        // accessed via free functions — must be everywhere
+	inflight  atomic.Int64 // typed atomic: the compiler enforces discipline
+	epoch     int64        // never touched atomically: plain access is fine
+}
+
+// ratchet is the PR 9 CAS-ratchet shape: busyUntil is advanced atomically.
+func (e *engine) ratchet(until int64) {
+	for {
+		cur := atomic.LoadInt64(&e.busyUntil)
+		if cur >= until || atomic.CompareAndSwapInt64(&e.busyUntil, cur, until) {
+			return
+		}
+	}
+}
+
+// busy reads the same field with a plain load: a data race with ratchet,
+// and the compiler may cache the value across the loop.
+func (e *engine) busy(now int64) bool {
+	return e.busyUntil > now // want `busyUntil is accessed atomically at .* but with a plain load/store here: pick one discipline \(typed atomic, all sync/atomic, or the mutex\)`
+}
+
+// reset writes it plainly — same race, store side.
+func (e *engine) reset() {
+	e.busyUntil = 0 // want `busyUntil is accessed atomically at .* but with a plain load/store here: pick one discipline \(typed atomic, all sync/atomic, or the mutex\)`
+}
+
+var ops int64
+
+func countOp() {
+	atomic.AddInt64(&ops, 1)
+}
+
+func opsSnapshot() int64 {
+	return ops // want `ops is accessed atomically at .* but with a plain load/store here: pick one discipline \(typed atomic, all sync/atomic, or the mutex\)`
+}
+
+// --- non-firing shapes ---
+
+// allAtomic keeps every access of busyUntil through sync/atomic.
+func (e *engine) allAtomic() int64 {
+	atomic.StoreInt64(&e.busyUntil, 0)
+	return atomic.LoadInt64(&e.busyUntil)
+}
+
+// typedAtomic uses the atomic.Int64 wrapper: plain access is impossible, so
+// the analyzer has nothing to say.
+func (e *engine) typedAtomic() int64 {
+	e.inflight.Add(1)
+	return e.inflight.Load()
+}
+
+// plainOnly never meets sync/atomic: plain access to epoch is fine.
+func (e *engine) plainOnly() int64 {
+	e.epoch++
+	return e.epoch
+}
+
+// waived reads busyUntil plainly under a written waiver — the caller holds
+// the engine stopped, so no concurrent ratchet can run.
+func (e *engine) waived() int64 {
+	//geckolint:ignore atomicmix engine is stopped here, no concurrent ratchet exists
+	return e.busyUntil
+}

@@ -43,3 +43,22 @@ func GoodWaived() int {
 	//geckolint:ignore detrand jitter only, never replayed
 	return rand.Int()
 }
+
+// GoodWaivedMultiline regression-tests statement-scoped waivers: gofmt keeps
+// the comment above the statement, but the diagnostic lands two lines below,
+// on the inner rand.Int argument of the wrapped call. A per-line scanner
+// would miss the waiver; the statement-scoped one must not.
+func GoodWaivedMultiline(xs []int) int {
+	//geckolint:ignore detrand jitter only, never replayed
+	return pick(
+		xs,
+		rand.Int(),
+	)
+}
+
+func pick(xs []int, i int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[i%len(xs)]
+}

@@ -1,0 +1,231 @@
+// Package hotalloc enforces the //geckolint:hotpath annotation: a function
+// so marked must not allocate on the heap.
+//
+// The enforcement has two halves. The authoritative half is the escape
+// analysis gate (cmd/geckolint -hotpath), which rebuilds the module with
+// -gcflags=-m, parses the compiler's own escape diagnostics, and fails on
+// any "escapes to heap" / "moved to heap" line inside an annotated
+// function's span — the ground truth, because only the compiler knows what
+// its escape analysis proved. ParseEscapes and FuncsInFile below are that
+// gate's building blocks and are unit-tested against canned -m output.
+//
+// The second half is this analyzer, which runs inside the normal vet pass
+// and catches the allocations that are certain before the compiler ever
+// runs: calls into fmt (interface args always escape), errors.New and
+// fmt.Errorf (a fresh error value is the point), and go statements (a
+// goroutine allocates its own stack and outlives the frame). These fire in
+// the editor loop, seconds instead of the gate's full rebuild, and their
+// diagnostics explain the idiomatic fix: move the formatting into a cold
+// helper that the annotated function calls only on the error path.
+//
+// The analyzer also validates annotation placement — a //geckolint:hotpath
+// comment that is not the doc comment of a function declaration silently
+// guards nothing, so it is itself a finding.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"geckoftl/internal/analysis/lintutil"
+)
+
+// Marker is the annotation comment, written as the first line of a function's
+// doc comment (or anywhere within it).
+const Marker = "//geckolint:hotpath"
+
+const doc = `check //geckolint:hotpath functions for certain allocations
+
+Functions annotated //geckolint:hotpath must stay allocation-free. This
+analyzer flags the allocations knowable without the compiler — fmt calls,
+errors.New, go statements — and misplaced annotations. The full escape
+analysis gate is cmd/geckolint -hotpath.`
+
+// Analyzer is the hotalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "hotalloc",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Misplaced annotations: every Marker comment must be (part of) a
+	// FuncDecl's doc comment.
+	for _, f := range pass.Files {
+		docs := map[*ast.CommentGroup]bool{}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+				docs[fd.Doc] = true
+			}
+		}
+		for _, cg := range f.Comments {
+			if docs[cg] {
+				continue
+			}
+			for _, c := range cg.List {
+				if isMarker(c.Text) {
+					lintutil.Report(pass, "hotalloc", c,
+						"//geckolint:hotpath must be the doc comment of a function declaration; here it guards nothing")
+				}
+			}
+		}
+	}
+
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fn := n.(*ast.FuncDecl)
+		if fn.Body == nil || !hasMarker(fn.Doc) {
+			return
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.GoStmt:
+				lintutil.Report(pass, "hotalloc", e,
+					"%s is a hot path: starting a goroutine allocates; hand work to a pre-spawned worker instead", fn.Name.Name)
+				return false
+			case *ast.CallExpr:
+				callee := lintutil.CalleeFunc(pass.TypesInfo, e)
+				if callee == nil || callee.Pkg() == nil {
+					return true
+				}
+				switch callee.Pkg().Path() {
+				case "fmt":
+					lintutil.Report(pass, "hotalloc", e,
+						"%s is a hot path: fmt.%s boxes its arguments into interfaces and allocates; move formatting to a cold helper", fn.Name.Name, callee.Name())
+				case "errors":
+					if callee.Name() == "New" {
+						lintutil.Report(pass, "hotalloc", e,
+							"%s is a hot path: errors.New allocates; declare the error as a package-level sentinel", fn.Name.Name)
+					}
+				}
+			}
+			return true
+		})
+	})
+	return nil, nil
+}
+
+func isMarker(text string) bool {
+	return text == Marker || strings.HasPrefix(text, Marker+" ")
+}
+
+func hasMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if isMarker(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+// Func is one annotated function, located by file and line span so compiler
+// diagnostics (which carry only positions) can be matched against it.
+type Func struct {
+	Name      string // receiver-qualified, e.g. "(*Engine).Write"
+	File      string // as recorded in the FileSet (relative or absolute)
+	StartLine int
+	EndLine   int
+	Pos       token.Pos // of the declaration, for waiver lookup
+}
+
+// FuncsInFile returns the //geckolint:hotpath functions declared in f.
+func FuncsInFile(fset *token.FileSet, f *ast.File) []Func {
+	var out []Func
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !hasMarker(fd.Doc) {
+			continue
+		}
+		start := fset.Position(fd.Pos())
+		end := fset.Position(fd.Body.End())
+		out = append(out, Func{
+			Name:      funcName(fd),
+			File:      start.Filename,
+			StartLine: start.Line,
+			EndLine:   end.Line,
+			Pos:       fd.Pos(),
+		})
+	}
+	return out
+}
+
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	var b strings.Builder
+	b.WriteString("(")
+	writeRecv(&b, recv)
+	b.WriteString(").")
+	b.WriteString(fd.Name.Name)
+	return b.String()
+}
+
+func writeRecv(b *strings.Builder, t ast.Expr) {
+	switch e := t.(type) {
+	case *ast.StarExpr:
+		b.WriteString("*")
+		writeRecv(b, e.X)
+	case *ast.Ident:
+		b.WriteString(e.Name)
+	case *ast.IndexExpr: // generic receiver
+		writeRecv(b, e.X)
+	default:
+		b.WriteString("?")
+	}
+}
+
+// Escape is one heap-allocation diagnostic from go build -gcflags=-m.
+type Escape struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+// escapeLine matches "path/file.go:line:col: message". The path may contain
+// further colons on Windows-style inputs; the repo only builds on unix paths
+// so a simple left-anchored split is enough.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// ParseEscapes extracts the heap-allocation diagnostics from -gcflags=-m
+// output. Inlining chatter, "does not escape" proofs and "leaking param"
+// notes (the callee's report about its parameter, duplicated at the caller
+// as its own escape line when it matters) are dropped; what remains —
+// "escapes to heap", "moved to heap" — is exactly the set of allocation
+// sites the gate must prove empty inside annotated spans.
+func ParseEscapes(output string) []Escape {
+	var out []Escape
+	for _, line := range strings.Split(output, "\n") {
+		m := escapeLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		if strings.Contains(msg, "does not escape") {
+			continue
+		}
+		ln, err1 := strconv.Atoi(m[2])
+		col, err2 := strconv.Atoi(m[3])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		out = append(out, Escape{File: m[1], Line: ln, Col: col, Msg: msg})
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package hotalloc_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"geckoftl/internal/analysis/atest"
+	"geckoftl/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	atest.Run(t, "testdata", hotalloc.Analyzer, "hotalloc")
+}
+
+// runOnSource runs the analyzer on a single untyped source string and
+// returns the diagnostic messages. Type information is left empty, which is
+// fine for the placement check — it is purely syntactic.
+func runOnSource(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	files := []*ast.File{f}
+	var msgs []string
+	pass := &analysis.Pass{
+		Analyzer:  hotalloc.Analyzer,
+		Fset:      fset,
+		Files:     files,
+		TypesInfo: &types.Info{Uses: map[*ast.Ident]types.Object{}, Selections: map[*ast.SelectorExpr]*types.Selection{}},
+		ResultOf:  map[*analysis.Analyzer]interface{}{inspect.Analyzer: inspector.New(files)},
+		ReadFile:  os.ReadFile,
+		Report:    func(d analysis.Diagnostic) { msgs = append(msgs, d.Message) },
+	}
+	if _, err := hotalloc.Analyzer.Run(pass); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return msgs
+}
+
+// TestMisplacedMarker pins the placement rule: a hotpath annotation that is
+// not a function's doc comment guards nothing and must be a finding. (This
+// lives outside the atest fixture because the diagnostic lands on the
+// comment's own line, where a want comment cannot sit.)
+func TestMisplacedMarker(t *testing.T) {
+	msgs := runOnSource(t, `package p
+
+//geckolint:hotpath
+var counter int
+
+func f() {
+	//geckolint:hotpath
+	counter++
+}
+`)
+	if len(msgs) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (var doc + in-body): %v", len(msgs), msgs)
+	}
+	for _, m := range msgs {
+		if !strings.Contains(m, "must be the doc comment of a function declaration") {
+			t.Errorf("unexpected message: %s", m)
+		}
+	}
+}
+
+// TestWellPlacedMarker is the non-firing twin: a marker on a function's doc
+// comment — even below descriptive lines — is valid placement.
+func TestWellPlacedMarker(t *testing.T) {
+	msgs := runOnSource(t, `package p
+
+// f is very fast.
+//
+//geckolint:hotpath
+func f() {}
+`)
+	if len(msgs) != 0 {
+		t.Fatalf("got unexpected diagnostics: %v", msgs)
+	}
+}
+
+// TestFuncsInFile checks the span extraction the -hotpath gate matches
+// compiler diagnostics against.
+func TestFuncsInFile(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "eng.go", `package p
+
+//geckolint:hotpath
+func Plain(x int) int {
+	return x + 1
+}
+
+type E struct{}
+
+// Write writes.
+//
+//geckolint:hotpath
+func (e *E) Write() {
+}
+
+func cold() {}
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fns := hotalloc.FuncsInFile(fset, f)
+	if len(fns) != 2 {
+		t.Fatalf("got %d annotated funcs, want 2: %+v", len(fns), fns)
+	}
+	if fns[0].Name != "Plain" || fns[0].StartLine != 4 || fns[0].EndLine != 6 {
+		t.Errorf("Plain span = %+v, want lines 4-6", fns[0])
+	}
+	if fns[1].Name != "(*E).Write" || fns[1].StartLine != 13 || fns[1].EndLine != 14 {
+		t.Errorf("(*E).Write span = %+v, want lines 13-14", fns[1])
+	}
+	if fns[0].File != "eng.go" {
+		t.Errorf("File = %q, want eng.go", fns[0].File)
+	}
+}
+
+// TestParseEscapes feeds canned -gcflags=-m output: only genuine heap
+// allocations survive the filter — inlining chatter, non-escape proofs and
+// leaking-param notes do not.
+func TestParseEscapes(t *testing.T) {
+	out := `# geckoftl/internal/ftl
+internal/ftl/engine.go:170:10: can inline (*Engine).shardOf
+internal/ftl/engine.go:172:27: lpn escapes to heap
+internal/ftl/engine.go:172:45: e.logicalPages escapes to heap
+internal/ftl/engine.go:212:7: leaking param: e
+internal/ftl/engine.go:214:3: moved to heap: buf
+internal/ftl/engine.go:220:13: make([]byte, 0) does not escape
+internal/ftl/engine.go:225:9: inlining call to (*Histogram).Record
+garbage line without position
+`
+	got := hotalloc.ParseEscapes(out)
+	want := []hotalloc.Escape{
+		{File: "internal/ftl/engine.go", Line: 172, Col: 27, Msg: "lpn escapes to heap"},
+		{File: "internal/ftl/engine.go", Line: 172, Col: 45, Msg: "e.logicalPages escapes to heap"},
+		{File: "internal/ftl/engine.go", Line: 214, Col: 3, Msg: "moved to heap: buf"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ParseEscapes returned %d escapes, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("escape %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Fixture for the hotalloc analyzer's static half: certain allocations
+// (fmt, errors.New, go statements) inside //geckolint:hotpath functions,
+// against clean annotated functions, unannotated functions free to
+// allocate, and a written waiver.
+package hotalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+type engine struct {
+	pages   uint64
+	written uint64
+}
+
+//geckolint:hotpath
+func (e *engine) badFmt(lpn uint64) error {
+	if lpn >= e.pages {
+		return fmt.Errorf("page %d out of range", lpn) // want `badFmt is a hot path: fmt\.Errorf boxes its arguments into interfaces and allocates; move formatting to a cold helper`
+	}
+	e.written++
+	return nil
+}
+
+//geckolint:hotpath
+func (e *engine) badErrorsNew(lpn uint64) error {
+	if lpn >= e.pages {
+		return errors.New("out of range") // want `badErrorsNew is a hot path: errors\.New allocates; declare the error as a package-level sentinel`
+	}
+	e.written++
+	return nil
+}
+
+//geckolint:hotpath
+func (e *engine) badSpawn() {
+	go func() { // want `badSpawn is a hot path: starting a goroutine allocates; hand work to a pre-spawned worker instead`
+		e.written++
+	}()
+}
+
+// --- non-firing shapes ---
+
+var errOutOfRange = errors.New("out of range")
+
+// goodHot is the shape the firing cases should be rewritten into: sentinel
+// errors, no formatting, no spawning.
+//
+//geckolint:hotpath
+func (e *engine) goodHot(lpn uint64) error {
+	if lpn >= e.pages {
+		return errOutOfRange
+	}
+	e.written++
+	return nil
+}
+
+// coldPath is unannotated: it may allocate freely.
+func (e *engine) coldPath(lpn uint64) error {
+	return fmt.Errorf("page %d out of range of %d", lpn, e.pages)
+}
+
+// waivedHot keeps one fmt call under a written waiver: the call sits on a
+// path that only runs once at startup.
+//
+//geckolint:hotpath
+func (e *engine) waivedHot(init bool) error {
+	if init {
+		//geckolint:ignore hotalloc runs once at startup before the hot loop begins
+		return fmt.Errorf("init with %d pages", e.pages)
+	}
+	e.written++
+	return nil
+}

@@ -1,0 +1,59 @@
+package lintutil_test
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"geckoftl/internal/analysis/lintutil"
+)
+
+// posOnLine returns a position on the given 1-based line of the file.
+func posOnLine(fset *token.FileSet, line int) token.Pos {
+	var p token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		p = f.LineStart(line)
+		return false
+	})
+	return p
+}
+
+const multilineSrc = `package p
+
+func f(xs []int) int {
+	//geckolint:ignore detrand jitter only
+	return pick(
+		xs,
+		g(),
+	)
+}
+
+func h() int {
+	x := g()
+	return x
+}
+`
+
+// TestIgnoredInStatementScope pins the gofmt-proof waiver rule: a comment
+// above a multi-line statement waives a diagnostic on any of its lines —
+// here line 7, three lines below the comment, where the old per-line rule
+// (diagnostic line or the line above) could not see it.
+func TestIgnoredInStatementScope(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", multilineSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !lintutil.IgnoredIn(fset, f, posOnLine(fset, 7), "detrand") {
+		t.Error("waiver above the statement should cover a diagnostic on its third line")
+	}
+	if !lintutil.IgnoredIn(fset, f, posOnLine(fset, 5), "detrand") {
+		t.Error("waiver should cover the statement's first line too")
+	}
+	if lintutil.IgnoredIn(fset, f, posOnLine(fset, 7), "maporder") {
+		t.Error("waiver names detrand only; it must not widen to other analyzers")
+	}
+	if lintutil.IgnoredIn(fset, f, posOnLine(fset, 12), "detrand") {
+		t.Error("waiver must not leak into a different function's statements")
+	}
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"geckoftl/internal/analysis/atest"
+	"geckoftl/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	atest.Run(t, "testdata", lockorder.Analyzer, "lockorder")
+}

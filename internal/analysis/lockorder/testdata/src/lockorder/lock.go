@@ -1,0 +1,116 @@
+// Fixture for the lockorder analyzer: inverted acquisition orders between
+// two lock classes, nested same-class acquisitions, and the shapes that
+// must stay quiet — consistent orders, sequential (non-nested) sections,
+// and goroutine bodies that start with nothing held.
+package lockorder
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+// lockAB establishes the canonical order: A.mu before B.mu.
+func lockAB(a *A, b *B) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return a.n + b.n
+}
+
+// lockBA inverts it: B.mu before A.mu. Together with lockAB this deadlocks
+// under the right interleaving. The report lands on the second acquisition
+// of the later-sorted inversion site.
+func lockBA(a *A, b *B) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `A\.mu acquired while holding B\.mu, but B\.mu is acquired while holding A\.mu at .*: inconsistent lock order`
+	defer a.mu.Unlock()
+	return a.n + b.n
+}
+
+type Shard struct {
+	mu    sync.Mutex
+	pages int
+}
+
+// moveBetween locks two instances of the same class with no instance-order
+// rule: two goroutines moving in opposite directions deadlock.
+func moveBetween(src, dst *Shard) {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	dst.mu.Lock() // want `Shard\.mu acquired while another Shard\.mu is already held \(acquired at .*\): nested same-class locking deadlocks unless instance order is fixed`
+	defer dst.mu.Unlock()
+	dst.pages += src.pages
+	src.pages = 0
+}
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+type D struct {
+	mu sync.Mutex
+	n  int
+}
+
+// lockCD and lockDC invert each other too, but the inversion site carries a
+// waiver naming the analyzer, so the pair stays quiet.
+func lockCD(c *C, d *D) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return c.n + d.n
+}
+
+func lockDC(c *C, d *D) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	//geckolint:ignore lockorder canonical order is D before C in fixtures; C-before-D in lockCD is the outlier
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n + d.n
+}
+
+// --- non-firing shapes ---
+
+// consistent repeats lockAB's order: same direction, no inversion.
+func consistent(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// sequential releases A.mu before taking B.mu: the sections never nest, so
+// even a reversed twin elsewhere would be fine — no edge is recorded.
+func sequential(a *A, b *B) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// spawned hands the second lock to a goroutine: the literal's body runs on
+// its own stack with nothing held by this frame, so no B-before-A edge
+// appears even though lexically B.mu.Lock is "inside" the A.mu section.
+func spawned(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		a.mu.Lock()
+		a.n++
+		a.mu.Unlock()
+	}()
+}

@@ -6,24 +6,67 @@
 package analysis
 
 import (
+	"fmt"
+
 	goanalysis "golang.org/x/tools/go/analysis"
 
 	"geckoftl/internal/analysis/apiboundary"
+	"geckoftl/internal/analysis/atomicmix"
 	"geckoftl/internal/analysis/ctxcheck"
 	"geckoftl/internal/analysis/detrand"
 	"geckoftl/internal/analysis/errwrap"
+	"geckoftl/internal/analysis/hotalloc"
 	"geckoftl/internal/analysis/lockdiscipline"
+	"geckoftl/internal/analysis/lockorder"
 	"geckoftl/internal/analysis/maporder"
+	"geckoftl/internal/analysis/ticketcomplete"
 )
 
-// All returns the full geckolint suite in a stable order.
+// All returns the full geckolint suite in a stable (alphabetical) order.
+// It panics on an invalid suite; Assemble is the checked variant.
 func All() []*goanalysis.Analyzer {
-	return []*goanalysis.Analyzer{
+	all, err := Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return all
+}
+
+// Assemble builds and validates the suite: analyzer names must be unique
+// (go vet keys diagnostics and -flag namespaces by name, so a collision
+// silently merges two rules) and listed in alphabetical order, keeping
+// diagnostics grouped consistently in CI logs across refactors.
+func Assemble() ([]*goanalysis.Analyzer, error) {
+	all := []*goanalysis.Analyzer{
 		apiboundary.Analyzer,
+		atomicmix.Analyzer,
 		ctxcheck.Analyzer,
 		detrand.Analyzer,
 		errwrap.Analyzer,
+		hotalloc.Analyzer,
 		lockdiscipline.Analyzer,
+		lockorder.Analyzer,
 		maporder.Analyzer,
+		ticketcomplete.Analyzer,
 	}
+	if err := Check(all); err != nil {
+		return nil, err
+	}
+	return all, nil
+}
+
+// Check enforces the registry invariants on a candidate suite: unique
+// analyzer names and alphabetical order.
+func Check(all []*goanalysis.Analyzer) error {
+	seen := map[string]bool{}
+	for i, a := range all {
+		if seen[a.Name] {
+			return fmt.Errorf("analysis: duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if i > 0 && all[i-1].Name >= a.Name {
+			return fmt.Errorf("analysis: registry out of order: %q before %q", all[i-1].Name, a.Name)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,125 @@
+// Fixture for the ticketcomplete analyzer: tickets leaked on early-return
+// and missing-branch paths, against the full set of legitimate endings —
+// handoff into a struct, close on every path, deferred close, channel send,
+// closure capture, and return.
+package ticketcomplete
+
+import "errors"
+
+// Ticket mirrors the queue package's future: a done channel a waiter blocks
+// on, and an outcome field the finisher sets first.
+type Ticket struct {
+	done chan struct{}
+	err  error
+}
+
+type item struct {
+	tk *Ticket
+}
+
+type Queue struct {
+	items []*item
+}
+
+func (q *Queue) push(it *item) { q.items = append(q.items, it) }
+
+var errShed = errors.New("shed")
+
+// LeakOnEarlyReturn drops the ticket on the shed path: the caller that got
+// nothing can cope, but anyone already waiting on tk blocks forever.
+func LeakOnEarlyReturn(q *Queue, shed bool) *Ticket {
+	tk := &Ticket{done: make(chan struct{})} // want `ticket tk is neither completed \(close/field assignment\) nor handed off on every return path: a waiter on it blocks forever`
+	if shed {
+		return nil
+	}
+	q.push(&item{tk: tk})
+	return tk
+}
+
+// LeakOnMissingBranch hands the ticket off only when ok: the fall-through
+// path reaches the end of the function with tk still live.
+func LeakOnMissingBranch(q *Queue, ok bool) {
+	tk := &Ticket{done: make(chan struct{})} // want `ticket tk is neither completed \(close/field assignment\) nor handed off on every return path: a waiter on it blocks forever`
+	if ok {
+		q.push(&item{tk: tk})
+	}
+}
+
+// LeakInSwitch handles every named case but has no default: an unknown kind
+// falls through with the ticket still live.
+func LeakInSwitch(q *Queue, kind int) {
+	tk := &Ticket{done: make(chan struct{})} // want `ticket tk is neither completed \(close/field assignment\) nor handed off on every return path: a waiter on it blocks forever`
+	switch kind {
+	case 1:
+		q.push(&item{tk: tk})
+	case 2:
+		close(tk.done)
+	}
+}
+
+// --- non-firing shapes ---
+
+// SubmitHandoff is the queue.Submit shape: the ticket escapes into the item
+// immediately, so the worker owns completion from then on.
+func SubmitHandoff(q *Queue) *Ticket {
+	tk := &Ticket{done: make(chan struct{})}
+	it := &item{tk: tk}
+	q.push(it)
+	return tk
+}
+
+// CompleteAllPaths closes on both the error and the success path, setting
+// the outcome field first on the error one — the worker-side finish shape.
+func CompleteAllPaths(fail bool) {
+	tk := &Ticket{done: make(chan struct{})}
+	if fail {
+		tk.err = errShed
+		close(tk.done)
+		return
+	}
+	close(tk.done)
+}
+
+// DeferredClose completes via defer, covering every return path at once.
+func DeferredClose(work func()) {
+	tk := &Ticket{done: make(chan struct{})}
+	defer close(tk.done)
+	work()
+}
+
+// SendOff hands the ticket to whoever drains the channel.
+func SendOff(ch chan *Ticket) {
+	tk := &Ticket{done: make(chan struct{})}
+	ch <- tk
+}
+
+// Captured hands the ticket to a closure; the scheduler that runs it owns
+// completion now.
+func Captured(schedule func(func())) {
+	tk := &Ticket{done: make(chan struct{})}
+	schedule(func() { close(tk.done) })
+}
+
+// SelectAllArms completes or hands off in every arm of the select; a select
+// always runs exactly one arm, so the set is exhaustive.
+func SelectAllArms(ch chan *Ticket, cancel chan struct{}) {
+	tk := &Ticket{done: make(chan struct{})}
+	select {
+	case ch <- tk:
+	case <-cancel:
+		tk.err = errShed
+		close(tk.done)
+	}
+}
+
+// WaivedLeak is LeakOnEarlyReturn with a written waiver: the shed-path
+// caller here polls the queue instead of waiting, so the leak is deliberate.
+func WaivedLeak(q *Queue, shed bool) *Ticket {
+	//geckolint:ignore ticketcomplete fixture: shed-path callers poll rather than wait, dropping the ticket is deliberate
+	tk := &Ticket{done: make(chan struct{})}
+	if shed {
+		return nil
+	}
+	q.push(&item{tk: tk})
+	return tk
+}

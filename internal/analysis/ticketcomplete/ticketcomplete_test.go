@@ -1,0 +1,12 @@
+package ticketcomplete_test
+
+import (
+	"testing"
+
+	"geckoftl/internal/analysis/atest"
+	"geckoftl/internal/analysis/ticketcomplete"
+)
+
+func TestTicketcomplete(t *testing.T) {
+	atest.Run(t, "testdata", ticketcomplete.Analyzer, "ticketcomplete")
+}
